@@ -1,0 +1,444 @@
+(* Benchmark harness: one section per experiment of DESIGN.md / EXPERIMENTS.md.
+
+   The paper (Guttag, CACM 1977) has no quantitative tables; its measurable
+   claims and exhibited artifacts are reproduced here as experiments E1-E8.
+   Sections print the artifact reproductions (the ring-buffer figures, the
+   mechanical proof, the prompting transcript, the axiom diff) and time the
+   claims that are about cost (symbolic interpretation overhead,
+   representation trade-offs, checker scaling).
+
+     dune exec bench/main.exe *)
+
+open Bechamel
+open Toolkit
+open Adt
+open Adt_specs
+
+let item = Builtins.item
+
+(* {1 Harness} *)
+
+let ols =
+  Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+
+let instance = Instance.monotonic_clock
+
+let run_tests tests =
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None
+      ~stabilize:false ()
+  in
+  let raw = Benchmark.all cfg [ instance ] (Test.make_grouped ~name:"" tests) in
+  Analyze.all ols instance raw
+
+let pretty_ns ns =
+  if ns >= 1e9 then Fmt.str "%8.2f s " (ns /. 1e9)
+  else if ns >= 1e6 then Fmt.str "%8.2f ms" (ns /. 1e6)
+  else if ns >= 1e3 then Fmt.str "%8.2f us" (ns /. 1e3)
+  else Fmt.str "%8.2f ns" ns
+
+let report_group title tests =
+  Fmt.pr "@.--- %s ---@." title;
+  let results = run_tests tests in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let estimate =
+          match Analyze.OLS.estimates ols with
+          | Some (x :: _) -> x
+          | _ -> nan
+        in
+        (name, estimate) :: acc)
+      results []
+  in
+  let clean name =
+    if String.length name > 0 && name.[0] = '/' then
+      String.sub name 1 (String.length name - 1)
+    else name
+  in
+  List.iter
+    (fun (name, ns) -> Fmt.pr "  %-46s %s/op@." (clean name) (pretty_ns ns))
+    (List.sort (fun (a, _) (b, _) -> compare a b) rows)
+
+let t name f = Test.make ~name (Staged.stage f)
+
+let seconds f =
+  let t0 = Unix.gettimeofday () in
+  let result = f () in
+  (result, Unix.gettimeofday () -. t0)
+
+(* {1 E1 - the cost of symbolic interpretation (section 5)} *)
+
+let queue_interp = Interp.create Queue_spec.spec
+
+let symbolic_queue_workload_on interp n () =
+  let q = Queue_spec.of_items (List.init n (fun i -> item ((i mod 4) + 1))) in
+  let rec drain q k acc =
+    if k = 0 then acc
+    else
+      let f = Interp.eval interp (Queue_spec.front q) in
+      let q' =
+        match Interp.eval interp (Queue_spec.remove q) with
+        | Interp.Value t -> t
+        | _ -> assert false
+      in
+      drain q' (k - 1) (match f with Interp.Value _ -> acc + 1 | _ -> acc)
+  in
+  drain q n 0
+
+let symbolic_queue_workload n () = symbolic_queue_workload_on queue_interp n ()
+
+(* ablation: the same workload through a memoizing interpreter session
+   (each run gets a fresh memo so runs stay independent) *)
+let memo_queue_workload n () =
+  let interp = Interp.create ~memo:true Queue_spec.spec in
+  symbolic_queue_workload_on interp n ()
+
+let direct_queue_workload n () =
+  let q = List.fold_left Queue_impl.add Queue_impl.empty
+      (List.init n (fun i -> item ((i mod 4) + 1)))
+  in
+  let rec drain q k acc =
+    if k = 0 then acc
+    else
+      let _ = Queue_impl.front q in
+      drain (Queue_impl.remove q) (k - 1) (acc + 1)
+  in
+  drain q n 0
+
+let symtab_ids = [ "X"; "Y"; "Z"; "W" ]
+
+let symbolic_symtab_workload depth () =
+  let interp = Interp.create Symboltable_spec.spec in
+  let rec build t d =
+    if d = 0 then t
+    else
+      let t =
+        List.fold_left
+          (fun t name ->
+            Symboltable_spec.add t (Identifier.id name) (Attributes.attrs 1))
+          (Symboltable_spec.enterblock t) symtab_ids
+      in
+      build t (d - 1)
+  in
+  let table = build Symboltable_spec.init depth in
+  List.fold_left
+    (fun acc name ->
+      match
+        Interp.eval interp
+          (Symboltable_spec.retrieve table (Identifier.id name))
+      with
+      | Interp.Value _ -> acc + 1
+      | _ -> acc)
+    0 symtab_ids
+
+let direct_symtab_workload depth () =
+  let module I = Symboltable_impl.Hash in
+  let rec build t d =
+    if d = 0 then t
+    else
+      let t =
+        List.fold_left
+          (fun t name -> I.add t (Identifier.id name) (Attributes.attrs 1))
+          (I.enterblock t) symtab_ids
+      in
+      build t (d - 1)
+  in
+  let table = build (I.init ()) depth in
+  List.fold_left
+    (fun acc name ->
+      match I.retrieve table (Identifier.id name) with
+      | Some _ -> acc + 1
+      | None -> acc)
+    0 symtab_ids
+
+(* reuse-heavy workload for the memo ablation: many repeated queries
+   against one fixed symbol table *)
+let repeated_retrieves_workload ~memo () =
+  let interp = Interp.create ~memo Symboltable_spec.spec in
+  let table =
+    let rec build t d =
+      if d = 0 then t
+      else
+        build
+          (List.fold_left
+             (fun t name ->
+               Symboltable_spec.add t (Identifier.id name) (Attributes.attrs 1))
+             (Symboltable_spec.enterblock t) symtab_ids)
+          (d - 1)
+    in
+    build Symboltable_spec.init 6
+  in
+  let hits = ref 0 in
+  for _ = 1 to 25 do
+    List.iter
+      (fun name ->
+        match
+          Interp.eval interp
+            (Symboltable_spec.retrieve table (Identifier.id name))
+        with
+        | Interp.Value _ -> incr hits
+        | _ -> ())
+      symtab_ids
+  done;
+  !hits
+
+let e1 () =
+  Fmt.pr "@.=== E1: symbolic interpretation vs direct implementation ===@.";
+  Fmt.pr "(the paper concedes a 'significant loss in efficiency'; measure it)@.";
+  report_group "Queue: fill n, then drain n (FIFO traversal)"
+    [
+      t "e1/queue/symbolic/n=04" (symbolic_queue_workload 4);
+      t "e1/queue/direct___/n=04" (direct_queue_workload 4);
+      t "e1/queue/symbolic/n=16" (symbolic_queue_workload 16);
+      t "e1/queue/direct___/n=16" (direct_queue_workload 16);
+      t "e1/queue/symbolic/n=48" (symbolic_queue_workload 48);
+      t "e1/queue/direct___/n=48" (direct_queue_workload 48);
+      t "e1/queue/memoized_/n=16" (memo_queue_workload 16);
+      t "e1/queue/memoized_/n=48" (memo_queue_workload 48);
+    ];
+  report_group "Symboltable: d nested blocks of 4 declarations, 4 retrieves"
+    [
+      t "e1/symtab/symbolic/depth=2" (symbolic_symtab_workload 2);
+      t "e1/symtab/direct___/depth=2" (direct_symtab_workload 2);
+      t "e1/symtab/symbolic/depth=6" (symbolic_symtab_workload 6);
+      t "e1/symtab/direct___/depth=6" (direct_symtab_workload 6);
+    ];
+  report_group
+    "ablation: memoized rewriting (25 repeated retrieve rounds, one table)"
+    [
+      t "e1/retrieves/plain___" (repeated_retrieves_workload ~memo:false);
+      t "e1/retrieves/memoized" (repeated_retrieves_workload ~memo:true);
+    ]
+
+(* {1 E2 - the ring-buffer figures: Phi is many-to-one (section 4)} *)
+
+let e2 () =
+  Fmt.pr "@.=== E2: the bounded-queue figures (Phi has no proper inverse) ===@.";
+  let x1 =
+    Bounded_queue_impl.(
+      empty |> Fun.flip add (item 1) |> Fun.flip add (item 2)
+      |> Fun.flip add (item 3) |> remove |> Fun.flip add (item 4))
+  in
+  let x2 =
+    Bounded_queue_impl.(
+      empty |> Fun.flip add (item 2) |> Fun.flip add (item 3)
+      |> Fun.flip add (item 4))
+  in
+  Fmt.pr "figure 1 state (ADD A,B,C; REMOVE; ADD D): %a@."
+    Bounded_queue_impl.pp_state x1;
+  Fmt.pr "figure 2 state (ADD B,C,D):                %a@."
+    Bounded_queue_impl.pp_state x2;
+  Fmt.pr "states equal: %b; Phi images equal: %b (%a)@."
+    (Bounded_queue_impl.state_equal x1 x2)
+    (Term.equal
+       (Bounded_queue_impl.abstraction x1)
+       (Bounded_queue_impl.abstraction x2))
+    Term.pp
+    (Bounded_queue_impl.abstraction x1);
+  let interp = Interp.create Bounded_queue_spec.spec in
+  let seg1 =
+    Bounded_queue_spec.(add_q (remove_q (of_items [ item 1; item 2; item 3 ])) (item 4))
+  in
+  report_group "cost of Phi and of symbolic evaluation"
+    [
+      t "e2/phi/ring-buffer" (fun () -> Bounded_queue_impl.abstraction x1);
+      t "e2/symbolic/segment-1" (fun () -> Interp.eval interp seg1);
+      t "e2/direct__/segment-1" (fun () ->
+          Bounded_queue_impl.(
+            empty |> Fun.flip add (item 1) |> Fun.flip add (item 2)
+            |> Fun.flip add (item 3) |> remove |> Fun.flip add (item 4)));
+    ]
+
+(* {1 E3 - the mechanical representation proof (section 4)} *)
+
+let e3 () =
+  Fmt.pr "@.=== E3: Symboltable-as-Stack-of-Arrays, verified mechanically ===@.";
+  let term, got, expected = Refinement.assumption_violation () in
+  Fmt.pr "Assumption 1 is necessary: %a ~> %a (axiom 9 expects %a)@." Term.pp
+    term Term.pp got Term.pp expected;
+  let results, elapsed = seconds Refinement.verify in
+  Fmt.pr "%a@." Refinement.pp_results results;
+  Fmt.pr "all proved: %b in %.1f ms@."
+    (Refinement.all_proved results)
+    (elapsed *. 1000.);
+  Fmt.pr "@.second representation, same method (Array as a pair list):@.";
+  let list_results = Array_as_list.verify () in
+  Fmt.pr "%a@.all proved: %b (no reachability invariant needed)@."
+    Array_as_list.pp_results list_results
+    (Array_as_list.all_proved list_results);
+  report_group "proof costs"
+    [
+      t "e3/lemma-nonempty" (fun () ->
+          Proof.prove_axiom (Refinement.base_config ()) Refinement.nonempty_lemma);
+      t "e3/verify-all-nine-axioms" (fun () -> Refinement.verify ());
+      t "e3/verify-array-as-list" (fun () -> Array_as_list.verify ());
+    ]
+
+(* {1 E4 - sufficient-completeness checking (section 3)} *)
+
+let e4 () =
+  Fmt.pr "@.=== E4: sufficient-completeness checking and prompting ===@.";
+  let broken =
+    Spec.without_axiom "3" (Spec.without_axiom "5" Queue_spec.spec)
+  in
+  Fmt.pr "transcript on a Queue missing its boundary axioms:@.";
+  List.iter
+    (fun p -> Fmt.pr "  %a@." Heuristics.pp_prompt p)
+    (Heuristics.prompts broken);
+  let scaled n = Identifier.spec_with_atoms (List.init n (fun i -> Fmt.str "A%d" i)) in
+  let scaled8 = scaled 8 and scaled16 = scaled 16 and scaled32 = scaled 32 in
+  report_group "checker cost vs specification size"
+    [
+      t "e4/check/queue-6-axioms" (fun () -> Completeness.check Queue_spec.spec);
+      t "e4/check/symboltable" (fun () ->
+          Completeness.check Symboltable_spec.spec);
+      t "e4/check/refinement" (fun () ->
+          Completeness.check Refinement.combined);
+      t "e4/check/identifier-08-atoms" (fun () -> Completeness.check scaled8);
+      t "e4/check/identifier-16-atoms" (fun () -> Completeness.check scaled16);
+      t "e4/check/identifier-32-atoms" (fun () -> Completeness.check scaled32);
+    ]
+
+(* {1 E5 - consistency: critical pairs and completion (section 3)} *)
+
+let e5 () =
+  Fmt.pr "@.=== E5: consistency checking and Knuth-Bendix completion ===@.";
+  let report = Consistency.check Queue_spec.spec in
+  Fmt.pr "Queue: %d critical pair(s); locally confluent: %b; consistent: %b@."
+    (List.length report.Consistency.pairs)
+    (Consistency.locally_confluent report)
+    (Consistency.is_consistent Queue_spec.spec report);
+  let q = Term.var "q" Queue_spec.sort
+  and i = Term.var "i" Builtins.item_sort in
+  let evil =
+    Axiom.v ~name:"evil"
+      ~lhs:(Queue_spec.is_empty (Queue_spec.add q i))
+      ~rhs:Term.tt ()
+  in
+  let bad = Spec.with_axioms [ evil ] Queue_spec.spec in
+  let bad_report = Consistency.check bad in
+  (match Consistency.inconsistencies bad bad_report with
+  | (_, a, b) :: _ ->
+    Fmt.pr "seeded contradiction detected: derived %a = %a@." Term.pp a Term.pp b
+  | [] -> Fmt.pr "seeded contradiction NOT detected (bug!)@.");
+  report_group "critical pairs and completion"
+    [
+      t "e5/critical-pairs/queue" (fun () -> Consistency.check Queue_spec.spec);
+      t "e5/critical-pairs/symboltable" (fun () ->
+          Consistency.check Symboltable_spec.spec);
+      t "e5/completion/queue" (fun () -> Completion.complete_spec Queue_spec.spec);
+      t "e5/completion/symboltable" (fun () ->
+          Completion.complete_spec Symboltable_spec.spec);
+    ]
+
+(* {1 E6 - delaying the representation choice (section 5)} *)
+
+let e6_workload (module I : Symboltable_impl.S) ids () =
+  let table =
+    List.fold_left
+      (fun (t, k) id ->
+        let t = if k mod 8 = 0 then I.enterblock t else t in
+        (I.add t id (Attributes.attrs 1), k + 1))
+      (I.init (), 1)
+      ids
+    |> fst
+  in
+  List.fold_left
+    (fun acc id -> match I.retrieve table id with Some _ -> acc + 1 | None -> acc)
+    0 ids
+
+let e6 () =
+  Fmt.pr "@.=== E6: hash-table vs association-list arrays ===@.";
+  let ids n =
+    let identifier = Identifier.spec_with_atoms (List.init n (fun i -> Fmt.str "V%d" i)) in
+    Identifier.atom_terms identifier
+  in
+  let small = ids 8 and medium = ids 64 and large = ids 256 in
+  report_group "declare n identifiers (blocks of 8), retrieve all n"
+    [
+      t "e6/assoc/n=008" (e6_workload (module Symboltable_impl.Assoc) small);
+      t "e6/hash_/n=008" (e6_workload (module Symboltable_impl.Hash) small);
+      t "e6/assoc/n=064" (e6_workload (module Symboltable_impl.Assoc) medium);
+      t "e6/hash_/n=064" (e6_workload (module Symboltable_impl.Hash) medium);
+      t "e6/assoc/n=256" (e6_workload (module Symboltable_impl.Assoc) large);
+      t "e6/hash_/n=256" (e6_workload (module Symboltable_impl.Hash) large);
+    ]
+
+(* {1 E7 - the knows-list change (section 4)} *)
+
+let e7 () =
+  Fmt.pr "@.=== E7: the knows-list language change ===@.";
+  let changed, kept = Symboltable_knows_spec.changed_axioms () in
+  let head_is_symboltable ax =
+    let head = Axiom.head ax in
+    List.exists
+      (Sort.equal Symboltable_spec.sort)
+      (Op.result head :: Op.args head)
+  in
+  let changed_st = List.filter head_is_symboltable changed in
+  Fmt.pr "Symboltable axioms changed (%d):@." (List.length changed_st);
+  List.iter (fun ax -> Fmt.pr "  %a@." Axiom.pp ax) changed_st;
+  Fmt.pr "Symboltable axioms kept verbatim: %d@."
+    (List.length (List.filter head_is_symboltable kept));
+  let mentions_enterblock ax =
+    Term.count_op "ENTERBLOCK" (Axiom.lhs ax)
+    + Term.count_op "ENTERBLOCK" (Axiom.rhs ax)
+    > 0
+  in
+  Fmt.pr "every changed axiom mentions ENTERBLOCK: %b (the paper's claim)@."
+    (List.for_all mentions_enterblock changed_st)
+
+(* {1 E8 - interchangeable symbol tables in the compiler (section 5)} *)
+
+let block_program n =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "begin\n  decl g : int;\n  g := 1;\n";
+  for i = 1 to n do
+    Buffer.add_string buf
+      (Fmt.str
+         "begin decl a%d : int; decl b%d : int; a%d := g + %d; b%d := a%d * 2; print b%d;\n"
+         i i i i i i i)
+  done;
+  for _ = 1 to n do
+    Buffer.add_string buf "end;\n"
+  done;
+  Buffer.add_string buf "  print g\nend\n";
+  Buffer.contents buf
+
+let e8 () =
+  Fmt.pr "@.=== E8: one checker, interchangeable symbol-table backends ===@.";
+  let program = block_program 3 in
+  List.iter
+    (fun backend ->
+      Fmt.pr "backend %-16s: %a@."
+        (Blocklang.Driver.backend_name backend)
+        Blocklang.Driver.pp_outcome
+        (Blocklang.Driver.run_source backend program))
+    Blocklang.Driver.all_backends;
+  let p4 = block_program 4 and p12 = block_program 12 in
+  report_group "checker cost per backend (n nested blocks)"
+    [
+      t "e8/direct/n=04" (fun () ->
+          Blocklang.Driver.check_source Blocklang.Driver.Direct p4);
+      t "e8/algebraic/n=04" (fun () ->
+          Blocklang.Driver.check_source Blocklang.Driver.Algebraic p4);
+      t "e8/algebraic-knows/n=04" (fun () ->
+          Blocklang.Driver.check_source Blocklang.Driver.Algebraic_knows p4);
+      t "e8/direct/n=12" (fun () ->
+          Blocklang.Driver.check_source Blocklang.Driver.Direct p12);
+      t "e8/algebraic/n=12" (fun () ->
+          Blocklang.Driver.check_source Blocklang.Driver.Algebraic p12);
+    ]
+
+let () =
+  Fmt.pr "Reproduction benches for Guttag, 'Abstract Data Types and the Development of Data Structures' (CACM 1977)@.";
+  e1 ();
+  e2 ();
+  e3 ();
+  e4 ();
+  e5 ();
+  e6 ();
+  e7 ();
+  e8 ();
+  Fmt.pr "@.done.@."

@@ -1,0 +1,304 @@
+(* adtc — command-line front end for the algebraic specification toolkit.
+
+   Subcommands:
+     check       parse a .adt file, report sufficient-completeness and
+                 consistency
+     skeletons   print the missing-axiom prompts (the paper's interactive
+                 system)
+     normalize   evaluate a term symbolically against a specification
+     complete    run Knuth-Bendix completion on a specification
+     compile     check a block-language program on a chosen symbol-table
+                 backend
+     run         compile and execute a block-language program
+     verify-symboltable
+                 replay the paper's representation-correctness proof *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load_library paths =
+  List.fold_left
+    (fun lib path ->
+      match Adt.Library.load_source lib (read_file path) with
+      | Ok lib -> lib
+      | Error e ->
+        Fmt.epr "%s:%a@." path Adt.Parser.pp_error e;
+        exit 2)
+    Adt.Library.builtin paths
+
+let load_specs ?(lib = Adt.Library.builtin) path =
+  let source = read_file path in
+  match Adt.Parser.parse_specs ~env:(Adt.Library.to_env lib) source with
+  | Ok [] ->
+    Fmt.epr "%s: no specification found@." path;
+    exit 2
+  | Ok specs -> specs
+  | Error e ->
+    Fmt.epr "%s:%a@." path Adt.Parser.pp_error e;
+    exit 2
+
+let last_spec ?lib path = List.rev (load_specs ?lib path) |> List.hd
+
+open Cmdliner
+
+let lib_arg =
+  Arg.(
+    value & opt_all file []
+    & info [ "lib" ] ~docv:"FILE"
+        ~doc:
+          "Load the specifications of $(docv) first; the target file's \
+           $(b,uses) clauses may refer to them. Repeatable.")
+
+let file_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"FILE" ~doc:"Specification file (.adt).")
+
+let check_cmd =
+  let run libs file =
+    let specs = load_specs ~lib:(load_library libs) file in
+    let failures =
+      List.fold_left
+        (fun failures spec ->
+          Fmt.pr "=== %s ===@." (Adt.Spec.name spec);
+          let comp = Adt.Completeness.check spec in
+          Fmt.pr "%a@." Adt.Completeness.pp_report comp;
+          let cons = Adt.Consistency.check spec in
+          Fmt.pr "%a@." Adt.Consistency.pp_report cons;
+          let ok =
+            Adt.Completeness.is_complete comp
+            && Adt.Consistency.is_consistent spec cons
+          in
+          Fmt.pr "@.";
+          if ok then failures else failures + 1)
+        0 specs
+    in
+    if failures > 0 then exit 1
+  in
+  let doc = "Check sufficient-completeness and consistency of specifications." in
+  Cmd.v (Cmd.info "check" ~doc) Term.(const run $ lib_arg $ file_arg)
+
+let skeletons_cmd =
+  let run libs file =
+    let specs = load_specs ~lib:(load_library libs) file in
+    List.iter
+      (fun spec ->
+        match Adt.Heuristics.prompts spec with
+        | [] ->
+          Fmt.pr "%s: no missing cases; the axiomatization is sufficiently complete.@."
+            (Adt.Spec.name spec)
+        | prompts ->
+          Fmt.pr "=== %s: %d missing case(s) ===@." (Adt.Spec.name spec)
+            (List.length prompts);
+          List.iter (fun p -> Fmt.pr "%a@." Adt.Heuristics.pp_prompt p) prompts)
+      specs
+  in
+  let doc = "Prompt for the axioms a sufficiently complete specification still needs." in
+  Cmd.v (Cmd.info "skeletons" ~doc) Term.(const run $ lib_arg $ file_arg)
+
+let term_arg =
+  Arg.(
+    required
+    & pos 1 (some string) None
+    & info [] ~docv:"TERM" ~doc:"Term to evaluate, in specification syntax.")
+
+let trace_flag =
+  Arg.(value & flag & info [ "trace" ] ~doc:"Print every rewrite step.")
+
+let normalize_cmd =
+  let run libs file term_src trace =
+    let spec = last_spec ~lib:(load_library libs) file in
+    match Adt.Parser.parse_term spec term_src with
+    | Error e ->
+      Fmt.epr "term:%a@." Adt.Parser.pp_error e;
+      exit 2
+    | Ok term -> (
+      let interp = Adt.Interp.create spec in
+      try
+        if trace then begin
+          let nf, events = Adt.Interp.trace interp term in
+          List.iter (fun e -> Fmt.pr "%a@." Adt.Rewrite.pp_event e) events;
+          Fmt.pr "normal form: %a@." Adt.Term.pp nf
+        end
+        else if Adt.Term.is_ground term then
+          Fmt.pr "%a@." Adt.Interp.pp_value (Adt.Interp.eval interp term)
+        else Fmt.pr "%a@." Adt.Term.pp (Adt.Interp.reduce interp term)
+      with Adt.Rewrite.Out_of_fuel partial ->
+        Fmt.epr "diverged (out of fuel); last term: %a@." Adt.Term.pp partial;
+        exit 1)
+  in
+  let doc = "Evaluate a ground term symbolically (the paper's section-5 interpreter)." in
+  Cmd.v
+    (Cmd.info "normalize" ~doc)
+    Term.(const run $ lib_arg $ file_arg $ term_arg $ trace_flag)
+
+let complete_cmd =
+  let run libs file =
+    let spec = last_spec ~lib:(load_library libs) file in
+    let outcome, stats = Adt.Completion.complete_spec spec in
+    Fmt.pr "%a@.%a@." Adt.Completion.pp_outcome outcome Adt.Completion.pp_stats
+      stats;
+    (match outcome with
+    | Adt.Completion.Completed sys ->
+      List.iter (fun r -> Fmt.pr "  %a@." Adt.Rewrite.pp_rule r) (Adt.Rewrite.rules sys)
+    | Adt.Completion.Failed _ -> exit 1)
+  in
+  let doc = "Run Knuth-Bendix completion on a specification's axioms." in
+  Cmd.v (Cmd.info "complete" ~doc) Term.(const run $ lib_arg $ file_arg)
+
+let prove_cmd =
+  let vars_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "var" ] ~docv:"NAME:SORT"
+          ~doc:"Declare a universally quantified variable, e.g. --var q:Queue.")
+  in
+  let lhs_arg =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"LHS" ~doc:"Left-hand side of the goal.")
+  in
+  let rhs_arg =
+    Arg.(
+      required
+      & pos 2 (some string) None
+      & info [] ~docv:"RHS" ~doc:"Right-hand side of the goal.")
+  in
+  let run libs file vars lhs_src rhs_src =
+    let spec = last_spec ~lib:(load_library libs) file in
+    let parse_var entry =
+      match String.index_opt entry ':' with
+      | Some i ->
+        let name = String.sub entry 0 i in
+        let sort = String.sub entry (i + 1) (String.length entry - i - 1) in
+        (name, Adt.Sort.v sort)
+      | None ->
+        Fmt.epr "--var expects NAME:SORT, got %s@." entry;
+        exit 2
+    in
+    let vars = List.map parse_var vars in
+    let parse what src =
+      match Adt.Parser.parse_term spec ~vars src with
+      | Ok t -> t
+      | Error e ->
+        Fmt.epr "%s:%a@." what Adt.Parser.pp_error e;
+        exit 2
+    in
+    let lhs = parse "lhs" lhs_src in
+    let rhs = parse "rhs" rhs_src in
+    let cfg = Adt.Proof.config spec in
+    match Adt.Proof.prove cfg (lhs, rhs) with
+    | Adt.Proof.Proved p ->
+      Fmt.pr "PROVED:@.%a@." Adt.Proof.pp_proof p
+    | Adt.Proof.Unknown _ as outcome ->
+      Fmt.pr "%a@." Adt.Proof.pp_outcome outcome;
+      (* try to settle it the other way: a small counterexample search *)
+      let universe = Adt.Enum.universe spec in
+      (match Adt.Proof.disprove cfg ~universe ~size:6 (lhs, rhs) with
+      | Some (sub, got, expected) ->
+        Fmt.pr "REFUTED at %a:@.  left ~> %a, right ~> %a@." Adt.Subst.pp sub
+          Adt.Term.pp got Adt.Term.pp expected
+      | None -> Fmt.pr "(no small counterexample found either)@.");
+      exit 1
+  in
+  let doc =
+    "Prove an equation from a specification (normalization, case analysis, \
+     generator induction); on failure, search for a counterexample."
+  in
+  Cmd.v
+    (Cmd.info "prove" ~doc)
+    Term.(const run $ lib_arg $ file_arg $ vars_arg $ lhs_arg $ rhs_arg)
+
+let backend_conv =
+  Arg.conv
+    ( (fun s ->
+        match Blocklang.Driver.backend_of_string s with
+        | Some b -> Ok b
+        | None -> Error (`Msg (Fmt.str "unknown backend %s" s))),
+      fun ppf b -> Fmt.string ppf (Blocklang.Driver.backend_name b) )
+
+let backend_arg =
+  Arg.(
+    value
+    & opt backend_conv Blocklang.Driver.Direct
+    & info [ "backend" ] ~docv:"BACKEND"
+        ~doc:"Symbol-table backend: direct, algebraic, or algebraic-knows.")
+
+let program_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"PROGRAM" ~doc:"Block-language source file (.bl).")
+
+let report_outcome outcome =
+  Fmt.pr "%a@." Blocklang.Driver.pp_outcome outcome;
+  match outcome with
+  | Blocklang.Driver.Ran _ -> ()
+  | Blocklang.Driver.Parse_error _ -> exit 2
+  | Blocklang.Driver.Check_errors _ | Blocklang.Driver.Runtime_error _ ->
+    exit 1
+
+let compile_cmd =
+  let run backend file =
+    report_outcome (Blocklang.Driver.check_source backend (read_file file))
+  in
+  let doc = "Parse and check a block-language program." in
+  Cmd.v (Cmd.info "compile" ~doc) Term.(const run $ backend_arg $ program_arg)
+
+let run_cmd =
+  let run backend file =
+    report_outcome (Blocklang.Driver.run_source backend (read_file file))
+  in
+  let doc = "Check, compile, and execute a block-language program." in
+  Cmd.v (Cmd.info "run" ~doc) Term.(const run $ backend_arg $ program_arg)
+
+let verify_cmd =
+  let proofs_flag =
+    Arg.(
+      value & flag
+      & info [ "proofs" ] ~doc:"Print the full proof tree of every axiom.")
+  in
+  let run proofs =
+    let term, got, expected = Adt_specs.Refinement.assumption_violation () in
+    Fmt.pr
+      "Assumption 1 (ADD' never sees the bare NEWSTACK) is necessary:@.  %a ~> %a, but axiom 9 expects %a@.@."
+      Adt.Term.pp term Adt.Term.pp got Adt.Term.pp expected;
+    let ((_, details) as results) = Adt_specs.Refinement.verify () in
+    Fmt.pr "%a@." Adt_specs.Refinement.pp_results results;
+    if proofs then
+      List.iter
+        (fun r ->
+          let lhs, rhs = r.Adt_specs.Refinement.goal in
+          Fmt.pr "@.axiom %s: %a = %a@.%a@." r.Adt_specs.Refinement.axiom_name
+            Adt.Term.pp lhs Adt.Term.pp rhs Adt.Proof.pp_outcome
+            r.Adt_specs.Refinement.outcome)
+        details;
+    if not (Adt_specs.Refinement.all_proved results) then exit 1
+  in
+  let doc =
+    "Mechanically verify the stack-of-arrays representation of Symboltable \
+     (the paper's section-4 proof)."
+  in
+  Cmd.v (Cmd.info "verify-symboltable" ~doc) Term.(const run $ proofs_flag)
+
+let main =
+  let doc = "algebraic specification of abstract data types (Guttag, CACM 1977)" in
+  Cmd.group
+    (Cmd.info "adtc" ~version:"1.0.0" ~doc)
+    [
+      check_cmd;
+      skeletons_cmd;
+      normalize_cmd;
+      complete_cmd;
+      prove_cmd;
+      compile_cmd;
+      run_cmd;
+      verify_cmd;
+    ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,60 @@
+(* The paper's ring-buffer figures: two different program segments leave
+   the Bounded Queue's representation in visibly different states, yet the
+   abstraction function maps both to the same abstract value — "the mapping
+   from values to representations may be one-to-many".
+
+     dune exec examples/bounded_queue_phi.exe *)
+
+open Adt
+open Adt_specs
+
+let a = Builtins.item 1 (* the paper's A *)
+let b = Builtins.item 2 (* B *)
+let c = Builtins.item 3 (* C *)
+let d = Builtins.item 4 (* D *)
+
+let () =
+  (* Program segment 1 (the paper's first figure):
+       x := EMPTY_Q; ADD A; ADD B; ADD C; REMOVE; ADD D *)
+  let x1 =
+    Bounded_queue_impl.(
+      empty |> Fun.flip add a |> Fun.flip add b |> Fun.flip add c |> remove
+      |> Fun.flip add d)
+  in
+  (* Program segment 2 (the second figure): ADD B; ADD C; ADD D *)
+  let x2 =
+    Bounded_queue_impl.(
+      empty |> Fun.flip add b |> Fun.flip add c |> Fun.flip add d)
+  in
+  Fmt.pr "segment 1 (ADD A,B,C; REMOVE; ADD D):@.  %a@." Bounded_queue_impl.pp_state x1;
+  Fmt.pr "segment 2 (ADD B,C,D):@.  %a@.@." Bounded_queue_impl.pp_state x2;
+  Fmt.pr "internal states equal:  %b@." (Bounded_queue_impl.state_equal x1 x2);
+  let phi1 = Bounded_queue_impl.abstraction x1 in
+  let phi2 = Bounded_queue_impl.abstraction x2 in
+  Fmt.pr "Phi(segment 1) = %a@." Term.pp phi1;
+  Fmt.pr "Phi(segment 2) = %a@." Term.pp phi2;
+  Fmt.pr "abstract values equal:  %b@.@." (Term.equal phi1 phi2);
+
+  (* The same two segments, interpreted purely symbolically. *)
+  let interp = Interp.create Bounded_queue_spec.spec in
+  let seg1 =
+    Bounded_queue_spec.(
+      remove_q (of_items [ a; b; c ]) |> Fun.flip add_q d)
+  in
+  let seg2 = Bounded_queue_spec.of_items [ b; c; d ] in
+  Fmt.pr "symbolically: segment 1 ~~> %a@." Interp.pp_value (Interp.eval interp seg1);
+  Fmt.pr "symbolically: segment 2 ~~> %a@.@." Interp.pp_value (Interp.eval interp seg2);
+
+  (* Both front elements agree with the figures: B. *)
+  Fmt.pr "FRONT of both segments: %a / %a (paper: B)@."
+    Term.pp (Bounded_queue_impl.front x1)
+    Interp.pp_value (Interp.eval interp (Bounded_queue_spec.front_q seg1));
+
+  (* The bound is a client obligation, like Assumption 1: *)
+  Fmt.pr "@.adding a fourth element raises the implementation's Error: %b@."
+    (match Bounded_queue_impl.add x2 a with
+    | _ -> false
+    | exception Bounded_queue_impl.Error -> true);
+  (* ... which the specification can even see coming: *)
+  Fmt.pr "IS_FULL? of segment 2, symbolically: %a@."
+    Interp.pp_value (Interp.eval interp (Bounded_queue_spec.is_full seg2))

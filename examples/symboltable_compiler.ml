@@ -1,0 +1,91 @@
+(* The paper's extended example end to end: a block-structured language
+   whose compiler uses the symbol table only through its algebraic
+   interface — so the axioms themselves can serve as the implementation,
+   and the stack-of-arrays representation can be verified against them.
+
+     dune exec examples/symboltable_compiler.exe *)
+
+open Blocklang
+
+let program_source =
+  {|
+begin
+  decl n : int;
+  decl total : int;
+  n := 10;
+  total := 0;
+  begin
+    decl n : int;              -- shadows the outer n
+    decl twice : int;
+    n := 3;
+    twice := n * 2;
+    total := twice + 1;
+    print twice
+  end;
+  total := total + n;
+  print total;
+  print n
+end
+|}
+
+let faulty_source =
+  {|
+begin
+  decl a : int;
+  begin
+    decl a : int;
+    decl a : bool;             -- duplicate in the same block
+    b := a                     -- undeclared
+  end;
+  a := true                    -- type mismatch
+end
+|}
+
+let () =
+  (* 1. The same checker, functorized over the SYMTAB interface, runs on a
+     production data structure and on the bare axioms. *)
+  Fmt.pr "=== one checker, interchangeable symbol tables (section 5) ===@.";
+  List.iter
+    (fun backend ->
+      Fmt.pr "backend %-16s: %a@."
+        (Driver.backend_name backend)
+        Driver.pp_outcome
+        (Driver.run_source backend program_source))
+    Driver.all_backends;
+  Fmt.pr "@.";
+
+  (* 2. Diagnostics agree too. *)
+  Fmt.pr "=== diagnostics on a faulty program ===@.";
+  List.iter
+    (fun backend ->
+      Fmt.pr "backend %s:@.%a@."
+        (Driver.backend_name backend)
+        Driver.pp_outcome
+        (Driver.check_source backend faulty_source))
+    Driver.all_backends;
+  Fmt.pr "@.";
+
+  (* 3. Peek inside the algebraic backend: the "data structure" is a term. *)
+  Fmt.pr "=== the algebraic backend's state is a constructor term ===@.";
+  let program = Parser.parse_exn program_source in
+  let ids = Ast.identifiers program in
+  let st = Symtab_algebraic.create ~ids in
+  let st = Symtab_algebraic.enterblock st in
+  let st = Symtab_algebraic.add st "n" (Adt_specs.Attributes.mk ~ty:0 ~slot:0) in
+  let st = Symtab_algebraic.add st "twice" (Adt_specs.Attributes.mk ~ty:0 ~slot:1) in
+  Fmt.pr "state after INIT; ENTERBLOCK; ADD n; ADD twice:@.  %a@." Adt.Term.pp
+    (Symtab_algebraic.term st);
+  Fmt.pr "IS_INBLOCK?(_, n)    = %b@." (Symtab_algebraic.is_inblock st "n");
+  (match Symtab_algebraic.leaveblock st with
+  | Some st' ->
+    Fmt.pr "after LEAVEBLOCK     : %a@." Adt.Term.pp (Symtab_algebraic.term st');
+    Fmt.pr "n visible afterwards : %b@.@."
+      (Option.is_some (Symtab_algebraic.retrieve st' "n"))
+  | None -> assert false);
+
+  (* 4. And the production representation is *proved* against the axioms. *)
+  Fmt.pr "=== the paper's representation proof, replayed mechanically ===@.";
+  let results = Adt_specs.Refinement.verify () in
+  Fmt.pr "%a@." Adt_specs.Refinement.pp_results results;
+  Fmt.pr "all nine axioms verified: %b@."
+    (Adt_specs.Refinement.all_proved results)

@@ -1,0 +1,136 @@
+type typ = Tint | Tbool
+
+type binop = Add | Sub | Mul | Lt | Eq | And | Or
+
+type expr = { desc : expr_desc; eline : int }
+
+and expr_desc =
+  | Int of int
+  | Bool of bool
+  | Var of string
+  | Binop of binop * expr * expr
+  | Not of expr
+  | Call of string * expr list
+
+type stmt = { sdesc : stmt_desc; sline : int }
+
+and stmt_desc =
+  | Decl of string * typ
+  | Assign of string * expr
+  | Print of expr
+  | Block of block
+  | If of expr * block * block option
+  | While of expr * block
+  | Proc of string * (string * typ) list * typ * block
+  | Return of expr
+
+and block = { knows : string list option; stmts : stmt list }
+
+type program = block
+
+let identifiers program =
+  let add acc x = if List.mem x acc then acc else acc @ [ x ] in
+  let rec expr acc e =
+    match e.desc with
+    | Int _ | Bool _ -> acc
+    | Var x -> add acc x
+    | Binop (_, a, b) -> expr (expr acc a) b
+    | Not a -> expr acc a
+    | Call (f, args) -> List.fold_left expr (add acc f) args
+  in
+  let rec stmt acc s =
+    match s.sdesc with
+    | Decl (x, _) -> add acc x
+    | Assign (x, e) -> expr (add acc x) e
+    | Print e -> expr acc e
+    | Block b -> block acc b
+    | If (c, th, el) ->
+      let acc = block (expr acc c) th in
+      (match el with None -> acc | Some el -> block acc el)
+    | While (c, body) -> block (expr acc c) body
+    | Proc (f, params, _, body) ->
+      let acc = List.fold_left (fun acc (x, _) -> add acc x) (add acc f) params in
+      block acc body
+    | Return e -> expr acc e
+  and block acc b =
+    let acc =
+      match b.knows with
+      | None -> acc
+      | Some ids -> List.fold_left add acc ids
+    in
+    List.fold_left stmt acc b.stmts
+  in
+  block [] program
+
+let rec sub_blocks s =
+  match s.sdesc with
+  | Block b -> [ b ]
+  | If (_, th, el) -> (th :: Option.to_list el)
+  | While (_, body) -> [ body ]
+  | Proc (_, _, _, body) -> [ body ]
+  | Decl _ | Assign _ | Print _ | Return _ -> []
+
+and block_count b =
+  1
+  + List.fold_left
+      (fun n s -> List.fold_left (fun n b' -> n + block_count b') n (sub_blocks s))
+      0 b.stmts
+
+let rec max_depth b =
+  1
+  + List.fold_left
+      (fun d s ->
+        List.fold_left (fun d b' -> max d (max_depth b')) d (sub_blocks s))
+      0 b.stmts
+
+let pp_typ ppf = function
+  | Tint -> Fmt.string ppf "int"
+  | Tbool -> Fmt.string ppf "bool"
+
+let binop_symbol = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Lt -> "<"
+  | Eq -> "=="
+  | And -> "&&"
+  | Or -> "||"
+
+let rec pp_expr ppf e =
+  match e.desc with
+  | Int n -> Fmt.int ppf n
+  | Bool b -> Fmt.bool ppf b
+  | Var x -> Fmt.string ppf x
+  | Binop (op, a, b) ->
+    Fmt.pf ppf "(%a %s %a)" pp_expr a (binop_symbol op) pp_expr b
+  | Not a -> Fmt.pf ppf "(not %a)" pp_expr a
+  | Call (f, args) ->
+    Fmt.pf ppf "%s(%a)" f Fmt.(list ~sep:comma pp_expr) args
+
+let rec pp_stmt ppf s =
+  match s.sdesc with
+  | Decl (x, t) -> Fmt.pf ppf "decl %s : %a" x pp_typ t
+  | Assign (x, e) -> Fmt.pf ppf "%s := %a" x pp_expr e
+  | Print e -> Fmt.pf ppf "print %a" pp_expr e
+  | Block b -> pp_block ppf b
+  | If (c, th, None) -> Fmt.pf ppf "@[<v>if %a then %a@]" pp_expr c pp_block th
+  | If (c, th, Some el) ->
+    Fmt.pf ppf "@[<v>if %a then %a else %a@]" pp_expr c pp_block th pp_block el
+  | While (c, body) -> Fmt.pf ppf "@[<v>while %a do %a@]" pp_expr c pp_block body
+  | Proc (f, params, ret, body) ->
+    let pp_param ppf (x, t) = Fmt.pf ppf "%s : %a" x pp_typ t in
+    Fmt.pf ppf "@[<v>proc %s(%a) : %a %a@]" f
+      Fmt.(list ~sep:comma pp_param)
+      params pp_typ ret pp_block body
+  | Return e -> Fmt.pf ppf "return %a" pp_expr e
+
+and pp_block ppf b =
+  let pp_knows ppf = function
+    | None -> ()
+    | Some ids -> Fmt.pf ppf " knows %a" Fmt.(list ~sep:comma string) ids
+  in
+  Fmt.pf ppf "@[<v 2>begin%a@,%a@]@,end" pp_knows b.knows
+    Fmt.(list ~sep:(any ";@,") pp_stmt)
+    b.stmts
+
+let pp_program = pp_block

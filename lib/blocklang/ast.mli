@@ -1,0 +1,65 @@
+(** Abstract syntax of the block-structured language.
+
+    A deliberately small language exhibiting exactly the features the
+    paper's symbol table serves: nested blocks with local declarations and
+    shadowing, optional "knows lists" at block entry (the section-4
+    variant), integer and Boolean expressions, assignment and printing. *)
+
+type typ = Tint | Tbool
+
+type binop = Add | Sub | Mul | Lt | Eq | And | Or
+
+type expr = { desc : expr_desc; eline : int }
+
+and expr_desc =
+  | Int of int
+  | Bool of bool
+  | Var of string
+  | Binop of binop * expr * expr
+  | Not of expr
+  | Call of string * expr list
+      (** Procedure call, [double(21)]. *)
+
+type stmt = { sdesc : stmt_desc; sline : int }
+
+and stmt_desc =
+  | Decl of string * typ
+  | Assign of string * expr
+  | Print of expr
+  | Block of block
+  | If of expr * block * block option
+      (** [if e then begin .. end else begin .. end]; each branch is a
+          block and opens its own scope. *)
+  | While of expr * block
+      (** [while e do begin .. end]; the body opens its own scope on every
+          iteration. *)
+  | Proc of string * (string * typ) list * typ * block
+      (** [proc f(a : int, b : bool) : int begin .. end]. The body sees
+          the enclosing scopes (static scoping); the name enters scope
+          only after the body, so direct recursion is rejected as an
+          undeclared identifier. *)
+  | Return of expr
+      (** Only legal inside a procedure body. Falling off the end of a
+          procedure yields the return type's default (0 / false). *)
+
+and block = {
+  knows : string list option;
+      (** [None] in the plain language; [Some ids] when the block was
+          opened with a knows list (which may be empty). *)
+  stmts : stmt list;
+}
+
+type program = block
+
+val identifiers : program -> string list
+(** Every identifier occurring anywhere (declarations, uses, knows lists),
+    without duplicates, in first-occurrence order. *)
+
+val block_count : program -> int
+val max_depth : program -> int
+
+val pp_typ : typ Fmt.t
+val binop_symbol : binop -> string
+
+val pp_program : program Fmt.t
+(** Re-renders parseable source. *)

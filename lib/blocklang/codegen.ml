@@ -1,0 +1,111 @@
+(* Code generation: resolved statements to stack code with symbolic labels,
+   then a resolution pass to absolute targets.
+
+   Layout: main code, Halt, then one body per procedure. A procedure entry
+   stores its arguments (pushed left to right by the caller, so popped in
+   reverse) into the parameter slots; a body that falls off its end pushes
+   the return type's default and returns. *)
+
+type label = int
+
+type cinstr =
+  | Raw of Vm.instr
+  | Label of label
+  | Jmp_l of label
+  | Jz_l of label
+  | Call_l of int  (** procedure index, resolved through the entry labels *)
+
+let fresh_label =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    !counter
+
+let rec expr (e : Checker.rexpr) acc =
+  match e.Checker.rdesc with
+  | Checker.RInt n -> Raw (Vm.Push_int n) :: acc
+  | Checker.RBool b -> Raw (Vm.Push_bool b) :: acc
+  | Checker.RVar slot -> Raw (Vm.Load slot) :: acc
+  | Checker.RBinop (op, a, b) -> expr a (expr b (Raw (Vm.Prim op) :: acc))
+  | Checker.RNot a -> expr a (Raw Vm.Prim_not :: acc)
+  | Checker.RCall (index, args) ->
+    List.fold_right expr args (Call_l index :: acc)
+
+let default_of = function
+  | Ast.Tint -> Vm.Push_int 0
+  | Ast.Tbool -> Vm.Push_bool false
+
+let rec stmt (s : Checker.rstmt) acc =
+  match s with
+  | Checker.RDecl (slot, ty) ->
+    (* explicit stores re-initialise locals of blocks that are entered
+       repeatedly (loop bodies) *)
+    Raw (default_of ty) :: Raw (Vm.Store slot) :: acc
+  | Checker.RAssign (slot, e) -> expr e (Raw (Vm.Store slot) :: acc)
+  | Checker.RPrint e -> expr e (Raw Vm.Print :: acc)
+  | Checker.RBlock stmts -> List.fold_right stmt stmts acc
+  | Checker.RIf (c, th, el) ->
+    let l_else = fresh_label () and l_end = fresh_label () in
+    expr c
+      (Jz_l l_else
+      :: List.fold_right stmt th
+           (Jmp_l l_end :: Label l_else
+           :: List.fold_right stmt el (Label l_end :: acc)))
+  | Checker.RWhile (c, body) ->
+    let l_top = fresh_label () and l_end = fresh_label () in
+    Label l_top
+    :: expr c
+         (Jz_l l_end
+         :: List.fold_right stmt body (Jmp_l l_top :: Label l_end :: acc))
+  | Checker.RReturn e -> expr e (Raw Vm.Ret :: acc)
+
+let proc_code entry (p : Checker.rproc) acc =
+  let prologue =
+    (* arguments arrive on the operand stack, last argument on top *)
+    List.rev_map (fun slot -> Raw (Vm.Store slot)) p.Checker.param_slots
+  in
+  (Label entry :: prologue)
+  @ List.fold_right stmt p.Checker.pbody
+      (Raw (default_of p.Checker.ret) :: Raw Vm.Ret :: acc)
+
+let resolve entries cinstrs =
+  let targets = Hashtbl.create 16 in
+  let (_ : int) =
+    List.fold_left
+      (fun pc ci ->
+        match ci with
+        | Label l ->
+          Hashtbl.replace targets l pc;
+          pc
+        | Raw _ | Jmp_l _ | Jz_l _ | Call_l _ -> pc + 1)
+      0 cinstrs
+  in
+  let target l =
+    match Hashtbl.find_opt targets l with
+    | Some pc -> pc
+    | None -> assert false (* labels are always emitted *)
+  in
+  List.filter_map
+    (function
+      | Label _ -> None
+      | Raw i -> Some i
+      | Jmp_l l -> Some (Vm.Jmp (target l))
+      | Jz_l l -> Some (Vm.Jz (target l))
+      | Call_l index -> Some (Vm.Call (target entries.(index))))
+    cinstrs
+  |> Array.of_list
+
+let compile (p : Checker.rprogram) =
+  let entries =
+    Array.of_list (List.map (fun _ -> fresh_label ()) p.Checker.procs)
+  in
+  let tail =
+    List.fold_right
+      (fun (index, proc) acc -> proc_code entries.(index) proc acc)
+      (List.mapi (fun i proc -> (i, proc)) p.Checker.procs)
+      []
+  in
+  let code =
+    List.fold_right stmt p.Checker.body (Raw Vm.Halt :: tail)
+  in
+  { Vm.code = resolve entries code; slots = p.Checker.slot_count }

@@ -1,0 +1,3 @@
+(** Code generation from resolved programs to stack-machine code. *)
+
+val compile : Checker.rprogram -> Vm.program

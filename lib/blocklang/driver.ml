@@ -1,0 +1,55 @@
+type backend = Direct | Algebraic | Algebraic_knows
+
+let backend_of_string = function
+  | "direct" -> Some Direct
+  | "algebraic" -> Some Algebraic
+  | "algebraic-knows" -> Some Algebraic_knows
+  | _ -> None
+
+let backend_name = function
+  | Direct -> "direct"
+  | Algebraic -> "algebraic"
+  | Algebraic_knows -> "algebraic-knows"
+
+let all_backends = [ Direct; Algebraic; Algebraic_knows ]
+
+type outcome =
+  | Parse_error of Parser.error
+  | Check_errors of Checker.diagnostic list
+  | Ran of Vm.value list
+  | Runtime_error of string
+      (** The machine trapped: a non-terminating program hit the step
+          budget. Unreachable for terminating checked programs. *)
+
+let check_with backend program =
+  match backend with
+  | Direct -> Checker.Direct.check program
+  | Algebraic -> Checker.Algebraic.check program
+  | Algebraic_knows -> Checker.Algebraic_knows.check program
+
+let check_source backend source =
+  match Parser.parse source with
+  | Error e -> Parse_error e
+  | Ok program -> (
+    match check_with backend program with
+    | Error diags -> Check_errors diags
+    | Ok _ -> Ran [])
+
+let run_source backend source =
+  match Parser.parse source with
+  | Error e -> Parse_error e
+  | Ok program -> (
+    match check_with backend program with
+    | Error diags -> Check_errors diags
+    | Ok rp -> (
+      match Vm.run (Codegen.compile rp) with
+      | values -> Ran values
+      | exception Vm.Stuck msg -> Runtime_error msg))
+
+let pp_outcome ppf = function
+  | Parse_error e -> Fmt.pf ppf "parse error: %a" Parser.pp_error e
+  | Check_errors diags ->
+    Fmt.pf ppf "@[<v>%a@]" Fmt.(list ~sep:cut Checker.pp_diagnostic) diags
+  | Ran values ->
+    Fmt.pf ppf "@[<h>%a@]" Fmt.(list ~sep:sp Vm.pp_value) values
+  | Runtime_error msg -> Fmt.pf ppf "runtime error: %s" msg

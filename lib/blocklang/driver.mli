@@ -1,0 +1,24 @@
+(** One-call pipeline: parse, check (on a chosen backend), compile, run. *)
+
+type backend = Direct | Algebraic | Algebraic_knows
+
+val backend_of_string : string -> backend option
+val backend_name : backend -> string
+val all_backends : backend list
+
+type outcome =
+  | Parse_error of Parser.error
+  | Check_errors of Checker.diagnostic list
+  | Ran of Vm.value list
+  | Runtime_error of string
+      (** The machine trapped: a non-terminating program hit the step
+          budget. Unreachable for terminating checked programs. *)
+
+val check_source : backend -> string -> outcome
+(** Parse and check only; [Ran []] stands for "no errors" (nothing is
+    executed). *)
+
+val run_source : backend -> string -> outcome
+(** Parse, check, compile, execute. *)
+
+val pp_outcome : outcome Fmt.t

@@ -1,0 +1,70 @@
+exception Returned of Vm.value
+
+let default_of = function
+  | Ast.Tint -> Vm.Vint 0
+  | Ast.Tbool -> Vm.Vbool false
+
+let run ?(max_steps = 10_000_000) (p : Checker.rprogram) =
+  let store = Array.make (max p.Checker.slot_count 1) (Vm.Vint 0) in
+  let output = ref [] in
+  let steps = ref 0 in
+  let procs = Array.of_list p.Checker.procs in
+  let rec expr (e : Checker.rexpr) =
+    match e.Checker.rdesc with
+    | Checker.RInt n -> Vm.Vint n
+    | Checker.RBool b -> Vm.Vbool b
+    | Checker.RVar slot -> store.(slot)
+    | Checker.RBinop (op, a, b) ->
+      let va = expr a in
+      let vb = expr b in
+      (match (op, va, vb) with
+      | Ast.Add, Vm.Vint x, Vm.Vint y -> Vm.Vint (x + y)
+      | Ast.Sub, Vm.Vint x, Vm.Vint y -> Vm.Vint (x - y)
+      | Ast.Mul, Vm.Vint x, Vm.Vint y -> Vm.Vint (x * y)
+      | Ast.Lt, Vm.Vint x, Vm.Vint y -> Vm.Vbool (x < y)
+      | Ast.Eq, Vm.Vint x, Vm.Vint y -> Vm.Vbool (x = y)
+      | Ast.And, Vm.Vbool x, Vm.Vbool y -> Vm.Vbool (x && y)
+      | Ast.Or, Vm.Vbool x, Vm.Vbool y -> Vm.Vbool (x || y)
+      | _ -> raise (Vm.Stuck "ill-typed primitive in checked program"))
+    | Checker.RNot a -> (
+      match expr a with
+      | Vm.Vbool b -> Vm.Vbool (not b)
+      | _ -> raise (Vm.Stuck "ill-typed not in checked program"))
+    | Checker.RCall (index, args) ->
+      let values = List.map expr args in
+      let proc = procs.(index) in
+      List.iter2
+        (fun slot v -> store.(slot) <- v)
+        proc.Checker.param_slots values;
+      (try
+         List.iter stmt proc.Checker.pbody;
+         default_of proc.Checker.ret
+       with Returned v -> v)
+  and stmt s =
+    incr steps;
+    if !steps > max_steps then raise (Vm.Stuck "step budget exceeded");
+    match s with
+    | Checker.RDecl (slot, ty) -> store.(slot) <- default_of ty
+    | Checker.RAssign (slot, e) -> store.(slot) <- expr e
+    | Checker.RPrint e ->
+      (* force evaluation first: a procedure called inside [e] may print,
+         and OCaml would otherwise read [!output] before running [expr e] *)
+      let v = expr e in
+      output := v :: !output
+    | Checker.RBlock stmts -> List.iter stmt stmts
+    | Checker.RIf (c, th, el) -> (
+      match expr c with
+      | Vm.Vbool true -> List.iter stmt th
+      | Vm.Vbool false -> List.iter stmt el
+      | Vm.Vint _ -> raise (Vm.Stuck "ill-typed condition in checked program"))
+    | Checker.RWhile (c, body) as loop -> (
+      match expr c with
+      | Vm.Vbool true ->
+        List.iter stmt body;
+        stmt loop
+      | Vm.Vbool false -> ()
+      | Vm.Vint _ -> raise (Vm.Stuck "ill-typed condition in checked program"))
+    | Checker.RReturn e -> raise (Returned (expr e))
+  in
+  List.iter stmt p.Checker.body;
+  List.rev !output

@@ -1,0 +1,6 @@
+(** A tree-walking reference interpreter for resolved programs, used for
+    differential testing against {!Codegen} + {!Vm}. *)
+
+val run : ?max_steps:int -> Checker.rprogram -> Vm.value list
+(** [max_steps] (default 10 million statement executions) guards against
+    non-terminating loops; exceeding it raises [Vm.Stuck]. *)

@@ -1,0 +1,256 @@
+type error = { line : int; col : int; message : string }
+
+let pp_error ppf e = Fmt.pf ppf "%d:%d: %s" e.line e.col e.message
+
+exception Fail of error
+
+type state = { tokens : Lexer.located array; mutable pos : int }
+
+let peek st = st.tokens.(st.pos)
+let advance st = if st.pos < Array.length st.tokens - 1 then st.pos <- st.pos + 1
+
+let fail_at (tok : Lexer.located) fmt =
+  Fmt.kstr
+    (fun message -> raise (Fail { line = tok.line; col = tok.col; message }))
+    fmt
+
+let expect st token =
+  let tok = peek st in
+  if tok.token = token then advance st
+  else
+    fail_at tok "expected %a, found %a" Lexer.pp_token token Lexer.pp_token
+      tok.token
+
+let accept st token =
+  if (peek st).token = token then begin
+    advance st;
+    true
+  end
+  else false
+
+let ident st =
+  let tok = peek st in
+  match tok.token with
+  | Lexer.Ident x ->
+    advance st;
+    x
+  | other -> fail_at tok "expected an identifier, found %a" Lexer.pp_token other
+
+(* {2 Expressions: precedence climbing} *)
+
+let rec expr st = or_expr st
+
+and or_expr st =
+  let left = and_expr st in
+  if accept st Lexer.Oror then
+    let right = or_expr st in
+    { Ast.desc = Ast.Binop (Ast.Or, left, right); eline = left.Ast.eline }
+  else left
+
+and and_expr st =
+  let left = cmp_expr st in
+  if accept st Lexer.Andand then
+    let right = and_expr st in
+    { Ast.desc = Ast.Binop (Ast.And, left, right); eline = left.Ast.eline }
+  else left
+
+and cmp_expr st =
+  let left = add_expr st in
+  if accept st Lexer.Less then
+    let right = add_expr st in
+    { Ast.desc = Ast.Binop (Ast.Lt, left, right); eline = left.Ast.eline }
+  else if accept st Lexer.Eqeq then
+    let right = add_expr st in
+    { Ast.desc = Ast.Binop (Ast.Eq, left, right); eline = left.Ast.eline }
+  else left
+
+and add_expr st =
+  let rec loop left =
+    if accept st Lexer.Plus then
+      let right = mul_expr st in
+      loop { Ast.desc = Ast.Binop (Ast.Add, left, right); eline = left.Ast.eline }
+    else if accept st Lexer.Minus then
+      let right = mul_expr st in
+      loop { Ast.desc = Ast.Binop (Ast.Sub, left, right); eline = left.Ast.eline }
+    else left
+  in
+  loop (mul_expr st)
+
+and mul_expr st =
+  let rec loop left =
+    if accept st Lexer.Star then
+      let right = unary st in
+      loop { Ast.desc = Ast.Binop (Ast.Mul, left, right); eline = left.Ast.eline }
+    else left
+  in
+  loop (unary st)
+
+and unary st =
+  let tok = peek st in
+  if accept st Lexer.Knot then
+    let inner = unary st in
+    { Ast.desc = Ast.Not inner; eline = tok.line }
+  else atom st
+
+and atom st =
+  let tok = peek st in
+  match tok.token with
+  | Lexer.Number n ->
+    advance st;
+    { Ast.desc = Ast.Int n; eline = tok.line }
+  | Lexer.Ktrue ->
+    advance st;
+    { Ast.desc = Ast.Bool true; eline = tok.line }
+  | Lexer.Kfalse ->
+    advance st;
+    { Ast.desc = Ast.Bool false; eline = tok.line }
+  | Lexer.Ident x ->
+    advance st;
+    if accept st Lexer.Lparen then begin
+      let rec args acc =
+        if accept st Lexer.Rparen then List.rev acc
+        else begin
+          let a = expr st in
+          if accept st Lexer.Comma then args (a :: acc)
+          else begin
+            expect st Lexer.Rparen;
+            List.rev (a :: acc)
+          end
+        end
+      in
+      { Ast.desc = Ast.Call (x, args []); eline = tok.line }
+    end
+    else { Ast.desc = Ast.Var x; eline = tok.line }
+  | Lexer.Lparen ->
+    advance st;
+    let e = expr st in
+    expect st Lexer.Rparen;
+    e
+  | other -> fail_at tok "expected an expression, found %a" Lexer.pp_token other
+
+(* {2 Statements and blocks} *)
+
+let typ st =
+  let t = peek st in
+  match t.token with
+  | Lexer.Kint ->
+    advance st;
+    Ast.Tint
+  | Lexer.Kbool ->
+    advance st;
+    Ast.Tbool
+  | other -> fail_at t "expected int or bool, found %a" Lexer.pp_token other
+
+let rec stmt st =
+  let tok = peek st in
+  match tok.token with
+  | Lexer.Kdecl ->
+    advance st;
+    let x = ident st in
+    expect st Lexer.Colon;
+    let ty = typ st in
+    { Ast.sdesc = Ast.Decl (x, ty); sline = tok.line }
+  | Lexer.Kprint ->
+    advance st;
+    let e = expr st in
+    { Ast.sdesc = Ast.Print e; sline = tok.line }
+  | Lexer.Kbegin ->
+    let b = block st in
+    { Ast.sdesc = Ast.Block b; sline = tok.line }
+  | Lexer.Kif ->
+    advance st;
+    let c = expr st in
+    expect st (Lexer.Kthen);
+    let th = block st in
+    let el =
+      if accept st Lexer.Kelse then Some (block st) else None
+    in
+    { Ast.sdesc = Ast.If (c, th, el); sline = tok.line }
+  | Lexer.Kwhile ->
+    advance st;
+    let c = expr st in
+    expect st Lexer.Kdo;
+    let body = block st in
+    { Ast.sdesc = Ast.While (c, body); sline = tok.line }
+  | Lexer.Kproc ->
+    advance st;
+    let name = ident st in
+    expect st Lexer.Lparen;
+    let rec params acc =
+      if accept st Lexer.Rparen then List.rev acc
+      else begin
+        let x = ident st in
+        expect st Lexer.Colon;
+        let ty = typ st in
+        if accept st Lexer.Comma then params ((x, ty) :: acc)
+        else begin
+          expect st Lexer.Rparen;
+          List.rev ((x, ty) :: acc)
+        end
+      end
+    in
+    let params = params [] in
+    expect st Lexer.Colon;
+    let ret = typ st in
+    let body = block st in
+    { Ast.sdesc = Ast.Proc (name, params, ret, body); sline = tok.line }
+  | Lexer.Kreturn ->
+    advance st;
+    let e = expr st in
+    { Ast.sdesc = Ast.Return e; sline = tok.line }
+  | Lexer.Ident x ->
+    advance st;
+    expect st Lexer.Assign;
+    let e = expr st in
+    { Ast.sdesc = Ast.Assign (x, e); sline = tok.line }
+  | other -> fail_at tok "expected a statement, found %a" Lexer.pp_token other
+
+and block st =
+  expect st Lexer.Kbegin;
+  let knows =
+    if accept st Lexer.Kknows then begin
+      let rec idents acc =
+        match (peek st).token with
+        | Lexer.Ident x ->
+          advance st;
+          if accept st Lexer.Comma then idents (acc @ [ x ]) else acc @ [ x ]
+        | _ -> acc
+      in
+      Some (idents [])
+    end
+    else None
+  in
+  let rec stmts acc =
+    match (peek st).token with
+    | Lexer.Kend ->
+      advance st;
+      acc
+    | Lexer.Semi ->
+      advance st;
+      stmts acc
+    | _ ->
+      let s = stmt st in
+      let acc = acc @ [ s ] in
+      if accept st Lexer.Semi then stmts acc
+      else begin
+        expect st Lexer.Kend;
+        acc
+      end
+  in
+  { Ast.knows; stmts = stmts [] }
+
+let parse input =
+  match Lexer.tokenize input with
+  | Error { Lexer.line; col; message } -> Error { line; col; message }
+  | Ok tokens -> (
+    let st = { tokens = Array.of_list tokens; pos = 0 } in
+    try
+      let b = block st in
+      expect st Lexer.Eof;
+      Ok b
+    with Fail e -> Error e)
+
+let parse_exn input =
+  match parse input with
+  | Ok p -> p
+  | Error e -> failwith (Fmt.str "%a" pp_error e)

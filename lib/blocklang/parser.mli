@@ -1,0 +1,33 @@
+(** Recursive-descent parser for the block-structured language.
+
+    {v
+    begin
+      decl x : int;
+      x := 1 + 2;
+      begin
+        decl x : int;        -- shadows the outer x
+        x := 3;
+        print x
+      end;
+      print x
+    end
+    v}
+
+    Control flow takes block bodies:
+    [if x < 3 then begin ... end else begin ... end] and
+    [while x < 3 do begin ... end] — so each branch and each loop
+    iteration opens its own scope.
+
+    The knows-list variant opens inner blocks with
+    [begin knows x, y ... end]; such blocks see only the listed nonlocal
+    identifiers (plus their own declarations). [--] starts a line
+    comment. *)
+
+type error = { line : int; col : int; message : string }
+
+val pp_error : error Fmt.t
+
+val parse : string -> (Ast.program, error) result
+
+val parse_exn : string -> Ast.program
+(** Raises [Failure] with a rendered error. *)

@@ -1,0 +1,51 @@
+open Adt
+open Adt_specs
+
+type t = { interp : Interp.t; state : Term.t }
+
+let backend_name = "algebraic"
+let supports_knows = false
+
+let create ~ids =
+  let atoms = if ids = [] then [ "_none" ] else ids in
+  let identifier = Identifier.spec_with_atoms atoms in
+  let spec = Symboltable_spec.make ~identifier in
+  let interp = Interp.create spec in
+  { interp; state = Interp.apply interp "INIT" [] }
+
+let id_term t name =
+  Term.const (Spec.find_op_exn ("ID_" ^ name) (Interp.spec t.interp))
+
+let enterblock ?knows t =
+  match knows with
+  | Some _ -> invalid_arg "Symtab_algebraic: knows lists are not supported"
+  | None -> { t with state = Interp.apply t.interp "ENTERBLOCK" [ t.state ] }
+
+let eval_to_state t term =
+  match Interp.eval t.interp term with
+  | Interp.Value v -> Some { t with state = v }
+  | Interp.Error_value _ | Interp.Stuck _ | Interp.Diverged -> None
+
+let leaveblock t =
+  eval_to_state t (Interp.apply t.interp "LEAVEBLOCK" [ t.state ])
+
+let add t id attrs =
+  { t with state = Interp.apply t.interp "ADD" [ t.state; id_term t id; attrs ] }
+
+let is_inblock t id =
+  match
+    Interp.eval_bool t.interp
+      (Interp.apply t.interp "IS_INBLOCK?" [ t.state; id_term t id ])
+  with
+  | Some b -> b
+  | None -> false
+
+let retrieve t id =
+  match
+    Interp.eval t.interp
+      (Interp.apply t.interp "RETRIEVE" [ t.state; id_term t id ])
+  with
+  | Interp.Value attrs -> Some attrs
+  | Interp.Error_value _ | Interp.Stuck _ | Interp.Diverged -> None
+
+let term t = t.state

@@ -1,0 +1,17 @@
+(** The algebraic symbol-table backend: no data structure at all.
+
+    Section 5 of the paper: "In the absence of an implementation, the
+    operations of the algebra may be interpreted symbolically. Thus, except
+    for a significant loss in efficiency, the lack of an implementation can
+    be made completely transparent to the user."
+
+    The state is a ground term of sort Symboltable; every operation builds
+    the corresponding application and the answers ([IS_INBLOCK?],
+    [RETRIEVE]) are obtained by normalizing with the axioms. [create]
+    instantiates {!Adt_specs.Symboltable_spec.make} over an identifier-atom
+    universe derived from the program's identifiers. *)
+
+include Symtab_intf.SYMTAB
+
+val term : t -> Adt.Term.t
+(** The current symbolic symbol-table value (constructor normal form). *)

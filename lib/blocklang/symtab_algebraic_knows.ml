@@ -1,0 +1,60 @@
+open Adt
+open Adt_specs
+
+type t = { interp : Interp.t; all_ids : string list; state : Term.t }
+
+let backend_name = "algebraic-knows"
+let supports_knows = true
+
+let create ~ids =
+  let atoms = if ids = [] then [ "_none" ] else ids in
+  let identifier = Identifier.spec_with_atoms atoms in
+  let knowlist = Knowlist_spec.make ~identifier in
+  let spec = Symboltable_knows_spec.make ~identifier ~knowlist in
+  let interp = Interp.create spec in
+  { interp; all_ids = atoms; state = Interp.apply interp "INIT" [] }
+
+let id_term t name =
+  Term.const (Spec.find_op_exn ("ID_" ^ name) (Interp.spec t.interp))
+
+let knowlist_term t ids =
+  List.fold_left
+    (fun acc id -> Interp.apply t.interp "APPEND" [ acc; id_term t id ])
+    (Interp.apply t.interp "CREATE" [])
+    ids
+
+let enterblock ?knows t =
+  let ids = match knows with Some ids -> ids | None -> t.all_ids in
+  {
+    t with
+    state = Interp.apply t.interp "ENTERBLOCK" [ t.state; knowlist_term t ids ];
+  }
+
+let eval_to_state t term =
+  match Interp.eval t.interp term with
+  | Interp.Value v -> Some { t with state = v }
+  | Interp.Error_value _ | Interp.Stuck _ | Interp.Diverged -> None
+
+let leaveblock t =
+  eval_to_state t (Interp.apply t.interp "LEAVEBLOCK" [ t.state ])
+
+let add t id attrs =
+  { t with state = Interp.apply t.interp "ADD" [ t.state; id_term t id; attrs ] }
+
+let is_inblock t id =
+  match
+    Interp.eval_bool t.interp
+      (Interp.apply t.interp "IS_INBLOCK?" [ t.state; id_term t id ])
+  with
+  | Some b -> b
+  | None -> false
+
+let retrieve t id =
+  match
+    Interp.eval t.interp
+      (Interp.apply t.interp "RETRIEVE" [ t.state; id_term t id ])
+  with
+  | Interp.Value attrs -> Some attrs
+  | Interp.Error_value _ | Interp.Stuck _ | Interp.Diverged -> None
+
+let term t = t.state

@@ -1,0 +1,9 @@
+(** The algebraic backend for the knows-list language variant, interpreting
+    {!Adt_specs.Symboltable_knows_spec} symbolically. A plain block (no
+    knows list) is entered with a knows list naming every program
+    identifier, which makes it inherit everything — so this backend also
+    runs plain programs, with verdicts identical to the other backends. *)
+
+include Symtab_intf.SYMTAB
+
+val term : t -> Adt.Term.t

@@ -1,0 +1,38 @@
+(** The abstract symbol-table interface the checker is written against.
+
+    This module boundary is the paper's thesis made code: the semantic
+    analyser (see {!Checker}) uses exactly the six operations the paper
+    specifies — INIT, ENTERBLOCK, LEAVEBLOCK, ADD, IS_INBLOCK?, RETRIEVE —
+    and nothing else, so any implementation satisfying the algebraic
+    specification can be substituted ("forced to write and test his module
+    with only that information available to him", section 5). Attribute
+    values travel as terms of sort [Attributelist].
+
+    Experiment E8 runs the same checker over {!Symtab_direct} and
+    {!Symtab_algebraic} and observes identical verdicts. *)
+
+module type SYMTAB = sig
+  type t
+
+  val backend_name : string
+
+  val supports_knows : bool
+  (** Whether [enterblock] honours knows lists (the section-4 language
+      variant). The checker refuses knows-list programs on a backend
+      without support rather than silently mis-scoping. *)
+
+  val create : ids:string list -> t
+  (** The INIT operation. [ids] lists every identifier of the program
+      being compiled — the algebraic backend builds its identifier-atom
+      universe from it; direct backends may ignore it. *)
+
+  val enterblock : ?knows:string list -> t -> t
+
+  val leaveblock : t -> t option
+  (** [None] when there is no enclosing scope — the paper's mismatched
+      "end". *)
+
+  val add : t -> string -> Adt.Term.t -> t
+  val is_inblock : t -> string -> bool
+  val retrieve : t -> string -> Adt.Term.t option
+end

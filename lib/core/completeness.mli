@@ -1,0 +1,62 @@
+(** Sufficient-completeness checking.
+
+    Guttag's central methodological device (section 3; the technical notion
+    is developed in his thesis, cited as [8, 9]): a specification is
+    {e sufficiently complete} when the axioms determine the value of every
+    observer applied to every value of the type — equivalently, when every
+    ground term of an "old" sort reduces to a term without the new type's
+    operations. Incompleteness in practice means an overlooked case, most
+    often a boundary condition such as [REMOVE(NEW)].
+
+    The checker performs a constructor case analysis: for each
+    non-constructor operation it starts from the fully general application
+    [f(x1, ..., xn)] and repeatedly splits variables into constructor cases
+    at positions where some axiom discriminates, classifying each resulting
+    pattern as covered (some axiom's left-hand side subsumes it) or missing.
+    The analysis terminates because splitting is bounded by the constructor
+    depth of the axioms' left-hand sides. *)
+
+type case = {
+  pattern : Term.t;  (** The analysed left-hand-side shape. *)
+  covered_by : string list;
+      (** Names (or rendered equations when unnamed) of the axioms that
+          subsume the pattern; empty means the case is missing. *)
+}
+
+type op_report = {
+  op : Op.t;
+  cases : case list;  (** Leaf cases of the analysis, in split order. *)
+  unconstrained : bool;
+      (** True when the operation has no axioms and no argument position
+          can be split (a parameter operation such as [SAME?] on an
+          abstract [Identifier]); such operations are not counted as
+          incomplete. *)
+}
+
+type report = {
+  spec_name : string;
+  op_reports : op_report list;
+  overlaps : (Term.t * string list) list;
+      (** Common instances of same-operation axiom pairs whose left-hand
+          sides unify (reported with the two axiom labels). *)
+}
+
+val check : Spec.t -> report
+(** Analyses every observer of the specification. *)
+
+val check_op : Spec.t -> Op.t -> op_report
+
+val is_complete : report -> bool
+(** No missing case in any operation report. *)
+
+val missing : report -> Term.t list
+(** All missing left-hand-side patterns. *)
+
+val overlapping : report -> (Term.t * string list) list
+(** Consistency hazards the checker surfaces alongside completeness:
+    unifiable same-operation axiom pairs (from [report.overlaps]) and case
+    patterns subsumed by more than one axiom. Settled definitively by
+    {!Consistency}'s critical pairs. *)
+
+val pp_report : report Fmt.t
+val pp_op_report : op_report Fmt.t

@@ -1,0 +1,196 @@
+type cp = {
+  rule1 : string;
+  rule2 : string;
+  position : Term.position;
+  peak : Term.t;
+  left : Term.t;
+  right : Term.t;
+}
+
+type verdict = Joinable of Term.t | Diverges of Term.t * Term.t | Timeout
+
+type report = {
+  spec_name : string;
+  pairs : (cp * verdict) list;
+  orientable : bool;
+}
+
+let label i (r : Rewrite.rule) =
+  if String.equal r.Rewrite.rule_name "" then Fmt.str "#%d" i
+  else r.Rewrite.rule_name
+
+(* Positions of proper (non-root when same rule) non-variable,
+   application-headed subterms of a term. *)
+let app_positions term =
+  List.filter
+    (fun p ->
+      match Term.subterm_at term p with
+      | Some (Term.App _) -> true
+      | _ -> false)
+    (Term.positions term)
+
+let overlap ~(inner : Rewrite.rule) ~(outer : Rewrite.rule) ~pos =
+  match Term.subterm_at outer.Rewrite.lhs pos with
+  | Some (Term.App _ as sub) -> (
+    match Subst.unify sub inner.Rewrite.lhs with
+    | None -> None
+    | Some sigma ->
+      let peak = Subst.apply sigma outer.Rewrite.lhs in
+      let left = Subst.apply sigma outer.Rewrite.rhs in
+      let right =
+        match
+          Term.replace_at outer.Rewrite.lhs pos inner.Rewrite.rhs
+        with
+        | Some patched -> Subst.apply sigma patched
+        | None -> assert false
+      in
+      Some (peak, left, right))
+  | _ -> None
+
+let critical_pairs rules =
+  let indexed = List.mapi (fun i r -> (i, r)) rules in
+  List.concat_map
+    (fun (i, outer) ->
+      let outer_label = label i outer in
+      List.concat_map
+        (fun (j, inner0) ->
+          (* rename the inner rule's variables apart; primes are legal in
+             identifiers, so keep extending the suffix until it is fresh
+             with respect to the outer rule *)
+          let outer_names = List.map fst (Term.vars outer.Rewrite.lhs) in
+          let clashes suffix =
+            List.exists
+              (fun (x, _) -> List.mem (x ^ suffix) outer_names)
+              (Term.vars inner0.Rewrite.lhs)
+          in
+          let rec fresh_suffix suffix =
+            if clashes suffix then fresh_suffix (suffix ^ "'") else suffix
+          in
+          let suffix = fresh_suffix "'" in
+          let inner = Rewrite.rule ~name:inner0.Rewrite.rule_name
+              ~lhs:(Term.rename (fun x -> x ^ suffix) inner0.Rewrite.lhs)
+              ~rhs:(Term.rename (fun x -> x ^ suffix) inner0.Rewrite.rhs)
+              ()
+          in
+          let positions =
+            List.filter
+              (fun p ->
+                (* skip the root overlap of a rule with itself, and take
+                   root overlaps of distinct rules once (i < j) *)
+                match p with
+                | [] -> i < j
+                | _ -> true)
+              (app_positions outer.Rewrite.lhs)
+          in
+          List.filter_map
+            (fun pos ->
+              match overlap ~inner ~outer ~pos with
+              | None -> None
+              | Some (peak, left, right) ->
+                Some
+                  {
+                    rule1 = outer_label;
+                    rule2 = label j inner0;
+                    position = pos;
+                    peak;
+                    left;
+                    right;
+                  })
+            positions)
+        indexed)
+    indexed
+
+let decide ?fuel sys cp =
+  match
+    ( Rewrite.normalize_opt ?fuel sys cp.left,
+      Rewrite.normalize_opt ?fuel sys cp.right )
+  with
+  | Some a, Some b -> if Term.equal a b then Joinable a else Diverges (a, b)
+  | _ -> Timeout
+
+let check ?fuel spec =
+  let sys = Rewrite.of_spec spec in
+  let pairs =
+    List.map (fun cp -> (cp, decide ?fuel sys cp)) (critical_pairs (Rewrite.rules sys))
+  in
+  let orientable =
+    match Ordering.orients_all (Ordering.dependency spec) (Spec.axioms spec) with
+    | Ok () -> true
+    | Error _ -> false
+  in
+  { spec_name = Spec.name spec; pairs; orientable }
+
+let locally_confluent report =
+  List.for_all (fun (_, v) -> match v with Joinable _ -> true | _ -> false)
+    report.pairs
+
+(* Distinct constructor normal forms denote distinct values in the initial
+   algebra, so such a divergence is a genuine contradiction; [error] against
+   a constructor term likewise (the error algebra keeps error distinct from
+   every proper value). *)
+let inconsistencies spec report =
+  let value t = Spec.is_constructor_term spec t || Term.is_error t in
+  List.filter_map
+    (fun (cp, v) ->
+      match v with
+      | Diverges (a, b) when value a && value b -> Some (cp, a, b)
+      | _ -> None)
+    report.pairs
+
+let is_consistent spec report = inconsistencies spec report = []
+
+let pp_verdict ppf = function
+  | Joinable t -> Fmt.pf ppf "joinable at %a" Term.pp t
+  | Diverges (a, b) -> Fmt.pf ppf "DIVERGES: %a vs %a" Term.pp a Term.pp b
+  | Timeout -> Fmt.string ppf "timeout"
+
+let pp_pair ppf (cp, v) =
+  Fmt.pf ppf "@[<v 2>overlap of %s into %s at %a:@,peak  %a@,left  %a@,right %a@,%a@]"
+    cp.rule2 cp.rule1
+    Fmt.(brackets (list ~sep:comma int))
+    cp.position Term.pp cp.peak Term.pp cp.left Term.pp cp.right pp_verdict v
+
+let ground_strategy_agreement ?fuel universe ~size =
+  let spec = Enum.spec universe in
+  let sys = Rewrite.of_spec spec in
+  let exception Disagree of Term.t in
+  let check_term t =
+    match
+      ( Rewrite.normalize_opt ?fuel ~strategy:Rewrite.Innermost sys t,
+        Rewrite.normalize_opt ?fuel ~strategy:Rewrite.Outermost sys t )
+    with
+    | Some a, Some b when Term.equal a b -> ()
+    | Some _, Some _ -> raise (Disagree t)
+    | _ -> () (* fuel ran out on one side: no verdict *)
+  in
+  let checked = ref 0 in
+  try
+    List.iter
+      (fun op ->
+        let arg_choices =
+          List.map (fun s -> Enum.terms_up_to universe s ~size) (Op.args op)
+        in
+        let rec product acc = function
+          | [] ->
+            incr checked;
+            check_term (Term.app op (List.rev acc))
+          | choices :: rest ->
+            List.iter (fun c -> product (c :: acc) rest) choices
+        in
+        if List.for_all (fun c -> c <> []) arg_choices then
+          product [] arg_choices)
+      (Spec.observers spec);
+    Ok !checked
+  with Disagree t -> Error t
+
+let pp_report ppf r =
+  match r.pairs with
+  | [] ->
+    Fmt.pf ppf
+      "@[<v>spec %s: no critical pairs (orthogonal system)%s@]" r.spec_name
+      (if r.orientable then "; terminating under dependency LPO" else "")
+  | pairs ->
+    Fmt.pf ppf "@[<v>spec %s: %d critical pair(s)@,%a@]" r.spec_name
+      (List.length pairs)
+      Fmt.(list ~sep:cut pp_pair)
+      pairs

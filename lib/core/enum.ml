@@ -1,0 +1,124 @@
+type key = { sort : Sort.t; size : int }
+
+module Cache = Hashtbl.Make (struct
+  type t = key
+
+  let equal a b = Sort.equal a.sort b.sort && a.size = b.size
+  let hash k = Hashtbl.hash (Sort.name k.sort, k.size)
+end)
+
+type universe = {
+  spec : Spec.t;
+  atoms : Sort.t -> Term.t list;
+  cache : Term.t list Cache.t;
+}
+
+let universe ?(atoms = fun _ -> []) spec =
+  { spec; atoms; cache = Cache.create 64 }
+
+let spec u = u.spec
+
+let leaves u sort =
+  let constants =
+    List.filter Op.is_constant (Spec.constructors_of_sort sort u.spec)
+  in
+  List.map Term.const constants @ u.atoms sort
+
+(* All ways to split [total] into [n] positive parts. *)
+let rec splits total n =
+  if n = 0 then if total = 0 then [ [] ] else []
+  else if total < n then []
+  else
+    List.concat_map
+      (fun first ->
+        List.map (fun rest -> first :: rest) (splits (total - first) (n - 1)))
+      (List.init (total - n + 1) (fun i -> i + 1))
+
+let rec cartesian = function
+  | [] -> [ [] ]
+  | choices :: rest ->
+    let tails = cartesian rest in
+    List.concat_map (fun c -> List.map (fun t -> c :: t) tails) choices
+
+let rec terms_exactly u sort ~size =
+  if size <= 0 then []
+  else
+    let k = { sort; size } in
+    match Cache.find_opt u.cache k with
+    | Some ts -> ts
+    | None ->
+      let result =
+        if size = 1 then leaves u sort
+        else
+          let compound =
+            List.filter
+              (fun op -> not (Op.is_constant op))
+              (Spec.constructors_of_sort sort u.spec)
+          in
+          List.concat_map
+            (fun op ->
+              let arg_sorts = Op.args op in
+              let n = List.length arg_sorts in
+              List.concat_map
+                (fun split ->
+                  let choices =
+                    List.map2
+                      (fun s sz -> terms_exactly u s ~size:sz)
+                      arg_sorts split
+                  in
+                  List.map (Term.app op) (cartesian choices))
+                (splits (size - 1) n))
+            compound
+      in
+      Cache.add u.cache k result;
+      result
+
+let terms_up_to u sort ~size =
+  List.concat (List.init (max size 0) (fun i -> terms_exactly u sort ~size:(i + 1)))
+
+let count_up_to u sort ~size = List.length (terms_up_to u sort ~size)
+
+let substitutions_up_to u vars ~size =
+  let choices =
+    List.map (fun (x, s) -> List.map (fun t -> (x, t)) (terms_up_to u s ~size)) vars
+  in
+  List.filter_map Subst.of_bindings (cartesian choices)
+
+let pick state = function
+  | [] -> None
+  | xs -> Some (List.nth xs (Random.State.int state (List.length xs)))
+
+let rec random_term u sort ~size state =
+  let leaf () = pick state (leaves u sort) in
+  if size <= 1 then leaf ()
+  else
+    let compound =
+      List.filter
+        (fun op -> not (Op.is_constant op))
+        (Spec.constructors_of_sort sort u.spec)
+    in
+    match pick state compound with
+    | None -> leaf ()
+    | Some op ->
+      let arg_sorts = Op.args op in
+      let n = List.length arg_sorts in
+      let budget = max 1 ((size - 1) / max n 1) in
+      let args =
+        List.map (fun s -> random_term u s ~size:budget state) arg_sorts
+      in
+      if List.for_all Option.is_some args then
+        Some (Term.app op (List.map Option.get args))
+      else leaf ()
+
+let random_substitution u vars ~size state =
+  let bindings =
+    List.map
+      (fun (x, s) ->
+        match random_term u s ~size state with
+        | Some t -> Some (x, t)
+        | None -> None)
+      vars
+  in
+  if List.for_all Option.is_some bindings then
+    Subst.of_bindings (List.map Option.get bindings)
+  else None

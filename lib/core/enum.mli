@@ -1,0 +1,51 @@
+(** Ground constructor-term enumeration and random generation.
+
+    The values of an abstract type are the ground terms over its
+    constructors (the "generators" of the algebra). Bounded-exhaustive
+    enumeration of those terms powers the model checker (verifying that an
+    implementation satisfies every axiom over all small values, the finite
+    approximation of the paper's generator induction) and the property-based
+    tests.
+
+    Sorts with no constructors in the specification (parameter sorts such as
+    [Item] or [Identifier]) draw their values from a caller-supplied [atoms]
+    function. *)
+
+type universe
+
+val universe : ?atoms:(Sort.t -> Term.t list) -> Spec.t -> universe
+(** [atoms] defaults to producing no terms. Atom terms must be ground and
+    count as size 1 regardless of their real size. *)
+
+val spec : universe -> Spec.t
+
+val leaves : universe -> Sort.t -> Term.t list
+(** Constant constructors of the sort followed by its atoms. *)
+
+val terms_exactly : universe -> Sort.t -> size:int -> Term.t list
+(** All ground constructor terms of exactly the given size (number of
+    constructor nodes, atoms counting 1). Results are memoized in the
+    universe. *)
+
+val terms_up_to : universe -> Sort.t -> size:int -> Term.t list
+(** All ground constructor terms of size 1..n, in increasing size order. *)
+
+val count_up_to : universe -> Sort.t -> size:int -> int
+
+val substitutions_up_to :
+  universe -> (string * Sort.t) list -> size:int -> Subst.t list
+(** Every substitution mapping each listed variable to a ground constructor
+    term of size at most [size]. The list is the cartesian product; callers
+    should keep variable counts and sizes small. *)
+
+val random_term :
+  universe -> Sort.t -> size:int -> Random.State.t -> Term.t option
+(** A random ground constructor term of size roughly bounded by [size];
+    [None] when the sort has no generators at all. *)
+
+val random_substitution :
+  universe ->
+  (string * Sort.t) list ->
+  size:int ->
+  Random.State.t ->
+  Subst.t option

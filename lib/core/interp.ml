@@ -1,0 +1,81 @@
+type t = {
+  spec : Spec.t;
+  system : Rewrite.system;
+  fuel : int;
+  memo : Rewrite.Memo.t option;
+}
+
+let create ?(fuel = Rewrite.default_fuel) ?(memo = false) spec =
+  {
+    spec;
+    system = Rewrite.of_spec spec;
+    fuel;
+    memo = (if memo then Some (Rewrite.Memo.create ()) else None);
+  }
+
+let normalize_opt t term =
+  match t.memo with
+  | None -> Rewrite.normalize_opt ~fuel:t.fuel t.system term
+  | Some memo -> (
+    match Rewrite.normalize_memo ~fuel:t.fuel ~memo t.system term with
+    | nf -> Some nf
+    | exception Rewrite.Out_of_fuel _ -> None)
+
+let spec t = t.spec
+let system t = t.system
+
+type value =
+  | Value of Term.t
+  | Error_value of Sort.t
+  | Stuck of Term.t
+  | Diverged
+
+let classify spec term =
+  match term with
+  | Term.Err s -> Error_value s
+  | _ ->
+    if Spec.is_constructor_ground_term spec term then Value term
+    else Stuck term
+
+let eval t term =
+  if not (Term.is_ground term) then
+    invalid_arg
+      (Fmt.str "Interp.eval: term %a has free variables" Term.pp term);
+  match normalize_opt t term with
+  | None -> Diverged
+  | Some nf -> classify t.spec nf
+
+let eval_bool t term =
+  match eval t term with
+  | Value v when Term.equal v Term.tt -> Some true
+  | Value v when Term.equal v Term.ff -> Some false
+  | _ -> None
+
+let apply t name args =
+  let op = Spec.find_op_exn name t.spec in
+  Term.app op args
+
+let call t name args = eval t (apply t name args)
+
+let reduce t term =
+  match t.memo with
+  | None -> Rewrite.normalize ~fuel:t.fuel t.system term
+  | Some memo -> Rewrite.normalize_memo ~fuel:t.fuel ~memo t.system term
+
+let memo_stats t =
+  Option.map
+    (fun m -> (Rewrite.Memo.hits m, Rewrite.Memo.misses m, Rewrite.Memo.size m))
+    t.memo
+
+let steps t term =
+  let _, n = Rewrite.normalize_count ~fuel:t.fuel t.system term in
+  n
+
+let trace ?max_events t term =
+  Rewrite.trace ~fuel:t.fuel ?max_events t.system term
+
+let pp_value ppf = function
+  | Value v -> Term.pp ppf v
+  | Error_value s -> Fmt.pf ppf "error : %a" Sort.pp s
+  | Stuck t -> Fmt.pf ppf "stuck at %a" Term.pp t
+  | Diverged -> Fmt.string ppf "diverged (out of fuel)"

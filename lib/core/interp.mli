@@ -1,0 +1,58 @@
+(** The symbolic interpreter.
+
+    Section 5 of the paper: "In the absence of an implementation, the
+    operations of the algebra may be interpreted symbolically. Thus, except
+    for a significant loss in efficiency, the lack of an implementation can
+    be made completely transparent to the user."
+
+    An interpreter session wraps a specification's rewrite system and
+    evaluates ground terms to values: constructor normal forms, [error], or
+    — when the axioms are not sufficiently complete — a stuck term, which
+    the interpreter reports rather than mis-evaluating. Benchmark E1
+    measures this module against the direct implementations to quantify the
+    "significant loss". *)
+
+type t
+
+val create : ?fuel:int -> ?memo:bool -> Spec.t -> t
+(** [memo] (default false) caches the normal form of every application
+    node the session ever normalizes — profitable when a workload
+    revisits the same values (see the E1 ablation in the benchmarks). *)
+
+val spec : t -> Spec.t
+val system : t -> Rewrite.system
+
+val memo_stats : t -> (int * int * int) option
+(** [(hits, misses, entries)] when created with [~memo:true]. *)
+
+type value =
+  | Value of Term.t  (** A constructor normal form. *)
+  | Error_value of Sort.t
+  | Stuck of Term.t  (** Normal form containing non-constructor operations:
+                         evidence of insufficient completeness. *)
+  | Diverged  (** Fuel exhausted. *)
+
+val eval : t -> Term.t -> value
+(** Evaluates a ground term (leftmost-innermost). Raises
+    [Invalid_argument] on terms with free variables. *)
+
+val eval_bool : t -> Term.t -> bool option
+(** [Some b] when evaluation yields the Boolean constant [b]. *)
+
+val apply : t -> string -> Term.t list -> Term.t
+(** [apply t name args] builds the checked application of the named
+    operation — the interpreter's "call" syntax. Raises [Not_found] for
+    unknown operations and [Term.Ill_sorted] on argument mismatch. *)
+
+val call : t -> string -> Term.t list -> value
+(** [apply] then [eval]. *)
+
+val reduce : t -> Term.t -> Term.t
+(** Normalization without classification (also accepts open terms). *)
+
+val steps : t -> Term.t -> int
+(** Number of rule applications needed to normalize the term. *)
+
+val trace : ?max_events:int -> t -> Term.t -> Term.t * Rewrite.event list
+
+val pp_value : value Fmt.t

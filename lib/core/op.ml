@@ -1,0 +1,38 @@
+type t = { name : string; args : Sort.t list; result : Sort.t }
+
+let v name ~args ~result =
+  if String.equal name "" then invalid_arg "Op.v: empty operation name";
+  { name; args; result }
+
+let name op = op.name
+let args op = op.args
+let result op = op.result
+let arity op = List.length op.args
+let is_constant op = op.args = []
+
+let compare a b =
+  let c = String.compare a.name b.name in
+  if c <> 0 then c
+  else
+    let c = List.compare Sort.compare a.args b.args in
+    if c <> 0 then c else Sort.compare a.result b.result
+
+let equal a b = compare a b = 0
+let pp ppf op = Fmt.string ppf op.name
+
+let pp_decl ppf op =
+  match op.args with
+  | [] -> Fmt.pf ppf "%s : -> %a" op.name Sort.pp op.result
+  | args ->
+    Fmt.pf ppf "%s : %a -> %a" op.name
+      Fmt.(list ~sep:(any " ") Sort.pp)
+      args Sort.pp op.result
+
+module Ordered = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Map = Map.Make (Ordered)
+module Set = Set.Make (Ordered)

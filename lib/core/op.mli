@@ -1,0 +1,33 @@
+(** Operation symbols of a many-sorted signature.
+
+    An operation is the syntactic part of Guttag's specification: a name, a
+    domain (list of argument sorts) and a range (result sort). For example
+    [ADD : Queue x Item -> Queue] is [v "ADD" ~args:[queue; item] ~result:queue].
+    Nullary operations ([NEW : -> Queue]) are the constants of the algebra. *)
+
+type t
+
+val v : string -> args:Sort.t list -> result:Sort.t -> t
+(** Raises [Invalid_argument] on an empty name. *)
+
+val name : t -> string
+val args : t -> Sort.t list
+val result : t -> Sort.t
+
+val arity : t -> int
+val is_constant : t -> bool
+
+val equal : t -> t -> bool
+(** Structural equality: same name, same domain, same range. *)
+
+val compare : t -> t -> int
+
+val pp : t Fmt.t
+(** Prints the name only, e.g. [ADD]. *)
+
+val pp_decl : t Fmt.t
+(** Prints the full syntactic declaration, e.g.
+    [ADD : Queue Item -> Queue]. *)
+
+module Map : Map.S with type key = t
+module Set : Set.S with type elt = t

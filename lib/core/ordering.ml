@@ -1,0 +1,122 @@
+type precedence = Op.t -> Op.t -> int
+
+let of_ranks ~rank a b =
+  let c = Int.compare (rank a) (rank b) in
+  if c <> 0 then c
+  else
+    let c = String.compare (Op.name a) (Op.name b) in
+    if c <> 0 then c else Op.compare a b
+
+let of_list names =
+  let position op =
+    let rec find i = function
+      | [] -> -1
+      | n :: rest -> if String.equal n (Op.name op) then i else find (i + 1) rest
+    in
+    find 0 names
+  in
+  let rank op =
+    let p = position op in
+    if p < 0 then 0 else List.length names - p
+  in
+  of_ranks ~rank
+
+let dependency spec =
+  let ops = Signature.ops (Spec.signature spec) in
+  let n = List.length ops in
+  let tbl : (string, int) Hashtbl.t = Hashtbl.create 32 in
+  let base op = if Spec.is_constructor op spec then 0 else 1 in
+  List.iter (fun op -> Hashtbl.replace tbl (Op.name op) (base op)) ops;
+  let rank name = Option.value ~default:0 (Hashtbl.find_opt tbl name) in
+  let deps =
+    List.map
+      (fun ax ->
+        let hd = Op.name (Axiom.head ax) in
+        let called =
+          Op.Set.elements (Term.ops (Axiom.rhs ax))
+          |> List.map Op.name
+          |> List.filter (fun g -> not (String.equal g hd))
+        in
+        (hd, called))
+      (Spec.axioms spec)
+  in
+  let cap = n + 1 in
+  for _ = 1 to n + 1 do
+    List.iter
+      (fun (f, called) ->
+        List.iter
+          (fun g ->
+            let wanted = min cap (1 + rank g) in
+            if wanted > rank f then Hashtbl.replace tbl f wanted)
+          called)
+      deps
+  done;
+  of_ranks ~rank:(fun op -> rank (Op.name op))
+
+type head = Err_h | If_h | Op_h of Op.t
+
+let head_of = function
+  | Term.Var _ -> None
+  | Term.Err _ -> Some Err_h
+  | Term.Ite _ -> Some If_h
+  | Term.App (op, _) -> Some (Op_h op)
+
+let compare_head prec a b =
+  match (a, b) with
+  | Err_h, Err_h -> 0
+  | Err_h, _ -> -1
+  | _, Err_h -> 1
+  | If_h, If_h -> 0
+  | If_h, _ -> -1
+  | _, If_h -> 1
+  | Op_h f, Op_h g -> prec f g
+
+let children = function
+  | Term.Var _ | Term.Err _ -> []
+  | Term.App (_, args) -> args
+  | Term.Ite (c, t, e) -> [ c; t; e ]
+
+let rec lpo_gt prec s t =
+  if Term.equal s t then false
+  else
+    match (s, t) with
+    | _, Term.Var (x, sx) -> (
+      match s with
+      | Term.Var _ -> false
+      | _ -> List.mem (x, sx) (Term.vars s))
+    | Term.Var _, _ -> false
+    | _ ->
+      let ss = children s and ts = children t in
+      let case1 () =
+        List.exists (fun si -> Term.equal si t || lpo_gt prec si t) ss
+      in
+      let dominates_args () = List.for_all (fun tj -> lpo_gt prec s tj) ts in
+      let hs = Option.get (head_of s) and ht = Option.get (head_of t) in
+      let hc = compare_head prec hs ht in
+      if case1 () then true
+      else if hc > 0 then dominates_args ()
+      else if hc = 0 then lex_gt prec s ss ts && dominates_args ()
+      else false
+
+and lex_gt prec s ss ts =
+  match (ss, ts) with
+  | [], [] -> false
+  | si :: ss', ti :: ts' ->
+    if Term.equal si ti then lex_gt prec s ss' ts' else lpo_gt prec si ti
+  | _ -> false
+
+let orient prec (a, b) =
+  if lpo_gt prec a b then Ok (a, b)
+  else if lpo_gt prec b a then Ok (b, a)
+  else
+    Error
+      (Fmt.str "cannot orient %a = %a under the given precedence" Term.pp a
+         Term.pp b)
+
+let orients_all prec axioms =
+  let rec go = function
+    | [] -> Ok ()
+    | ax :: rest ->
+      if lpo_gt prec (Axiom.lhs ax) (Axiom.rhs ax) then go rest else Error ax
+  in
+  go axioms

@@ -1,0 +1,43 @@
+(** Term orderings for orienting equations.
+
+    A lexicographic path ordering (LPO) over many-sorted terms, used by
+    {!Completion} to orient equations into terminating rewrite rules and by
+    callers that want a termination argument for a specification's rules.
+
+    The builtin [if-then-else] is treated as a function symbol just above
+    [error] and below every proper operation; with that placement each of
+    the paper's axioms orients left to right under the {!dependency}
+    precedence (the defined operation dominates the operations its
+    right-hand sides call). *)
+
+type precedence = Op.t -> Op.t -> int
+(** A total (pre)order on operation symbols; [> 0] means the first operation
+    is greater. Equal operations must compare equal. *)
+
+val of_ranks : rank:(Op.t -> int) -> precedence
+(** Compare by rank, ties broken by name, then full structural compare. *)
+
+val of_list : string list -> precedence
+(** Earlier names are {e greater}; names absent from the list are smaller
+    than present ones and ordered alphabetically. *)
+
+val dependency : Spec.t -> precedence
+(** Precedence derived from the call graph of the specification: operation
+    [f] depends on [g] when [g] occurs on the right-hand side of an axiom
+    whose head is [f]. The rank of an operation is the longest dependency
+    chain below it (cycles collapse to one rank); constructors rank lowest.
+    This orients all axioms of hierarchical specifications in the paper's
+    style, including across [Spec.union]. *)
+
+val lpo_gt : precedence -> Term.t -> Term.t -> bool
+(** Strict LPO comparison. Variables are minimal: [lpo_gt s (Var x)] holds
+    iff [x] occurs in [s] and [s <> Var x]. *)
+
+val orient :
+  precedence -> Term.t * Term.t -> (Term.t * Term.t, string) result
+(** Orders a pair into (greater, smaller), or explains why it cannot. *)
+
+val orients_all : precedence -> Axiom.t list -> (unit, Axiom.t) result
+(** Checks every axiom decreases left to right — a termination certificate
+    for the specification's rewrite system. Returns the first offending
+    axiom on failure. *)

@@ -1,0 +1,282 @@
+type error = { line : int; col : int; message : string }
+
+let pp_error ppf e = Fmt.pf ppf "%d:%d: %s" e.line e.col e.message
+
+exception Fail of error
+
+type state = { tokens : Lexer.located array; mutable pos : int }
+
+let peek st = st.tokens.(st.pos)
+let advance st = if st.pos < Array.length st.tokens - 1 then st.pos <- st.pos + 1
+
+let fail_at (tok : Lexer.located) fmt =
+  Fmt.kstr
+    (fun message -> raise (Fail { line = tok.line; col = tok.col; message }))
+    fmt
+
+let expect st token =
+  let tok = peek st in
+  if tok.token = token then advance st
+  else fail_at tok "expected %a, found %a" Lexer.pp_token token Lexer.pp_token tok.token
+
+let expect_ident st what =
+  let tok = peek st in
+  match tok.token with
+  | Lexer.Ident name ->
+    advance st;
+    name
+  | other -> fail_at tok "expected %s, found %a" what Lexer.pp_token other
+
+let accept st token =
+  let tok = peek st in
+  if tok.token = token then begin
+    advance st;
+    true
+  end
+  else false
+
+(* identifiers until the next non-identifier token *)
+let ident_list st =
+  let rec go acc =
+    match (peek st).token with
+    | Lexer.Ident name ->
+      advance st;
+      go (name :: acc)
+    | _ -> List.rev acc
+  in
+  go []
+
+(* {2 Terms} *)
+
+type term_ctx = {
+  signature : Signature.t;
+  vars : (string * Sort.t) list;
+}
+
+let rec term st ctx expected =
+  let tok = peek st in
+  match tok.token with
+  | Lexer.Keyword Lexer.Kif ->
+    advance st;
+    let c = term st ctx (Some Sort.bool) in
+    expect st (Lexer.Keyword Lexer.Kthen);
+    let t = term st ctx expected in
+    expect st (Lexer.Keyword Lexer.Kelse);
+    let e = term st ctx (Some (Term.sort_of t)) in
+    (try Term.ite c t e
+     with Term.Ill_sorted msg -> fail_at tok "%s" msg)
+  | Lexer.Keyword Lexer.Kerror -> (
+    advance st;
+    match expected with
+    | Some sort -> Term.err sort
+    | None -> fail_at tok "cannot infer the sort of error here")
+  | Lexer.Ident name -> (
+    advance st;
+    match List.assoc_opt name ctx.vars with
+    | Some sort ->
+      check_expected tok expected sort;
+      Term.var name sort
+    | None -> (
+      match Signature.find_op name ctx.signature with
+      | None -> fail_at tok "unknown operation or variable %s" name
+      | Some op ->
+        let args =
+          if accept st Lexer.Lparen then begin
+            let rec args_from i acc =
+              let arg_expected = List.nth_opt (Op.args op) i in
+              let arg = term st ctx arg_expected in
+              if accept st Lexer.Comma then args_from (i + 1) (arg :: acc)
+              else begin
+                expect st Lexer.Rparen;
+                List.rev (arg :: acc)
+              end
+            in
+            if accept st Lexer.Rparen then [] else args_from 0 []
+          end
+          else []
+        in
+        let t =
+          try Term.app op args
+          with Term.Ill_sorted msg -> fail_at tok "%s" msg
+        in
+        check_expected tok expected (Term.sort_of t);
+        t))
+  | other -> fail_at tok "expected a term, found %a" Lexer.pp_token other
+
+and check_expected tok expected actual =
+  match expected with
+  | Some want when not (Sort.equal want actual) ->
+    fail_at tok "this term has sort %a, expected %a" Sort.pp actual Sort.pp
+      want
+  | _ -> ()
+
+(* {2 Specifications} *)
+
+let sort_ref st signature =
+  let tok = peek st in
+  let name = expect_ident st "a sort name" in
+  let sort = Sort.v name in
+  if not (Signature.mem_sort sort signature) then
+    fail_at tok "undeclared sort %s" name;
+  sort
+
+let op_decl st signature =
+  let name = expect_ident st "an operation name" in
+  expect st Lexer.Colon;
+  let rec domain acc =
+    match (peek st).token with
+    | Lexer.Arrow ->
+      advance st;
+      List.rev acc
+    | _ -> domain (sort_ref st signature :: acc)
+  in
+  let args = domain [] in
+  let result = sort_ref st signature in
+  let op = Op.v name ~args ~result in
+  let tok = peek st in
+  try Signature.add_op op signature
+  with Invalid_argument msg -> fail_at tok "%s" msg
+
+let var_decls st signature =
+  let rec go acc =
+    match ((peek st).token, st.tokens.(min (st.pos + 1) (Array.length st.tokens - 1)).token) with
+    | Lexer.Ident _, (Lexer.Colon | Lexer.Comma) ->
+      let rec names acc =
+        let n = expect_ident st "a variable name" in
+        if accept st Lexer.Comma then names (n :: acc) else List.rev (n :: acc)
+      in
+      let group = names [] in
+      expect st Lexer.Colon;
+      let sort = sort_ref st signature in
+      go (acc @ List.map (fun n -> (n, sort)) group)
+    | _ -> acc
+  in
+  go []
+
+let axiom_decls st ctx =
+  let rec go acc =
+    match (peek st).token with
+    | Lexer.Lbracket | Lexer.Ident _ | Lexer.Keyword Lexer.Kif ->
+      let name =
+        if accept st Lexer.Lbracket then begin
+          let n = expect_ident st "an axiom label" in
+          expect st Lexer.Rbracket;
+          n
+        end
+        else ""
+      in
+      let tok = peek st in
+      let lhs = term st ctx None in
+      expect st Lexer.Equals;
+      let rhs = term st ctx (Some (Term.sort_of lhs)) in
+      let ax =
+        try Axiom.v ~name ~lhs ~rhs ()
+        with Invalid_argument msg -> fail_at tok "%s" msg
+      in
+      go (ax :: acc)
+    | _ -> List.rev acc
+  in
+  go []
+
+let empty_spec =
+  Spec.v ~name:"" ~signature:Signature.empty ~axioms:[] ()
+
+let spec_def st ~resolve =
+  let start = peek st in
+  expect st (Lexer.Keyword Lexer.Kspec);
+  let name = expect_ident st "a specification name" in
+  let base =
+    let rec collect acc =
+      if accept st (Lexer.Keyword Lexer.Kuses) then
+        collect (acc @ ident_list st)
+      else acc
+    in
+    let used = collect [] in
+    List.fold_left
+      (fun acc used_name ->
+        match resolve used_name with
+        | Some s -> Spec.union ~name acc s
+        | None -> fail_at start "unknown specification %s in uses" used_name)
+      empty_spec used
+  in
+  let signature =
+    let rec sorts acc =
+      if accept st (Lexer.Keyword Lexer.Ksort) then
+        sorts (Signature.add_sort (Sort.v (expect_ident st "a sort name")) acc)
+      else acc
+    in
+    sorts (Spec.signature base)
+  in
+  let signature =
+    if accept st (Lexer.Keyword Lexer.Kops) then begin
+      let rec ops signature =
+        match (peek st).token with
+        | Lexer.Ident _ -> ops (op_decl st signature)
+        | _ -> signature
+      in
+      ops signature
+    end
+    else signature
+  in
+  let ctor_names =
+    if accept st (Lexer.Keyword Lexer.Kconstructors) then ident_list st else []
+  in
+  List.iter
+    (fun c ->
+      if not (Signature.mem_op c signature) then
+        fail_at start "constructor %s is not a declared operation" c)
+    ctor_names;
+  let vars =
+    if accept st (Lexer.Keyword Lexer.Kvars) then var_decls st signature
+    else []
+  in
+  let axioms =
+    if accept st (Lexer.Keyword Lexer.Kaxioms) then
+      axiom_decls st { signature; vars }
+    else []
+  in
+  expect st (Lexer.Keyword Lexer.Kend);
+  let fresh =
+    try Spec.v ~name ~signature ~constructors:ctor_names ~axioms ()
+    with Invalid_argument msg -> fail_at start "%s" msg
+  in
+  try Spec.union ~name base fresh
+  with Invalid_argument msg -> fail_at start "%s" msg
+
+let run input k =
+  match Lexer.tokenize input with
+  | Error { Lexer.line; col; message } -> Error { line; col; message }
+  | Ok tokens -> (
+    let st = { tokens = Array.of_list tokens; pos = 0 } in
+    try Ok (k st) with Fail e -> Error e)
+
+let parse_specs ?(env = fun _ -> None) input =
+  run input (fun st ->
+      let defined = ref [] in
+      let resolve name =
+        match List.assoc_opt name !defined with
+        | Some _ as hit -> hit
+        | None -> env name
+      in
+      let rec go acc =
+        match (peek st).token with
+        | Lexer.Eof -> List.rev acc
+        | _ ->
+          let spec = spec_def st ~resolve in
+          defined := (Spec.name spec, spec) :: !defined;
+          go (spec :: acc)
+      in
+      go [])
+
+let parse_spec ?env input =
+  match parse_specs ?env input with
+  | Error _ as e -> e
+  | Ok [] -> Error { line = 1; col = 1; message = "no specification found" }
+  | Ok specs -> Ok (List.nth specs (List.length specs - 1))
+
+let parse_term spec ?(vars = []) ?expected input =
+  run input (fun st ->
+      let ctx = { signature = Spec.signature spec; vars } in
+      let t = term st ctx expected in
+      expect st Lexer.Eof;
+      t)

@@ -1,0 +1,61 @@
+(** Recursive-descent parser for the specification language.
+
+    A source file contains one or more specifications:
+
+    {v
+    spec Queue
+      uses Item
+      sort Queue
+      ops
+        NEW : -> Queue
+        ADD : Queue Item -> Queue
+        FRONT : Queue -> Item
+        REMOVE : Queue -> Queue
+        IS_EMPTY? : Queue -> Bool
+      constructors NEW ADD
+      vars
+        q : Queue
+        i : Item
+      axioms
+        [1] IS_EMPTY?(NEW) = true
+        [2] IS_EMPTY?(ADD(q, i)) = false
+        [3] FRONT(NEW) = error
+        [4] FRONT(ADD(q, i)) = if IS_EMPTY?(q) then i else FRONT(q)
+        [5] REMOVE(NEW) = error
+        [6] REMOVE(ADD(q, i)) = if IS_EMPTY?(q) then NEW else ADD(REMOVE(q), i)
+    end
+    v}
+
+    [uses] merges previously defined specifications into this one — the
+    paper's hierarchical structuring ("the solution ... is simply to add
+    another level", section 4). Names are resolved first among the
+    specifications earlier in the same input, then through the [env]
+    callback. The keyword [error] denotes the distinguished error value; its
+    sort is inferred from context. Every variable occurring in an axiom must
+    be declared in the [vars] section. *)
+
+type error = { line : int; col : int; message : string }
+
+val pp_error : error Fmt.t
+
+val parse_specs :
+  ?env:(string -> Spec.t option) -> string -> (Spec.t list, error) result
+(** All specifications of the input, in order. Each specification's
+    signature includes everything it [uses]. *)
+
+val parse_spec :
+  ?env:(string -> Spec.t option) -> string -> (Spec.t, error) result
+(** Convenience for inputs holding exactly one specification; the last
+    specification of the input is returned (with its uses merged), so a
+    file may define auxiliary specifications first. *)
+
+val parse_term :
+  Spec.t ->
+  ?vars:(string * Sort.t) list ->
+  ?expected:Sort.t ->
+  string ->
+  (Term.t, error) result
+(** Parses a term against a specification's signature. Identifiers are
+    resolved as declared variables first, then operations. [expected]
+    (also inferred from operation domains) gives [error] its sort; a bare
+    [error] with no context is rejected. *)

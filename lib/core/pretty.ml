@@ -1,0 +1,50 @@
+let builtin_op op =
+  Op.equal op Signature.true_op || Op.equal op Signature.false_op
+
+let axiom_vars axioms =
+  List.fold_left
+    (fun acc ax ->
+      List.fold_left
+        (fun acc v -> if List.mem v acc then acc else acc @ [ v ])
+        acc (Axiom.vars ax))
+    [] axioms
+
+let pp_axiom ppf ax =
+  if String.equal (Axiom.name ax) "" then
+    Fmt.pf ppf "@[<h>%a = %a@]" Term.pp (Axiom.lhs ax) Term.pp (Axiom.rhs ax)
+  else
+    Fmt.pf ppf "@[<h>[%s] %a = %a@]" (Axiom.name ax) Term.pp (Axiom.lhs ax)
+      Term.pp (Axiom.rhs ax)
+
+let pp_axioms ppf axioms =
+  Fmt.pf ppf "@[<v>%a@]" Fmt.(list ~sep:cut pp_axiom) axioms
+
+let pp_spec_source ppf spec =
+  let sg = Spec.signature spec in
+  let sorts =
+    List.filter (fun s -> not (Sort.is_bool s)) (Sort.Set.elements (Signature.sorts sg))
+  in
+  let ops = List.filter (fun op -> not (builtin_op op)) (Signature.ops sg) in
+  let ctors =
+    List.filter (fun op -> not (builtin_op op)) (Op.Set.elements (Spec.constructors spec))
+  in
+  let vars = axiom_vars (Spec.axioms spec) in
+  Fmt.pf ppf "@[<v>spec %s@," (Spec.name spec);
+  List.iter (fun s -> Fmt.pf ppf "  sort %a@," Sort.pp s) sorts;
+  if ops <> [] then begin
+    Fmt.pf ppf "  ops@,";
+    List.iter (fun op -> Fmt.pf ppf "    %a@," Op.pp_decl op) ops
+  end;
+  if ctors <> [] then
+    Fmt.pf ppf "  constructors %a@," Fmt.(list ~sep:sp Op.pp) ctors;
+  if vars <> [] then begin
+    Fmt.pf ppf "  vars@,";
+    List.iter (fun (x, s) -> Fmt.pf ppf "    %s : %a@," x Sort.pp s) vars
+  end;
+  if Spec.axioms spec <> [] then begin
+    Fmt.pf ppf "  axioms@,";
+    List.iter (fun ax -> Fmt.pf ppf "    %a@," pp_axiom ax) (Spec.axioms spec)
+  end;
+  Fmt.pf ppf "end@]"
+
+let source_of_spec spec = Fmt.str "%a@." pp_spec_source spec

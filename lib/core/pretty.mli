@@ -1,0 +1,13 @@
+(** Rendering specifications back to concrete syntax.
+
+    [source_of_spec] emits text that {!Parser.parse_spec} accepts and that
+    reconstructs the same specification (same signature, constructors and
+    axioms) — the round-trip property the test suite pins down. Builtin
+    Boolean material is implicit in every specification and is omitted. *)
+
+val source_of_spec : Spec.t -> string
+
+val pp_spec_source : Spec.t Fmt.t
+
+val pp_axioms : Axiom.t list Fmt.t
+(** One axiom per line, with labels. *)

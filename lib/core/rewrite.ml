@@ -1,0 +1,351 @@
+type rule = { rule_name : string; lhs : Term.t; rhs : Term.t }
+
+let rule ?(name = "") ~lhs ~rhs () =
+  (match lhs with
+  | Term.App _ -> ()
+  | Term.Var _ | Term.Err _ | Term.Ite _ ->
+    (* only application-headed left-hand sides can ever match: the redex
+       finder dispatches on the head operation, and error / if-then-else
+       reduction is builtin *)
+    invalid_arg
+      "Rewrite.rule: left-hand side must be an operation application");
+  if not (Sort.equal (Term.sort_of lhs) (Term.sort_of rhs)) then
+    invalid_arg "Rewrite.rule: sides have different sorts";
+  let lvars = Term.vars lhs in
+  List.iter
+    (fun (x, s) ->
+      if not (List.mem (x, s) lvars) then
+        invalid_arg
+          (Fmt.str "Rewrite.rule: right-hand side variable %s not bound on the left" x))
+    (Term.vars rhs);
+  { rule_name = name; lhs; rhs }
+
+let rule_of_axiom ax =
+  { rule_name = Axiom.name ax; lhs = Axiom.lhs ax; rhs = Axiom.rhs ax }
+
+let axiom_of_rule r = Axiom.v ~name:r.rule_name ~lhs:r.lhs ~rhs:r.rhs ()
+
+let pp_rule ppf r =
+  if String.equal r.rule_name "" then
+    Fmt.pf ppf "@[<hov 2>%a ->@ %a@]" Term.pp r.lhs Term.pp r.rhs
+  else
+    Fmt.pf ppf "@[<hov 2>[%s] %a ->@ %a@]" r.rule_name Term.pp r.lhs Term.pp
+      r.rhs
+
+module String_map = Map.Make (String)
+
+type system = {
+  all : rule list; (* priority order: earlier rules tried first *)
+  by_head : rule list String_map.t;
+}
+
+let head_name r =
+  match r.lhs with
+  | Term.App (op, _) -> Op.name op
+  | Term.Ite _ -> "<if>"
+  | Term.Err _ -> "<error>"
+  | Term.Var _ -> assert false
+
+let index rules =
+  List.fold_left
+    (fun m r ->
+      let key = head_name r in
+      let existing = Option.value ~default:[] (String_map.find_opt key m) in
+      String_map.add key (existing @ [ r ]) m)
+    String_map.empty rules
+
+let of_rules all = { all; by_head = index all }
+let of_spec spec = of_rules (List.map rule_of_axiom (Spec.axioms spec))
+let add_rules extra sys = of_rules (extra @ sys.all)
+let add_axioms axs sys = add_rules (List.map rule_of_axiom axs) sys
+let rules sys = sys.all
+let size sys = List.length sys.all
+
+type strategy = Innermost | Outermost
+
+exception Out_of_fuel of Term.t
+
+let default_fuel = 200_000
+
+let rules_for sys op =
+  Option.value ~default:[] (String_map.find_opt (Op.name op) sys.by_head)
+
+let find_redex sys t =
+  let rec first = function
+    | [] -> None
+    | r :: rest -> (
+      match Subst.match_term ~pattern:r.lhs t with
+      | Some s -> Some (r, s)
+      | None -> first rest)
+  in
+  match t with Term.App (op, _) -> first (rules_for sys op) | _ -> None
+
+(* Leftmost-innermost normalization.  [on_apply] is called once per rule
+   application and may raise to abort. *)
+let innermost ~on_apply sys term =
+  let rec norm t =
+    match t with
+    | Term.Var _ | Term.Err _ -> t
+    | Term.Ite (c, th, el) -> (
+      let c' = norm c in
+      if Term.equal c' Term.tt then norm th
+      else if Term.equal c' Term.ff then norm el
+      else
+        match c' with
+        | Term.Err _ -> Term.Err (Term.sort_of th)
+        | _ ->
+          (* stuck conditional: branches stay frozen, otherwise recursive
+             definitions would unfold without bound under an undecided
+             condition (ground conditions always decide, so evaluation is
+             unaffected) *)
+          Term.Ite (c', th, el))
+    | Term.App (op, args) -> (
+      let args' = List.map norm args in
+      if List.exists Term.is_error args' then Term.Err (Op.result op)
+      else
+        let t' = Term.App (op, args') in
+        match find_redex sys t' with
+        | None -> t'
+        | Some (r, s) ->
+          on_apply r;
+          norm (Subst.apply s r.rhs))
+  in
+  norm term
+
+(* One leftmost-outermost step, or None. *)
+let rec outer_step sys t =
+  match t with
+  | Term.Var _ | Term.Err _ -> None
+  | Term.Ite (c, th, el) -> (
+    if Term.equal c Term.tt then Some (th, "<if>")
+    else if Term.equal c Term.ff then Some (el, "<if>")
+    else
+      match c with
+      | Term.Err _ -> Some (Term.Err (Term.sort_of th), "<error>")
+      | _ -> (
+        (* branches of a stuck conditional are frozen, as in [innermost] *)
+        match outer_step sys c with
+        | Some (c', n) -> Some (Term.Ite (c', th, el), n)
+        | None -> None))
+  | Term.App (op, args) -> (
+    if List.exists Term.is_error args then
+      Some (Term.Err (Op.result op), "<error>")
+    else
+      match find_redex sys t with
+      | Some (r, s) -> Some (Subst.apply s r.rhs, r.rule_name)
+      | None ->
+        let rec step_child i = function
+          | [] -> None
+          | a :: rest -> (
+            match outer_step sys a with
+            | Some (a', n) ->
+              let args' =
+                List.mapi (fun j x -> if j = i then a' else x) args
+              in
+              Some (Term.App (op, args'), n)
+            | None -> step_child (i + 1) rest)
+        in
+        step_child 0 args)
+
+let outermost ~on_apply sys term =
+  let rec go t =
+    match outer_step sys t with
+    | None -> t
+    | Some (t', name) ->
+      if not (String.equal name "<if>" || String.equal name "<error>") then
+        on_apply { rule_name = name; lhs = t; rhs = t' };
+      go t'
+  in
+  go term
+
+exception Fuel_exhausted
+
+let run ?(strategy = Innermost) ?(fuel = default_fuel) ~on_apply sys term =
+  let remaining = ref fuel in
+  let counted r =
+    (* a dedicated exception: a caller-supplied [on_apply] may raise its
+       own exceptions (Exit included) to abort, and those must not be
+       misreported as fuel exhaustion *)
+    if !remaining <= 0 then raise Fuel_exhausted;
+    decr remaining;
+    on_apply r
+  in
+  try
+    match strategy with
+    | Innermost -> innermost ~on_apply:counted sys term
+    | Outermost -> outermost ~on_apply:counted sys term
+  with Fuel_exhausted -> raise (Out_of_fuel term)
+
+let normalize ?strategy ?fuel sys term =
+  run ?strategy ?fuel ~on_apply:(fun _ -> ()) sys term
+
+let normalize_opt ?strategy ?fuel sys term =
+  match normalize ?strategy ?fuel sys term with
+  | t -> Some t
+  | exception Out_of_fuel _ -> None
+
+let normalize_count ?strategy ?fuel sys term =
+  let n = ref 0 in
+  let t = run ?strategy ?fuel ~on_apply:(fun _ -> incr n) sys term in
+  (t, !n)
+
+let joinable ?strategy ?fuel sys a b =
+  match
+    (normalize_opt ?strategy ?fuel sys a, normalize_opt ?strategy ?fuel sys b)
+  with
+  | Some na, Some nb -> Term.equal na nb
+  | _ -> false
+
+module Term_tbl = Hashtbl.Make (struct
+  type t = Term.t
+
+  let equal = Term.equal
+
+  (* the default generic hash looks at only ~10 meaningful nodes, which
+     collides badly on large same-shaped terms; widen the window *)
+  let hash t = Hashtbl.hash_param 64 256 t
+end)
+
+module Memo = struct
+  type t = {
+    table : Term.t Term_tbl.t;
+    mutable hits : int;
+    mutable misses : int;
+  }
+
+  let create () = { table = Term_tbl.create 1024; hits = 0; misses = 0 }
+
+  let clear m =
+    Term_tbl.clear m.table;
+    m.hits <- 0;
+    m.misses <- 0
+
+  let size m = Term_tbl.length m.table
+  let hits m = m.hits
+  let misses m = m.misses
+end
+
+let normalize_memo ?(fuel = default_fuel) ~memo sys term =
+  let remaining = ref fuel in
+  let rec norm t =
+    match t with
+    | Term.Var _ | Term.Err _ -> t
+    | Term.Ite (c, th, el) -> (
+      let c' = norm c in
+      if Term.equal c' Term.tt then norm th
+      else if Term.equal c' Term.ff then norm el
+      else
+        match c' with
+        | Term.Err _ -> Term.Err (Term.sort_of th)
+        | _ -> Term.Ite (c', th, el))
+    | Term.App (op, args) -> (
+      match Term_tbl.find_opt memo.Memo.table t with
+      | Some nf ->
+        memo.Memo.hits <- memo.Memo.hits + 1;
+        nf
+      | None ->
+        memo.Memo.misses <- memo.Memo.misses + 1;
+        let args' = List.map norm args in
+        let nf =
+          if List.exists Term.is_error args' then Term.Err (Op.result op)
+          else
+            let t' = Term.App (op, args') in
+            match find_redex sys t' with
+            | None -> t'
+            | Some (r, s) ->
+              if !remaining <= 0 then raise (Out_of_fuel t);
+              decr remaining;
+              norm (Subst.apply s r.rhs)
+        in
+        Term_tbl.add memo.Memo.table t nf;
+        nf)
+  in
+  norm term
+
+type event = {
+  position : Term.position;
+  rule_used : string;
+  before : Term.t;
+  after : Term.t;
+}
+
+let pp_event ppf e =
+  Fmt.pf ppf "@[<hov 2>%a@ --[%s]-->@ %a@]" Term.pp e.before e.rule_used
+    Term.pp e.after
+
+(* One leftmost-innermost step with position reporting: locate the leftmost
+   innermost redex (builtin steps included). *)
+let step sys term =
+  let rec find pos t =
+    match t with
+    | Term.Var _ | Term.Err _ -> None
+    | Term.Ite (c, th, el) -> (
+      match find (pos @ [ 0 ]) c with
+      | Some _ as hit -> hit
+      | None ->
+        if Term.equal c Term.tt then Some (pos, th, "<if>")
+        else if Term.equal c Term.ff then Some (pos, el, "<if>")
+        else if Term.is_error c then
+          Some (pos, Term.Err (Term.sort_of th), "<error>")
+        else None (* stuck conditional: branches frozen *))
+    | Term.App (op, args) -> (
+      let rec in_children i = function
+        | [] -> None
+        | a :: rest -> (
+          match find (pos @ [ i ]) a with
+          | Some _ as hit -> hit
+          | None -> in_children (i + 1) rest)
+      in
+      match in_children 0 args with
+      | Some _ as hit -> hit
+      | None ->
+        if List.exists Term.is_error args then
+          Some (pos, Term.Err (Op.result op), "<error>")
+        else (
+          match find_redex sys t with
+          | Some (r, s) -> Some (pos, Subst.apply s r.rhs, r.rule_name)
+          | None -> None))
+  in
+  match find [] term with
+  | None -> None
+  | Some (position, replacement, rule_used) -> (
+    match Term.replace_at term position replacement with
+    | Some after -> Some { position; rule_used; before = term; after }
+    | None -> None)
+
+let is_normal_form sys term = Option.is_none (step sys term)
+
+let trace ?(fuel = default_fuel) ?(max_events = 1_000) sys term =
+  let events = ref [] and n_events = ref 0 and remaining = ref fuel in
+  let rec go t =
+    match step sys t with
+    | None -> t
+    | Some e ->
+      if !remaining <= 0 then raise (Out_of_fuel t);
+      decr remaining;
+      if !n_events < max_events then begin
+        events := e :: !events;
+        incr n_events
+      end;
+      go e.after
+  in
+  let result = go term in
+  (result, List.rev !events)
+
+type stats = { applications : (string * int) list; total : int }
+
+let normalize_stats ?strategy ?fuel sys term =
+  let counts : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let total = ref 0 in
+  let on_apply r =
+    incr total;
+    let key = if String.equal r.rule_name "" then "<unnamed>" else r.rule_name in
+    Hashtbl.replace counts key
+      (1 + Option.value ~default:0 (Hashtbl.find_opt counts key))
+  in
+  let t = run ?strategy ?fuel ~on_apply sys term in
+  let applications =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) counts []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  (t, { applications; total = !total })

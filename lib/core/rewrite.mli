@@ -1,0 +1,122 @@
+(** Term rewriting.
+
+    Axioms read left to right are rewrite rules; normalizing a ground term
+    against a specification is the paper's "symbolic interpretation" of the
+    algebra (section 5). The engine implements the two semantic rules the
+    paper builds into its notation:
+
+    - {b strict error propagation}: an operation applied to an argument list
+      containing [error] is [error];
+    - {b lazy if-then-else}: the condition is evaluated first and selects a
+      branch; the unselected branch is never evaluated (so axioms such as
+      [FRONT(ADD(q,i)) = if IS_EMPTY?(q) then i else FRONT(q)] do not poison
+      themselves through [FRONT(NEW) = error]).
+
+    The reference strategy is leftmost-innermost, which matches the strict
+    semantics. The leftmost-outermost strategy is also provided; it may
+    normalize terms the innermost strategy sends to [error] (it enforces
+    strictness only on arguments in normal form), and is used by the
+    completion and proof machinery where laziness is harmless. *)
+
+type rule = private { rule_name : string; lhs : Term.t; rhs : Term.t }
+
+val rule : ?name:string -> lhs:Term.t -> rhs:Term.t -> unit -> rule
+(** Same validity conditions as {!Axiom.v}, except the left-hand side may be
+    any non-variable term. *)
+
+val rule_of_axiom : Axiom.t -> rule
+val axiom_of_rule : rule -> Axiom.t
+val pp_rule : rule Fmt.t
+
+type system
+
+val of_spec : Spec.t -> system
+(** Rules are the specification's axioms in order. *)
+
+val of_rules : rule list -> system
+val add_rules : rule list -> system -> system
+(** Added rules take priority over existing ones with the same head. *)
+
+val add_axioms : Axiom.t list -> system -> system
+val rules : system -> rule list
+val size : system -> int
+
+type strategy = Innermost | Outermost
+
+exception Out_of_fuel of Term.t
+(** Raised when the step budget is exhausted; carries the term reached. *)
+
+val default_fuel : int
+
+val normalize :
+  ?strategy:strategy -> ?fuel:int -> system -> Term.t -> Term.t
+(** Raises {!Out_of_fuel}. *)
+
+val normalize_opt :
+  ?strategy:strategy -> ?fuel:int -> system -> Term.t -> Term.t option
+(** [None] when the fuel runs out. *)
+
+val normalize_count :
+  ?strategy:strategy -> ?fuel:int -> system -> Term.t -> Term.t * int
+(** Also returns the number of rule applications performed (builtin
+    error/ite steps are not counted). *)
+
+val joinable :
+  ?strategy:strategy -> ?fuel:int -> system -> Term.t -> Term.t -> bool
+(** Both terms normalize (within fuel) to equal normal forms. *)
+
+val is_normal_form : system -> Term.t -> bool
+(** No rule, error step, or if-then-else step applies anywhere. *)
+
+(** {1 Single steps and traces} *)
+
+type event = {
+  position : Term.position;
+  rule_used : string;
+      (** Rule name, or ["<error>"] / ["<if>"] for builtin steps. *)
+  before : Term.t;  (** Whole term before the step. *)
+  after : Term.t;  (** Whole term after the step. *)
+}
+
+val step : system -> Term.t -> event option
+(** One leftmost-innermost step, or [None] if the term is in normal form. *)
+
+val trace :
+  ?fuel:int -> ?max_events:int -> system -> Term.t -> Term.t * event list
+(** Innermost normalization recording every step (up to [max_events], after
+    which steps are still performed but not recorded). Raises
+    {!Out_of_fuel}. *)
+
+val pp_event : event Fmt.t
+
+(** {1 Memoized normalization}
+
+    An evaluation session (the symbolic interpreter, the model checker)
+    normalizes many terms sharing large subterms — e.g. draining a queue
+    evaluates [FRONT(q)] and [REMOVE(q)] over the same [q] again and
+    again. A memo caches the normal form of every application node it
+    sees. A memo is only sound for the system it was created against:
+    results cached under one rule set must not be reused under another. *)
+
+module Memo : sig
+  type t
+
+  val create : unit -> t
+  val clear : t -> unit
+  val size : t -> int
+  val hits : t -> int
+  val misses : t -> int
+end
+
+val normalize_memo :
+  ?fuel:int -> memo:Memo.t -> system -> Term.t -> Term.t
+(** Leftmost-innermost normalization through the cache. Raises
+    {!Out_of_fuel}. *)
+
+(** {1 Statistics} *)
+
+type stats = { applications : (string * int) list; total : int }
+(** Rule-name to firing-count, for the benchmark harness. *)
+
+val normalize_stats :
+  ?strategy:strategy -> ?fuel:int -> system -> Term.t -> Term.t * stats

@@ -1,0 +1,75 @@
+module String_map = Map.Make (String)
+
+type t = {
+  sorts : Sort.Set.t;
+  by_name : Op.t String_map.t;
+  rev_ops : Op.t list; (* reverse insertion order *)
+}
+
+let true_op = Op.v "true" ~args:[] ~result:Sort.bool
+let false_op = Op.v "false" ~args:[] ~result:Sort.bool
+
+let add_op op t =
+  (match String_map.find_opt (Op.name op) t.by_name with
+  | Some existing when Op.equal existing op -> ()
+  | Some existing ->
+    invalid_arg
+      (Fmt.str "Signature.add_op: %a clashes with %a" Op.pp_decl op Op.pp_decl
+         existing)
+  | None -> ());
+  let check_sort s =
+    if not (Sort.Set.mem s t.sorts) then
+      invalid_arg
+        (Fmt.str "Signature.add_op: %a uses undeclared sort %a" Op.pp_decl op
+           Sort.pp s)
+  in
+  List.iter check_sort (Op.args op);
+  check_sort (Op.result op);
+  if String_map.mem (Op.name op) t.by_name then t
+  else
+    {
+      t with
+      by_name = String_map.add (Op.name op) op t.by_name;
+      rev_ops = op :: t.rev_ops;
+    }
+
+let empty =
+  let base =
+    {
+      sorts = Sort.Set.singleton Sort.bool;
+      by_name = String_map.empty;
+      rev_ops = [];
+    }
+  in
+  add_op false_op (add_op true_op base)
+
+let add_sort s t = { t with sorts = Sort.Set.add s t.sorts }
+let sorts t = t.sorts
+let ops t = List.rev t.rev_ops
+let mem_sort s t = Sort.Set.mem s t.sorts
+let find_op name t = String_map.find_opt name t.by_name
+
+let find_op_exn name t =
+  match find_op name t with Some op -> op | None -> raise Not_found
+
+let mem_op name t = String_map.mem name t.by_name
+
+let ops_with_result sort t =
+  List.filter (fun op -> Sort.equal (Op.result op) sort) (ops t)
+
+let union a b =
+  let with_sorts = Sort.Set.fold add_sort (sorts b) a in
+  List.fold_left (fun acc op -> add_op op acc) with_sorts (ops b)
+
+let cardinal t = String_map.cardinal t.by_name
+
+let equal a b =
+  Sort.Set.equal a.sorts b.sorts
+  && String_map.equal Op.equal a.by_name b.by_name
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>sorts %a@,%a@]"
+    Fmt.(list ~sep:sp Sort.pp)
+    (Sort.Set.elements t.sorts)
+    Fmt.(list ~sep:cut Op.pp_decl)
+    (ops t)

@@ -1,0 +1,52 @@
+(** Many-sorted signatures.
+
+    The "syntactic specification" of Guttag's method: the set of sorts and
+    the set of operation symbols with their domains and ranges. The formal
+    basis is the heterogeneous algebra of Birkhoff and Lipson, which the
+    paper cites as the foundation of the algebraic approach.
+
+    A signature is immutable; extension returns a new signature. Operation
+    names are unique: overloading is rejected, because the paper's concrete
+    syntax selects operations by name alone. *)
+
+type t
+
+val empty : t
+(** The signature containing only the builtin sort [Bool] and its constant
+    operations [true : -> Bool] and [false : -> Bool]. *)
+
+val add_sort : Sort.t -> t -> t
+(** Idempotent. *)
+
+val add_op : Op.t -> t -> t
+(** Raises [Invalid_argument] if an operation with the same name but a
+    different rank is already present, or if any sort mentioned by the
+    operation has not been declared. *)
+
+val true_op : Op.t
+val false_op : Op.t
+
+val sorts : t -> Sort.Set.t
+val ops : t -> Op.t list
+(** In insertion order, builtins first. *)
+
+val mem_sort : Sort.t -> t -> bool
+val find_op : string -> t -> Op.t option
+val find_op_exn : string -> t -> Op.t
+(** Raises [Not_found]. *)
+
+val mem_op : string -> t -> bool
+
+val ops_with_result : Sort.t -> t -> Op.t list
+(** All operations whose range is the given sort, in insertion order. *)
+
+val union : t -> t -> t
+(** Combines two signatures, as when a specification [uses] another
+    (hierarchical specification, paper section 4). Raises [Invalid_argument]
+    on a name clash with different ranks. *)
+
+val cardinal : t -> int
+(** Number of operations, builtins included. *)
+
+val equal : t -> t -> bool
+val pp : t Fmt.t

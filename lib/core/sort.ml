@@ -1,0 +1,15 @@
+type t = string
+
+let v name =
+  if String.equal name "" then invalid_arg "Sort.v: empty sort name";
+  name
+
+let name s = s
+let bool = "Bool"
+let is_bool s = String.equal s bool
+let equal = String.equal
+let compare = String.compare
+let pp = Fmt.string
+
+module Set = Set.Make (String)
+module Map = Map.Make (String)

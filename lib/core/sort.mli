@@ -1,0 +1,27 @@
+(** Sorts (type names) of a many-sorted signature.
+
+    A sort is the algebraic-specification name for a carrier set: [Queue],
+    [Symboltable], [Boolean], ... Following Guttag (CACM 1977, section 2), a
+    specification introduces one "type of interest" and refers to previously
+    defined sorts; the builtin sort {!bool} is always available because the
+    paper's axioms use Boolean-valued observers and [if-then-else]. *)
+
+type t
+
+val v : string -> t
+(** [v name] is the sort named [name]. Raises [Invalid_argument] on the empty
+    string. *)
+
+val name : t -> string
+
+val bool : t
+(** The builtin Boolean sort, spelled ["Bool"]. *)
+
+val is_bool : t -> bool
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : t Fmt.t
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t

@@ -1,0 +1,227 @@
+type t =
+  | Var of string * Sort.t
+  | App of Op.t * t list
+  | Err of Sort.t
+  | Ite of t * t * t
+
+exception Ill_sorted of string
+
+let ill_sorted fmt = Fmt.kstr (fun s -> raise (Ill_sorted s)) fmt
+
+let rec sort_of = function
+  | Var (_, s) -> s
+  | App (op, _) -> Op.result op
+  | Err s -> s
+  | Ite (_, t, _) -> sort_of t
+
+let var name sort = Var (name, sort)
+
+let app op args =
+  let expected = Op.args op in
+  let n_expected = List.length expected and n_given = List.length args in
+  if n_expected <> n_given then
+    ill_sorted "%a applied to %d arguments, expects %d" Op.pp op n_given
+      n_expected;
+  List.iteri
+    (fun i (want, arg) ->
+      let got = sort_of arg in
+      if not (Sort.equal want got) then
+        ill_sorted "argument %d of %a has sort %a, expected %a" (i + 1) Op.pp
+          op Sort.pp got Sort.pp want)
+    (List.combine expected args);
+  App (op, args)
+
+let const op = app op []
+let err s = Err s
+
+let ite c t e =
+  if not (Sort.is_bool (sort_of c)) then
+    ill_sorted "if-condition has sort %a, expected Bool" Sort.pp (sort_of c);
+  if not (Sort.equal (sort_of t) (sort_of e)) then
+    ill_sorted "if-branches have sorts %a and %a" Sort.pp (sort_of t) Sort.pp
+      (sort_of e);
+  Ite (c, t, e)
+
+let tt = App (Signature.true_op, [])
+let ff = App (Signature.false_op, [])
+
+let check sg term =
+  let rec go = function
+    | Var (_, s) ->
+      if Signature.mem_sort s sg then Ok ()
+      else Error (Fmt.str "undeclared sort %a" Sort.pp s)
+    | Err s ->
+      if Signature.mem_sort s sg then Ok ()
+      else Error (Fmt.str "undeclared sort %a" Sort.pp s)
+    | App (op, args) -> (
+      match Signature.find_op (Op.name op) sg with
+      | None -> Error (Fmt.str "undeclared operation %a" Op.pp op)
+      | Some declared when not (Op.equal declared op) ->
+        Error
+          (Fmt.str "operation %a used with rank %a but declared as %a" Op.pp
+             op Op.pp_decl op Op.pp_decl declared)
+      | Some _ -> (
+        match app op args with
+        | exception Ill_sorted msg -> Error msg
+        | _ -> go_all args))
+    | Ite (c, t, e) -> (
+      match ite c t e with
+      | exception Ill_sorted msg -> Error msg
+      | _ -> go_all [ c; t; e ])
+  and go_all = function
+    | [] -> Ok ()
+    | t :: ts -> ( match go t with Ok () -> go_all ts | Error _ as e -> e)
+  in
+  go term
+
+let rec compare a b =
+  match (a, b) with
+  | Var (x, s), Var (y, s') ->
+    let c = String.compare x y in
+    if c <> 0 then c else Sort.compare s s'
+  | Var _, _ -> -1
+  | _, Var _ -> 1
+  | Err s, Err s' -> Sort.compare s s'
+  | Err _, _ -> -1
+  | _, Err _ -> 1
+  | App (f, xs), App (g, ys) ->
+    let c = Op.compare f g in
+    if c <> 0 then c else List.compare compare xs ys
+  | App _, _ -> -1
+  | _, App _ -> 1
+  | Ite (c1, t1, e1), Ite (c2, t2, e2) ->
+    List.compare compare [ c1; t1; e1 ] [ c2; t2; e2 ]
+
+let equal a b = compare a b = 0
+
+let rec size = function
+  | Var _ | Err _ -> 1
+  | App (_, args) -> List.fold_left (fun n t -> n + size t) 1 args
+  | Ite (c, t, e) -> 1 + size c + size t + size e
+
+let rec depth = function
+  | Var _ | Err _ -> 1
+  | App (_, []) -> 1
+  | App (_, args) -> 1 + List.fold_left (fun d t -> max d (depth t)) 0 args
+  | Ite (c, t, e) -> 1 + max (depth c) (max (depth t) (depth e))
+
+let rec var_set t acc =
+  match t with
+  | Var (x, s) -> if List.mem (x, s) acc then acc else (x, s) :: acc
+  | Err _ -> acc
+  | App (_, args) -> List.fold_left (fun acc t -> var_set t acc) acc args
+  | Ite (c, t, e) -> var_set e (var_set t (var_set c acc))
+
+(* first-occurrence order *)
+let vars t =
+  let rec go acc t =
+    match t with
+    | Var (x, s) -> if List.mem (x, s) acc then acc else acc @ [ (x, s) ]
+    | Err _ -> acc
+    | App (_, args) -> List.fold_left go acc args
+    | Ite (c, t, e) -> go (go (go acc c) t) e
+  in
+  go [] t
+
+let is_ground t = vars t = []
+let is_error = function Err _ -> true | _ -> false
+
+let rec ops = function
+  | Var _ | Err _ -> Op.Set.empty
+  | App (op, args) ->
+    List.fold_left
+      (fun acc t -> Op.Set.union acc (ops t))
+      (Op.Set.singleton op) args
+  | Ite (c, t, e) -> Op.Set.union (ops c) (Op.Set.union (ops t) (ops e))
+
+let rec count_op name = function
+  | Var _ | Err _ -> 0
+  | App (op, args) ->
+    let here = if String.equal (Op.name op) name then 1 else 0 in
+    List.fold_left (fun n t -> n + count_op name t) here args
+  | Ite (c, t, e) -> count_op name c + count_op name t + count_op name e
+
+type position = int list
+
+let children = function
+  | Var _ | Err _ -> []
+  | App (_, args) -> args
+  | Ite (c, t, e) -> [ c; t; e ]
+
+let positions t =
+  let rec go t =
+    []
+    :: List.concat
+         (List.mapi (fun i c -> List.map (fun p -> i :: p) (go c)) (children t))
+  in
+  go t
+
+let rec subterm_at t = function
+  | [] -> Some t
+  | i :: p -> (
+    match List.nth_opt (children t) i with
+    | None -> None
+    | Some c -> subterm_at c p)
+
+let rec replace_at t pos repl =
+  match pos with
+  | [] -> Some repl
+  | i :: p -> (
+    let replace_child args =
+      match List.nth_opt args i with
+      | None -> None
+      | Some c -> (
+        match replace_at c p repl with
+        | None -> None
+        | Some c' -> Some (List.mapi (fun j a -> if j = i then c' else a) args))
+    in
+    match t with
+    | Var _ | Err _ -> None
+    | App (op, args) -> (
+      match replace_child args with
+      | None -> None
+      | Some args' -> Some (App (op, args')))
+    | Ite (c, th, el) -> (
+      match replace_child [ c; th; el ] with
+      | Some [ c'; th'; el' ] -> Some (Ite (c', th', el'))
+      | _ -> None))
+
+let rec subterms t = t :: List.concat_map subterms (children t)
+
+let rec fold f acc t =
+  let acc = f acc t in
+  List.fold_left (fold f) acc (children t)
+
+let rec rename f = function
+  | Var (x, s) -> Var (f x, s)
+  | Err _ as t -> t
+  | App (op, args) -> App (op, List.map (rename f) args)
+  | Ite (c, t, e) -> Ite (rename f c, rename f t, rename f e)
+
+let rec map_vars f = function
+  | Var (x, s) -> f x s
+  | Err _ as t -> t
+  | App (op, args) -> App (op, List.map (map_vars f) args)
+  | Ite (c, t, e) -> Ite (map_vars f c, map_vars f t, map_vars f e)
+
+let fresh_wrt ~avoid base sort =
+  let taken name = List.exists (fun (x, _) -> String.equal x name) avoid in
+  ignore sort;
+  if not (taken base) then base
+  else
+    let rec try_idx i =
+      let candidate = Fmt.str "%s%d" base i in
+      if taken candidate then try_idx (i + 1) else candidate
+    in
+    try_idx 1
+
+let rec pp ppf = function
+  | Var (x, _) -> Fmt.string ppf x
+  | Err _ -> Fmt.string ppf "error"
+  | App (op, []) -> Op.pp ppf op
+  | App (op, args) ->
+    Fmt.pf ppf "@[<hov 1>%a(%a)@]" Op.pp op Fmt.(list ~sep:comma pp) args
+  | Ite (c, t, e) ->
+    Fmt.pf ppf "@[<hv>if %a@ then %a@ else %a@]" pp c pp t pp e
+
+let to_string t = Fmt.str "%a" pp t

@@ -1,0 +1,114 @@
+(** Many-sorted terms.
+
+    Terms are the common currency of the whole library: axioms relate terms,
+    the rewriting engine normalizes terms, implementations are checked by
+    mapping their concrete values to terms through the abstraction function.
+
+    Beyond plain variables and applications, two builtin forms mirror the
+    paper's notation:
+
+    - [Err s] is the distinguished [error] value of sort [s]. The paper
+      stipulates that "the value of any operation applied to an argument
+      list containing error is error"; that strictness rule lives in
+      {!Rewrite}, not here.
+    - [Ite (c, t, e)] is the [if c then t else e] construct that appears on
+      the right-hand sides of axioms. It is lazy in its branches (otherwise
+      the strict error rule would poison, e.g., the [else] branch of
+      [FRONT (ADD (q, i))] when [q = NEW]). *)
+
+type t =
+  | Var of string * Sort.t
+  | App of Op.t * t list
+  | Err of Sort.t
+  | Ite of t * t * t
+
+exception Ill_sorted of string
+(** Raised by the smart constructors and {!check} when an application's
+    arguments do not match the operation's declared domain. *)
+
+val var : string -> Sort.t -> t
+
+val app : Op.t -> t list -> t
+(** Checked application: raises {!Ill_sorted} on arity or sort mismatch. *)
+
+val const : Op.t -> t
+(** [const op] is [app op []]. *)
+
+val err : Sort.t -> t
+val ite : t -> t -> t -> t
+(** Checked: the condition must have sort [Bool] and the branches must have
+    equal sorts. Raises {!Ill_sorted} otherwise. *)
+
+val tt : t
+(** The Boolean constant [true]. *)
+
+val ff : t
+(** The Boolean constant [false]. *)
+
+val sort_of : t -> Sort.t
+
+val check : Signature.t -> t -> (unit, string) result
+(** Deep well-formedness check against a signature: every operation used is
+    declared (with the same rank) and every application is well sorted. *)
+
+(** {1 Structure} *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val size : t -> int
+(** Number of nodes (variables, applications, errors, ites). *)
+
+val depth : t -> int
+
+val vars : t -> (string * Sort.t) list
+(** Free variables in first-occurrence order, without duplicates. *)
+
+val var_set : t -> (string * Sort.t) list -> (string * Sort.t) list
+(** [var_set t acc] accumulates variables of [t] onto [acc] (no duplicates,
+    order unspecified); building block for {!vars} over several terms. *)
+
+val is_ground : t -> bool
+val is_error : t -> bool
+
+val ops : t -> Op.Set.t
+(** All operation symbols occurring in the term. *)
+
+val count_op : string -> t -> int
+(** Occurrences of the named operation. *)
+
+(** {1 Positions}
+
+    A position is a path from the root: [[]] is the root, [i :: p] descends
+    into child [i] (0-based; for [Ite] child 0 is the condition, 1 the then
+    branch, 2 the else branch). *)
+
+type position = int list
+
+val positions : t -> position list
+(** All positions, in pre-order. *)
+
+val subterm_at : t -> position -> t option
+val replace_at : t -> position -> t -> t option
+val subterms : t -> t list
+(** All subterms including the term itself, in pre-order. *)
+
+val fold : ('a -> t -> 'a) -> 'a -> t -> 'a
+(** Pre-order fold over all subterms. *)
+
+val rename : (string -> string) -> t -> t
+(** Renames every variable. *)
+
+val map_vars : (string -> Sort.t -> t) -> t -> t
+(** Simultaneous substitution primitive: replaces each variable by the image
+    term. The caller is responsible for sort preservation. *)
+
+val fresh_wrt : avoid:(string * Sort.t) list -> string -> Sort.t -> string
+(** [fresh_wrt ~avoid base s] is a variable name based on [base] that does
+    not occur in [avoid]. *)
+
+val pp : t Fmt.t
+(** Paper-style concrete syntax:
+    [FRONT(ADD(q, i))], [if IS_EMPTY(q) then i else FRONT(q)], [error]. *)
+
+val to_string : t -> string

@@ -1,0 +1,154 @@
+open Adt
+
+let array = Array_spec.default
+let array_sort = array.Array_spec.sort
+let list_sort = Pairlist_spec.list_sort
+
+let empty_op' = Op.v "EMPTY'" ~args:[] ~result:list_sort
+
+let assign_op' =
+  Op.v "ASSIGN'"
+    ~args:[ list_sort; Identifier.sort; Attributes.sort ]
+    ~result:list_sort
+
+let read_op' =
+  Op.v "READ'" ~args:[ list_sort; Identifier.sort ] ~result:Attributes.sort
+
+let is_undefined_op' =
+  Op.v "IS_UNDEFINED?'" ~args:[ list_sort; Identifier.sort ] ~result:Sort.bool
+
+let phi_op = Op.v "PHI_A" ~args:[ list_sort ] ~result:array_sort
+
+let empty' = Term.const empty_op'
+let assign' l id a = Term.app assign_op' [ l; id; a ]
+let read' l id = Term.app read_op' [ l; id ]
+let is_undefined' l id = Term.app is_undefined_op' [ l; id ]
+let phi l = Term.app phi_op [ l ]
+
+let generators = [ empty_op'; assign_op' ]
+
+let combined =
+  let base = Spec.union ~name:"Array_as_List" Pairlist_spec.spec Builtins.bool_spec in
+  (* the abstract Array constructors, the range of PHI_A *)
+  let abstract_ops =
+    [
+      Spec.op_exn array.Array_spec.spec "EMPTY";
+      Spec.op_exn array.Array_spec.spec "ASSIGN";
+    ]
+  in
+  let signature =
+    List.fold_left
+      (fun sg op -> Signature.add_op op sg)
+      (Signature.add_sort array_sort (Spec.signature base))
+      (abstract_ops
+      @ [ empty_op'; assign_op'; read_op'; is_undefined_op'; phi_op ])
+  in
+  let l = Term.var "l" list_sort
+  and id = Term.var "id" Identifier.sort
+  and attrs = Term.var "attrs" Attributes.sort in
+  let same a b = Term.app (Spec.op_exn Identifier.spec "SAME?") [ a; b ] in
+  let open Pairlist_spec in
+  let ax name lhs rhs = Axiom.v ~name ~lhs ~rhs () in
+  let defs =
+    [
+      ax "def_empty" empty' nil;
+      ax "def_assign" (assign' l id attrs) (cons (pair id attrs) l);
+      ax "def_read" (read' l id)
+        (Term.ite (is_nil l)
+           (Term.err Attributes.sort)
+           (Term.ite
+              (same (fst_ (head l)) id)
+              (snd_ (head l))
+              (read' (tail l) id)));
+      ax "def_undef" (is_undefined' l id)
+        (Term.ite (is_nil l) Term.tt
+           (Term.ite (same (fst_ (head l)) id) Term.ff
+              (is_undefined' (tail l) id)));
+      ax "phi_nil" (phi nil) array.Array_spec.empty;
+      ax "phi_cons"
+        (phi (cons (Term.var "p" Pairlist_spec.pair_sort) l))
+        (array.Array_spec.assign (phi l)
+           (fst_ (Term.var "p" Pairlist_spec.pair_sort))
+           (snd_ (Term.var "p" Pairlist_spec.pair_sort)));
+    ]
+  in
+  let fresh =
+    Spec.v ~name:"Array_as_List" ~signature
+      ~constructors:[ "EMPTY"; "ASSIGN" ]
+      ~axioms:defs ()
+  in
+  Spec.union ~name:"Array_as_List" base fresh
+
+let primed_name = function
+  | "EMPTY" -> Some empty_op'
+  | "ASSIGN" -> Some assign_op'
+  | "READ" -> Some read_op'
+  | "IS_UNDEFINED?" -> Some is_undefined_op'
+  | _ -> None
+
+let rec translate term =
+  match term with
+  | Term.Var (x, s) when Sort.equal s array_sort -> Term.var x list_sort
+  | Term.Var _ -> term
+  | Term.Err s when Sort.equal s array_sort -> Term.err list_sort
+  | Term.Err _ -> term
+  | Term.App (op, args) -> (
+    let args = List.map translate args in
+    match primed_name (Op.name op) with
+    | Some op' -> Term.app op' args
+    | None -> Term.app op args)
+  | Term.Ite (c, a, b) -> Term.ite (translate c) (translate a) (translate b)
+
+let obligation axiom =
+  let lhs = translate (Axiom.lhs axiom) and rhs = translate (Axiom.rhs axiom) in
+  if Sort.equal (Term.sort_of lhs) list_sort then (phi lhs, phi rhs)
+  else (lhs, rhs)
+
+type result = {
+  axiom_name : string;
+  goal : Term.t * Term.t;
+  outcome : Proof.outcome;
+}
+
+let array_axioms () =
+  List.filter
+    (fun ax ->
+      match int_of_string_opt (Axiom.name ax) with
+      | Some n -> n >= 17 && n <= 20
+      | None -> false)
+    (Spec.axioms array.Array_spec.spec)
+
+let verify () =
+  (* unlike the Symboltable proof, no reachability invariant is needed:
+     every list value denotes an array *)
+  let cfg =
+    Proof.config ~generators:[ (list_sort, generators) ] ~max_case_depth:6
+      ~fuel:5_000 ~max_goals:150
+      combined
+  in
+  List.map
+    (fun ax ->
+      let goal = obligation ax in
+      { axiom_name = Axiom.name ax; goal; outcome = Proof.prove cfg goal })
+    (array_axioms ())
+
+let all_proved results =
+  results <> []
+  && List.for_all
+       (fun r ->
+         match r.outcome with Proof.Proved _ -> true | Proof.Unknown _ -> false)
+       results
+
+let pp_results ppf results =
+  Fmt.pf ppf "@[<v>%a@]"
+    Fmt.(
+      list ~sep:cut (fun ppf r ->
+          let verdict =
+            match r.outcome with
+            | Proof.Proved p ->
+              Fmt.str "proved (%d step(s), depth %d)" (Proof.proof_size p)
+                (Proof.proof_depth p)
+            | Proof.Unknown _ -> "UNKNOWN"
+          in
+          Fmt.pf ppf "axiom %s: %s" r.axiom_name verdict))
+    results

@@ -1,0 +1,41 @@
+(** A second representation proof, by the same method as {!Refinement}:
+    type Array (the paper's axioms 17-20) implemented as a list of
+    (Identifier, Attributelist) pairs.
+
+    The paper argues (section 5) that algebraic specifications let the
+    designer delay the choice between "a hash table" and "a linear list";
+    {!Refinement} verifies nothing about the Array representation itself,
+    and the OCaml implementations are checked by testing ({!Model.check}).
+    Here the list representation is verified {e deductively}: primed
+    operations [EMPTY'], [ASSIGN'], [READ'], [IS_UNDEFINED?'] over
+    {!Pairlist_spec}, an abstraction function [PHI_A], and one proof
+    obligation per Array axiom. Unlike the Symboltable proof, no
+    reachability invariant is needed — every list denotes an array — so
+    this instance is unconditional. *)
+
+open Adt
+
+val combined : Spec.t
+
+val empty' : Term.t
+val assign' : Term.t -> Term.t -> Term.t -> Term.t
+val read' : Term.t -> Term.t -> Term.t
+val is_undefined' : Term.t -> Term.t -> Term.t
+val phi : Term.t -> Term.t
+
+val generators : Op.t list
+(** [EMPTY'; ASSIGN'] — the images of the abstract constructors. *)
+
+val obligation : Axiom.t -> Term.t * Term.t
+
+type result = {
+  axiom_name : string;
+  goal : Term.t * Term.t;
+  outcome : Proof.outcome;
+}
+
+val verify : unit -> result list
+(** One result per Array axiom 17-20. *)
+
+val all_proved : result list -> bool
+val pp_results : result list Fmt.t

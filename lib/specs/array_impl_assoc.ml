@@ -1,0 +1,16 @@
+open Adt
+
+(* newest assignment first *)
+type t = (Term.t * Term.t) list
+
+let impl_name = "assoc-list array"
+let empty () = []
+let assign arr k v = (k, v) :: arr
+
+let read arr k =
+  List.find_map
+    (fun (k', v) -> if Term.equal k k' then Some v else None)
+    arr
+
+let is_undefined arr k = Option.is_none (read arr k)
+let bindings arr = List.rev arr

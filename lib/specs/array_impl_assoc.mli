@@ -1,0 +1,9 @@
+(** The association-list implementation of type Array.
+
+    The simple persistent representation a designer might start with; the
+    paper's point about algebraic specifications is precisely that this
+    choice can be delayed and later swapped for the hash table without
+    touching clients (experiment E6 benchmarks the two). Reads are O(n) in
+    the number of assignments. *)
+
+include Array_intf.ARRAY

@@ -1,0 +1,34 @@
+open Adt
+
+let buckets = 64
+
+type t = {
+  table : (Term.t * Term.t) list array;
+  mutable log : (Term.t * Term.t) list; (* newest first *)
+}
+
+let impl_name = "hash-table array"
+let empty () = { table = Array.make buckets []; log = [] }
+(* identifiers are atom constants, so hashing the operation name suffices
+   and stays O(1); other key shapes fall back to the rendered term *)
+let slot k =
+  let key =
+    match k with
+    | Term.App (op, []) -> Op.name op
+    | t -> Term.to_string t
+  in
+  Hashtbl.hash key mod buckets
+
+let assign arr k v =
+  let i = slot k in
+  arr.table.(i) <- (k, v) :: arr.table.(i);
+  arr.log <- (k, v) :: arr.log;
+  arr
+
+let read arr k =
+  List.find_map
+    (fun (k', v) -> if Term.equal k k' then Some v else None)
+    arr.table.(slot k)
+
+let is_undefined arr k = Option.is_none (read arr k)
+let bindings arr = List.rev arr.log

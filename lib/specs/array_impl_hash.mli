@@ -1,0 +1,15 @@
+(** The hash-table implementation of type Array — the paper's PL/I code:
+    an array of [n] bucket pointers, [ASSIGN] allocating a new entry at the
+    head of the bucket selected by [HASH], [READ]/[IS_UNDEF?] scanning that
+    bucket.
+
+    Imperative, like the original: [assign] mutates in place and returns
+    the same table, so values must be used linearly (which every client in
+    this repository — the model checker's per-occurrence evaluation, the
+    symbol-table workloads — does). An insertion log is kept so the
+    abstraction function can reconstruct the assignment order. *)
+
+include Array_intf.ARRAY
+
+val buckets : int
+(** The fixed table width [n]. *)

@@ -1,0 +1,47 @@
+(** The common interface of the Array implementations.
+
+    Keys and values are terms; key equality is structural term equality,
+    which coincides with the specification's [SAME?] on identifier atoms.
+    [bindings] reports the full assignment log in order (earliest first,
+    shadowed entries included) — the information the abstraction function
+    [Phi] needs to rebuild the iterated-[ASSIGN] constructor term. *)
+
+open Adt
+
+module type ARRAY = sig
+  type t
+
+  val impl_name : string
+
+  val empty : unit -> t
+
+  val assign : t -> Term.t -> Term.t -> t
+  (** May mutate its argument (the hash implementation is imperative like
+      the paper's PL/I original); use values linearly. *)
+
+  val read : t -> Term.t -> Term.t option
+  (** The value of the {e most recent} assignment to the key; [None] when
+      undefined (the specification's [error]). *)
+
+  val is_undefined : t -> Term.t -> bool
+  val bindings : t -> (Term.t * Term.t) list
+end
+
+(** The model adapter, shared by every ARRAY implementation. *)
+let model (type a) (module A : ARRAY with type t = a) (inst : Array_spec.t) :
+    a Model.t =
+  let abstraction arr = Array_spec.of_bindings inst (A.bindings arr) in
+  let interp name (args : a Model.value list) : a Model.value option =
+    match (name, args) with
+    | "EMPTY", [] -> Some (Model.Rep (A.empty ()))
+    | "ASSIGN", [ Model.Rep arr; Model.Foreign k; Model.Foreign v ] ->
+      Some (Model.Rep (A.assign arr k v))
+    | "READ", [ Model.Rep arr; Model.Foreign k ] -> (
+      match A.read arr k with
+      | Some v -> Some (Model.Foreign v)
+      | None -> raise (Model.Impl_error "READ of undefined index"))
+    | "IS_UNDEFINED?", [ Model.Rep arr; Model.Foreign k ] ->
+      Some (Model.Foreign (if A.is_undefined arr k then Term.tt else Term.ff))
+    | _ -> None
+  in
+  { Model.model_name = A.impl_name; interp; abstraction }

@@ -1,0 +1,74 @@
+open Adt
+
+type t = {
+  spec : Spec.t;
+  sort : Sort.t;
+  index_sort : Sort.t;
+  value_sort : Sort.t;
+  empty : Term.t;
+  assign : Term.t -> Term.t -> Term.t -> Term.t;
+  read : Term.t -> Term.t -> Term.t;
+  is_undefined : Term.t -> Term.t -> Term.t;
+}
+
+let make ?(sort_name = "Array") ~index ~index_sort ~same ~value ~value_sort ()
+    =
+  let same_op =
+    match Spec.find_op same index with
+    | Some op -> op
+    | None ->
+      invalid_arg
+        (Fmt.str "Array_spec.make: index specification has no %s operation"
+           same)
+  in
+  let sort = Sort.v sort_name in
+  let empty_op = Op.v "EMPTY" ~args:[] ~result:sort in
+  let assign_op =
+    Op.v "ASSIGN" ~args:[ sort; index_sort; value_sort ] ~result:sort
+  in
+  let read_op = Op.v "READ" ~args:[ sort; index_sort ] ~result:value_sort in
+  let is_undefined_op =
+    Op.v "IS_UNDEFINED?" ~args:[ sort; index_sort ] ~result:Sort.bool
+  in
+  let empty = Term.const empty_op in
+  let assign a i v = Term.app assign_op [ a; i; v ] in
+  let read a i = Term.app read_op [ a; i ] in
+  let is_undefined a i = Term.app is_undefined_op [ a; i ] in
+  let same a b = Term.app same_op [ a; b ] in
+  let base = Spec.union ~name:sort_name index value in
+  let signature =
+    List.fold_left
+      (fun sg op -> Signature.add_op op sg)
+      (Signature.add_sort sort (Spec.signature base))
+      [ empty_op; assign_op; read_op; is_undefined_op ]
+  in
+  let arr = Term.var "arr" sort
+  and idx = Term.var "id" index_sort
+  and idx' = Term.var "id1" index_sort
+  and v = Term.var "attrs" value_sort in
+  let ax name lhs rhs = Axiom.v ~name ~lhs ~rhs () in
+  let fresh =
+    Spec.v ~name:sort_name ~signature
+      ~constructors:[ "EMPTY"; "ASSIGN" ]
+      ~axioms:
+        [
+          ax "17" (is_undefined empty idx) Term.tt;
+          ax "18"
+            (is_undefined (assign arr idx v) idx')
+            (Term.ite (same idx idx') Term.ff (is_undefined arr idx'));
+          ax "19" (read empty idx) (Term.err value_sort);
+          ax "20"
+            (read (assign arr idx v) idx')
+            (Term.ite (same idx idx') v (read arr idx'));
+        ]
+      ()
+  in
+  let spec = Spec.union ~name:sort_name base fresh in
+  { spec; sort; index_sort; value_sort; empty; assign; read; is_undefined }
+
+let default =
+  make ~index:Identifier.spec ~index_sort:Identifier.sort ~same:"SAME?"
+    ~value:Attributes.spec ~value_sort:Attributes.sort ()
+
+let of_bindings t bindings =
+  List.fold_left (fun arr (i, v) -> t.assign arr i v) t.empty bindings

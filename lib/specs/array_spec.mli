@@ -1,0 +1,41 @@
+(** Type Array — the paper's axioms 17-20 (section 4).
+
+    An applicative array (finite map) from an index type to a value type:
+    [EMPTY], [ASSIGN], [READ], [IS_UNDEFINED?]. The paper instantiates it
+    as Array (of Attributelists) indexed by Identifier; the constructor is
+    parameterised accordingly. The index specification must supply a
+    [SAME?] equality operation (as the paper's Identifier does). *)
+
+open Adt
+
+type t = {
+  spec : Spec.t;
+  sort : Sort.t;
+  index_sort : Sort.t;
+  value_sort : Sort.t;
+  empty : Term.t;
+  assign : Term.t -> Term.t -> Term.t -> Term.t;
+      (** [assign arr index value]. *)
+  read : Term.t -> Term.t -> Term.t;
+  is_undefined : Term.t -> Term.t -> Term.t;
+}
+
+val make :
+  ?sort_name:string ->
+  index:Spec.t ->
+  index_sort:Sort.t ->
+  same:string ->
+  value:Spec.t ->
+  value_sort:Sort.t ->
+  unit ->
+  t
+(** [same] names the index equality operation (["SAME?"] for
+    {!Identifier.spec}). Raises [Invalid_argument] when the index
+    specification lacks it. *)
+
+val default : t
+(** Array (of Attributelists) indexed by Identifier — the paper's
+    instance. *)
+
+val of_bindings : t -> (Term.t * Term.t) list -> Term.t
+(** Later bindings shadow earlier ones, as iterated [ASSIGN]. *)

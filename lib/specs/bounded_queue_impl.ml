@@ -1,0 +1,78 @@
+open Adt
+
+let bound = Bounded_queue_spec.bound
+
+type t = { slots : Term.t option array; head : int; len : int }
+
+exception Error
+
+let empty = { slots = Array.make bound None; head = 0; len = 0 }
+let is_empty q = q.len = 0
+let is_full q = q.len = bound
+let size q = q.len
+
+let add q item =
+  if is_full q then raise Error
+  else begin
+    let slots = Array.copy q.slots in
+    slots.((q.head + q.len) mod bound) <- Some item;
+    { q with slots; len = q.len + 1 }
+  end
+
+let front q =
+  if is_empty q then raise Error
+  else match q.slots.(q.head) with Some i -> i | None -> raise Error
+
+let remove q =
+  if is_empty q then raise Error
+  else { q with head = (q.head + 1) mod bound; len = q.len - 1 }
+
+let slots q = Array.copy q.slots
+let head q = q.head
+
+let state_equal a b =
+  a.head = b.head && a.len = b.len
+  && Array.for_all2 (Option.equal Term.equal) a.slots b.slots
+
+let to_list q =
+  List.init q.len (fun i ->
+      match q.slots.((q.head + i) mod bound) with
+      | Some item -> item
+      | None -> raise Error)
+
+let abstraction q = Bounded_queue_spec.of_items (to_list q)
+
+let model =
+  let interp name (args : t Model.value list) : t Model.value option =
+    match (name, args) with
+    | "EMPTY_Q", [] -> Some (Model.Rep empty)
+    | "ADD_Q", [ Model.Rep q; Model.Foreign i ] -> (
+      match add q i with
+      | q' -> Some (Model.Rep q')
+      | exception Error -> raise (Model.Impl_error "ADD_Q of full queue"))
+    | "FRONT_Q", [ Model.Rep q ] -> (
+      match front q with
+      | i -> Some (Model.Foreign i)
+      | exception Error -> raise (Model.Impl_error "FRONT_Q of empty queue"))
+    | "REMOVE_Q", [ Model.Rep q ] -> (
+      match remove q with
+      | q' -> Some (Model.Rep q')
+      | exception Error -> raise (Model.Impl_error "REMOVE_Q of empty queue"))
+    | "IS_EMPTY_Q?", [ Model.Rep q ] ->
+      Some (Model.Foreign (if is_empty q then Term.tt else Term.ff))
+    | "IS_FULL?", [ Model.Rep q ] ->
+      Some (Model.Foreign (if is_full q then Term.tt else Term.ff))
+    | "SIZE_Q", [ Model.Rep q ] ->
+      Some (Model.Foreign (Builtins.nat_of_int (size q)))
+    | _ -> None
+  in
+  { Model.model_name = "ring-buffer bounded queue"; interp; abstraction }
+
+let pp_state ppf q =
+  let slot ppf = function
+    | None -> Fmt.string ppf "."
+    | Some item -> Term.pp ppf item
+  in
+  Fmt.pf ppf "@[<h>[%a] head=%d len=%d@]"
+    Fmt.(array ~sep:sp slot)
+    q.slots q.head q.len

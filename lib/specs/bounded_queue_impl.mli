@@ -1,0 +1,42 @@
+(** The ring-buffer implementation of the Bounded Queue — the paper's
+    figures: a circular buffer of {!Bounded_queue_spec.bound} slots and a
+    pointer. Removed elements are left stale in their slots, so distinct
+    internal states can denote the same abstract value: the abstraction
+    function [Phi] is many-to-one, which is the point the paper makes with
+    this type ("the mapping from values to representations, [Phi^-1], may
+    be one-to-many").
+
+    [add] on a full queue raises {!Error} — the bound is a client
+    obligation, the same conditional-correctness shape as the paper's
+    Assumption 1. *)
+
+open Adt
+
+type t
+
+exception Error
+
+val empty : t
+val add : t -> Term.t -> t
+val front : t -> Term.t
+val remove : t -> t
+val is_empty : t -> bool
+val is_full : t -> bool
+val size : t -> int
+
+val slots : t -> Term.t option array
+(** A copy of the raw slot contents, stale entries included. *)
+
+val head : t -> int
+
+val state_equal : t -> t -> bool
+(** Equality of the {e internal} states (slots, head pointer, length) —
+    deliberately finer than abstract equality. *)
+
+val abstraction : t -> Term.t
+(** [Phi] into {!Bounded_queue_spec.spec} constructor terms. *)
+
+val model : t Model.t
+
+val pp_state : t Fmt.t
+(** Renders the ring and pointer, like the paper's diagrams. *)

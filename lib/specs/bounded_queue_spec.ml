@@ -1,0 +1,56 @@
+open Adt
+
+let bound = 3
+let sort = Sort.v "BQueue"
+
+let empty_op = Op.v "EMPTY_Q" ~args:[] ~result:sort
+let add_op = Op.v "ADD_Q" ~args:[ sort; Builtins.item_sort ] ~result:sort
+let front_op = Op.v "FRONT_Q" ~args:[ sort ] ~result:Builtins.item_sort
+let remove_op = Op.v "REMOVE_Q" ~args:[ sort ] ~result:sort
+let is_empty_op = Op.v "IS_EMPTY_Q?" ~args:[ sort ] ~result:Sort.bool
+let size_op = Op.v "SIZE_Q" ~args:[ sort ] ~result:Builtins.nat_sort
+let is_full_op = Op.v "IS_FULL?" ~args:[ sort ] ~result:Sort.bool
+
+let empty_q = Term.const empty_op
+let add_q q i = Term.app add_op [ q; i ]
+let front_q q = Term.app front_op [ q ]
+let remove_q q = Term.app remove_op [ q ]
+let is_empty_q q = Term.app is_empty_op [ q ]
+let size_q q = Term.app size_op [ q ]
+let is_full q = Term.app is_full_op [ q ]
+
+let spec =
+  let base =
+    Spec.union ~name:"BoundedQueue" Builtins.item_spec Builtins.nat_spec
+  in
+  let signature =
+    List.fold_left
+      (fun sg op -> Signature.add_op op sg)
+      (Signature.add_sort sort (Spec.signature base))
+      [ empty_op; add_op; front_op; remove_op; is_empty_op; size_op; is_full_op ]
+  in
+  let q = Term.var "q" sort and i = Term.var "i" Builtins.item_sort in
+  let ax name lhs rhs = Axiom.v ~name ~lhs ~rhs () in
+  let fresh =
+    Spec.v ~name:"BoundedQueue" ~signature
+      ~constructors:[ "EMPTY_Q"; "ADD_Q" ]
+      ~axioms:
+        [
+          ax "b1" (is_empty_q empty_q) Term.tt;
+          ax "b2" (is_empty_q (add_q q i)) Term.ff;
+          ax "b3" (front_q empty_q) (Term.err Builtins.item_sort);
+          ax "b4" (front_q (add_q q i))
+            (Term.ite (is_empty_q q) i (front_q q));
+          ax "b5" (remove_q empty_q) (Term.err sort);
+          ax "b6" (remove_q (add_q q i))
+            (Term.ite (is_empty_q q) empty_q (add_q (remove_q q) i));
+          ax "b7" (size_q empty_q) Builtins.zero;
+          ax "b8" (size_q (add_q q i)) (Builtins.succ (size_q q));
+          ax "b9" (is_full q)
+            (Builtins.eq_nat (size_q q) (Builtins.nat_of_int bound));
+        ]
+      ()
+  in
+  Spec.union ~name:"BoundedQueue" base fresh
+
+let of_items items = List.fold_left add_q empty_q items

@@ -1,0 +1,29 @@
+(** Type Bounded Queue (maximum length three) — the representation
+    discussion of section 4.
+
+    The paper introduces this type to show that the abstraction function
+    [Phi] "may not have a proper inverse": a ring-buffer representation
+    reaches distinct concrete states that denote the same abstract value.
+    The abstract specification is the Queue specification extended with
+    observers [SIZE_Q] and [IS_FULL?]; the length bound is a constraint on
+    clients ([ADD_Q] on a full queue is an error in the implementation), in
+    the same "conditional correctness" sense as the paper's Assumption 1 —
+    see {!Bounded_queue_impl}. *)
+
+open Adt
+
+val bound : int
+(** 3, as in the paper. *)
+
+val sort : Sort.t
+val spec : Spec.t
+
+val empty_q : Term.t
+val add_q : Term.t -> Term.t -> Term.t
+val front_q : Term.t -> Term.t
+val remove_q : Term.t -> Term.t
+val is_empty_q : Term.t -> Term.t
+val size_q : Term.t -> Term.t
+val is_full : Term.t -> Term.t
+
+val of_items : Term.t list -> Term.t

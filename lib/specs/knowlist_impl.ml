@@ -1,0 +1,22 @@
+open Adt
+
+(* appended identifiers, oldest first *)
+type t = Term.t list
+
+let create = []
+let append k id = k @ [ id ]
+let is_in k id = List.exists (Term.equal id) k
+let of_ids ids = ids
+let abstraction k = Knowlist_spec.of_ids k
+
+let model =
+  let interp name (args : t Model.value list) : t Model.value option =
+    match (name, args) with
+    | "CREATE", [] -> Some (Model.Rep create)
+    | "APPEND", [ Model.Rep k; Model.Foreign id ] ->
+      Some (Model.Rep (append k id))
+    | "IS_IN?", [ Model.Rep k; Model.Foreign id ] ->
+      Some (Model.Foreign (if is_in k id then Term.tt else Term.ff))
+    | _ -> None
+  in
+  { Model.model_name = "list knowlist"; interp; abstraction }

@@ -1,0 +1,13 @@
+(** The list implementation of type Knowlist ("trivial", as the paper
+    says). *)
+
+open Adt
+
+type t
+
+val create : t
+val append : t -> Term.t -> t
+val is_in : t -> Term.t -> bool
+val of_ids : Term.t list -> t
+val abstraction : t -> Term.t
+val model : t Model.t

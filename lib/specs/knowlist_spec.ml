@@ -1,0 +1,41 @@
+open Adt
+
+let sort = Sort.v "Knowlist"
+
+let create_op = Op.v "CREATE" ~args:[] ~result:sort
+let append_op = Op.v "APPEND" ~args:[ sort; Identifier.sort ] ~result:sort
+let is_in_op = Op.v "IS_IN?" ~args:[ sort; Identifier.sort ] ~result:Sort.bool
+
+let create = Term.const create_op
+let append k id = Term.app append_op [ k; id ]
+let is_in k id = Term.app is_in_op [ k; id ]
+
+let make ~identifier =
+  let signature =
+    List.fold_left
+      (fun sg op -> Signature.add_op op sg)
+      (Signature.add_sort sort (Spec.signature identifier))
+      [ create_op; append_op; is_in_op ]
+  in
+  let klist = Term.var "klist" sort
+  and id = Term.var "id" Identifier.sort
+  and id1 = Term.var "id1" Identifier.sort in
+  let same a b = Term.app (Spec.op_exn identifier "SAME?") [ a; b ] in
+  let ax name lhs rhs = Axiom.v ~name ~lhs ~rhs () in
+  let fresh =
+    Spec.v ~name:"Knowlist" ~signature
+      ~constructors:[ "CREATE"; "APPEND" ]
+      ~axioms:
+        [
+          ax "k1" (is_in create id) Term.ff;
+          ax "k2"
+            (is_in (append klist id) id1)
+            (Term.ite (same id id1) Term.tt (is_in klist id1));
+        ]
+      ()
+  in
+  Spec.union ~name:"Knowlist" identifier fresh
+
+let spec = make ~identifier:Identifier.spec
+
+let of_ids ids = List.fold_left append create ids

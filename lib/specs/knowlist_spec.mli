@@ -1,0 +1,18 @@
+(** Type Knowlist — the paper's language-change exercise (end of section
+    4): a "knows list" names, at block entry, the nonlocal variables a
+    block may use. Operations [CREATE], [APPEND], [IS_IN?] with the
+    paper's axioms. *)
+
+open Adt
+
+val sort : Sort.t
+val spec : Spec.t
+
+val make : identifier:Spec.t -> Spec.t
+(** The same specification over a custom identifier universe. *)
+
+val create : Term.t
+val append : Term.t -> Term.t -> Term.t
+val is_in : Term.t -> Term.t -> Term.t
+
+val of_ids : Term.t list -> Term.t

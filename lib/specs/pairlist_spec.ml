@@ -1,0 +1,60 @@
+open Adt
+
+let pair_sort = Sort.v "IdAttrPair"
+let list_sort = Sort.v "PList"
+
+let pair_op =
+  Op.v "PAIR" ~args:[ Identifier.sort; Attributes.sort ] ~result:pair_sort
+
+let fst_op = Op.v "FST" ~args:[ pair_sort ] ~result:Identifier.sort
+let snd_op = Op.v "SND" ~args:[ pair_sort ] ~result:Attributes.sort
+let nil_op = Op.v "NIL" ~args:[] ~result:list_sort
+let cons_op = Op.v "CONS" ~args:[ pair_sort; list_sort ] ~result:list_sort
+let head_op = Op.v "HEAD" ~args:[ list_sort ] ~result:pair_sort
+let tail_op = Op.v "TAIL" ~args:[ list_sort ] ~result:list_sort
+let is_nil_op = Op.v "IS_NIL?" ~args:[ list_sort ] ~result:Sort.bool
+
+let pair id attrs = Term.app pair_op [ id; attrs ]
+let fst_ p = Term.app fst_op [ p ]
+let snd_ p = Term.app snd_op [ p ]
+let nil = Term.const nil_op
+let cons p l = Term.app cons_op [ p; l ]
+let head l = Term.app head_op [ l ]
+let tail l = Term.app tail_op [ l ]
+let is_nil l = Term.app is_nil_op [ l ]
+
+let spec =
+  let base = Spec.union ~name:"PairList" Identifier.spec Attributes.spec in
+  let signature =
+    List.fold_left
+      (fun sg op -> Signature.add_op op sg)
+      (Signature.add_sort list_sort
+         (Signature.add_sort pair_sort (Spec.signature base)))
+      [ pair_op; fst_op; snd_op; nil_op; cons_op; head_op; tail_op; is_nil_op ]
+  in
+  let id = Term.var "id" Identifier.sort
+  and attrs = Term.var "attrs" Attributes.sort
+  and p = Term.var "p" pair_sort
+  and l = Term.var "l" list_sort in
+  let ax name lhs rhs = Axiom.v ~name ~lhs ~rhs () in
+  let fresh =
+    Spec.v ~name:"PairList" ~signature
+      ~constructors:[ "PAIR"; "NIL"; "CONS" ]
+      ~axioms:
+        [
+          ax "fst" (fst_ (pair id attrs)) id;
+          ax "snd" (snd_ (pair id attrs)) attrs;
+          ax "isnil_nil" (is_nil nil) Term.tt;
+          ax "isnil_cons" (is_nil (cons p l)) Term.ff;
+          ax "head_nil" (head nil) (Term.err pair_sort);
+          ax "head_cons" (head (cons p l)) p;
+          ax "tail_nil" (tail nil) (Term.err list_sort);
+          ax "tail_cons" (tail (cons p l)) l;
+        ]
+      ()
+  in
+  Spec.union ~name:"PairList" base fresh
+
+(* bindings arrive in assignment order; the most recent ends at the head *)
+let of_bindings bindings =
+  List.fold_left (fun l (id, attrs) -> cons (pair id attrs) l) nil bindings

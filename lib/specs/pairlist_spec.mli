@@ -1,0 +1,31 @@
+(** A substrate for the second representation exercise: lists of
+    (Identifier, Attributelist) pairs.
+
+    The paper implements its Array with a hash table; this module supplies
+    the algebraic substrate for the *other* natural representation — the
+    linear list the designer might have started with — so that
+    {!Array_as_list} can replay the section-4 refinement method on a second
+    example. [Pair] carries projections [FST]/[SND]; [PList] is a cons list
+    with [HEAD]/[TAIL]/[IS_NIL?]. *)
+
+open Adt
+
+val pair_sort : Sort.t
+val list_sort : Sort.t
+
+val spec : Spec.t
+(** Uses {!Identifier.spec} and {!Attributes.spec}. *)
+
+val pair : Term.t -> Term.t -> Term.t
+(** [pair id attrs]. *)
+
+val fst_ : Term.t -> Term.t
+val snd_ : Term.t -> Term.t
+val nil : Term.t
+val cons : Term.t -> Term.t -> Term.t
+val head : Term.t -> Term.t
+val tail : Term.t -> Term.t
+val is_nil : Term.t -> Term.t
+
+val of_bindings : (Term.t * Term.t) list -> Term.t
+(** Most recent binding first, as iterated [CONS]. *)

@@ -1,0 +1,50 @@
+open Adt
+
+type t = { front_part : Term.t list; back_part : Term.t list }
+
+exception Error
+
+let empty = { front_part = []; back_part = [] }
+
+let is_empty q = q.front_part = [] && q.back_part = []
+
+let add q item =
+  if is_empty q then { front_part = [ item ]; back_part = [] }
+  else { q with back_part = item :: q.back_part }
+
+let norm q =
+  match q.front_part with
+  | [] -> { front_part = List.rev q.back_part; back_part = [] }
+  | _ -> q
+
+let front q =
+  match (norm q).front_part with [] -> raise Error | i :: _ -> i
+
+let remove q =
+  let q = norm q in
+  match q.front_part with
+  | [] -> raise Error
+  | _ :: rest -> norm { front_part = rest; back_part = q.back_part }
+
+let to_list q = q.front_part @ List.rev q.back_part
+let length q = List.length q.front_part + List.length q.back_part
+let abstraction q = Queue_spec.of_items (to_list q)
+
+let model =
+  let interp name (args : t Model.value list) : t Model.value option =
+    match (name, args) with
+    | "NEW", [] -> Some (Model.Rep empty)
+    | "ADD", [ Model.Rep q; Model.Foreign i ] -> Some (Model.Rep (add q i))
+    | "FRONT", [ Model.Rep q ] -> (
+      match front q with
+      | i -> Some (Model.Foreign i)
+      | exception Error -> raise (Model.Impl_error "FRONT of empty queue"))
+    | "REMOVE", [ Model.Rep q ] -> (
+      match remove q with
+      | q' -> Some (Model.Rep q')
+      | exception Error -> raise (Model.Impl_error "REMOVE of empty queue"))
+    | "IS_EMPTY?", [ Model.Rep q ] ->
+      Some (Model.Foreign (if is_empty q then Term.tt else Term.ff))
+    | _ -> None
+  in
+  { Model.model_name = "two-list queue"; interp; abstraction }

@@ -1,0 +1,35 @@
+(** A direct implementation of type Queue: the classic two-list functional
+    queue (amortised O(1) [ADD]/[REMOVE], versus the symbolic interpreter's
+    O(n) rewriting per operation — benchmark E1 measures the gap the paper
+    concedes in section 5).
+
+    Items are represented by their terms; the abstraction function [Phi]
+    rebuilds the [ADD(...(NEW, i1)..., in)] constructor normal form the
+    specification denotes. *)
+
+open Adt
+
+type t
+
+exception Error
+(** The distinguished [error] value ([FRONT]/[REMOVE] of the empty
+    queue). *)
+
+val empty : t
+val add : t -> Term.t -> t
+val front : t -> Term.t
+(** Raises {!Error} on the empty queue. *)
+
+val remove : t -> t
+(** Raises {!Error} on the empty queue. *)
+
+val is_empty : t -> bool
+val length : t -> int
+val to_list : t -> Term.t list
+(** Front first. *)
+
+val abstraction : t -> Term.t
+(** [Phi] into {!Queue_spec.spec} constructor terms. *)
+
+val model : t Model.t
+(** The packaged model of {!Queue_spec.spec} for {!Model.check}. *)

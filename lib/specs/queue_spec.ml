@@ -1,0 +1,50 @@
+open Adt
+
+let sort = Sort.v "Queue"
+
+let new_op = Op.v "NEW" ~args:[] ~result:sort
+let add_op = Op.v "ADD" ~args:[ sort; Builtins.item_sort ] ~result:sort
+let front_op = Op.v "FRONT" ~args:[ sort ] ~result:Builtins.item_sort
+let remove_op = Op.v "REMOVE" ~args:[ sort ] ~result:sort
+let is_empty_op = Op.v "IS_EMPTY?" ~args:[ sort ] ~result:Sort.bool
+
+let new_ = Term.const new_op
+let add q i = Term.app add_op [ q; i ]
+let front q = Term.app front_op [ q ]
+let remove q = Term.app remove_op [ q ]
+let is_empty q = Term.app is_empty_op [ q ]
+
+let spec =
+  let signature =
+    List.fold_left
+      (fun sg op -> Signature.add_op op sg)
+      (Signature.add_sort sort (Spec.signature Builtins.item_spec))
+      [ new_op; add_op; front_op; remove_op; is_empty_op ]
+  in
+  let q = Term.var "q" sort and i = Term.var "i" Builtins.item_sort in
+  let ax name lhs rhs = Axiom.v ~name ~lhs ~rhs () in
+  let fresh =
+    Spec.v ~name:"Queue" ~signature
+      ~constructors:[ "NEW"; "ADD" ]
+      ~axioms:
+        [
+          ax "1" (is_empty new_) Term.tt;
+          ax "2" (is_empty (add q i)) Term.ff;
+          ax "3" (front new_) (Term.err Builtins.item_sort);
+          ax "4" (front (add q i)) (Term.ite (is_empty q) i (front q));
+          ax "5" (remove new_) (Term.err sort);
+          ax "6" (remove (add q i)) (Term.ite (is_empty q) new_ (add (remove q) i));
+        ]
+      ()
+  in
+  Spec.union ~name:"Queue" Builtins.item_spec fresh
+
+let of_items items = List.fold_left add new_ items
+
+let to_items term =
+  let rec go acc = function
+    | Term.App (op, []) when Op.equal op new_op -> Some acc
+    | Term.App (op, [ q; i ]) when Op.equal op add_op -> go (i :: acc) q
+    | _ -> None
+  in
+  go [] term

@@ -1,0 +1,28 @@
+(** Type Queue (of Items) — the paper's short example, section 3.
+
+    Operations [NEW], [ADD], [FRONT], [REMOVE], [IS_EMPTY?] with axioms 1-6
+    exactly as printed; "the distinguishing characteristic of a queue is
+    that it is a first in - first out storage device" and the axioms assert
+    "that and only that characteristic". *)
+
+open Adt
+
+val sort : Sort.t
+
+val spec : Spec.t
+(** Uses {!Builtins.item_spec} as the parameter type. *)
+
+(** {1 Term builders} *)
+
+val new_ : Term.t
+val add : Term.t -> Term.t -> Term.t
+val front : Term.t -> Term.t
+val remove : Term.t -> Term.t
+val is_empty : Term.t -> Term.t
+
+val of_items : Term.t list -> Term.t
+(** [of_items [a; b; c]] is [ADD(ADD(ADD(NEW, a), b), c)] — the queue with
+    [a] at the front. *)
+
+val to_items : Term.t -> Term.t list option
+(** Inverse of {!of_items} on constructor normal forms. *)

@@ -1,0 +1,219 @@
+open Adt
+
+let array = Array_spec.default
+
+let stack =
+  Stack_spec.make ~elem:array.Array_spec.spec ~elem_sort:array.Array_spec.sort
+    ()
+
+let stack_sort = stack.Stack_spec.sort
+let sym_sort = Symboltable_spec.sort
+
+(* primed operations over the representation *)
+let init_op' = Op.v "INIT'" ~args:[] ~result:stack_sort
+let enterblock_op' = Op.v "ENTERBLOCK'" ~args:[ stack_sort ] ~result:stack_sort
+let leaveblock_op' = Op.v "LEAVEBLOCK'" ~args:[ stack_sort ] ~result:stack_sort
+
+let add_op' =
+  Op.v "ADD'"
+    ~args:[ stack_sort; Identifier.sort; Attributes.sort ]
+    ~result:stack_sort
+
+let is_inblock_op' =
+  Op.v "IS_INBLOCK?'" ~args:[ stack_sort; Identifier.sort ] ~result:Sort.bool
+
+let retrieve_op' =
+  Op.v "RETRIEVE'"
+    ~args:[ stack_sort; Identifier.sort ]
+    ~result:Attributes.sort
+
+let phi_op = Op.v "PHI" ~args:[ stack_sort ] ~result:sym_sort
+
+let init' = Term.const init_op'
+let enterblock' s = Term.app enterblock_op' [ s ]
+let leaveblock' s = Term.app leaveblock_op' [ s ]
+let add' s id a = Term.app add_op' [ s; id; a ]
+let is_inblock' s id = Term.app is_inblock_op' [ s; id ]
+let retrieve' s id = Term.app retrieve_op' [ s; id ]
+let phi s = Term.app phi_op [ s ]
+
+let generators = [ init_op'; enterblock_op'; add_op' ]
+
+let combined =
+  let base =
+    Spec.union ~name:"Symboltable_as_Stack" stack.Stack_spec.spec
+      Builtins.bool_spec
+  in
+  (* abstract constructors, for the range of PHI *)
+  let abstract_ops =
+    List.map
+      (fun n -> Spec.op_exn Symboltable_spec.spec n)
+      Symboltable_spec.constructors
+  in
+  let signature =
+    List.fold_left
+      (fun sg op -> Signature.add_op op sg)
+      (Signature.add_sort sym_sort (Spec.signature base))
+      (abstract_ops
+      @ [
+          init_op';
+          enterblock_op';
+          leaveblock_op';
+          add_op';
+          is_inblock_op';
+          retrieve_op';
+          phi_op;
+        ])
+  in
+  let stk = Term.var "stk" stack_sort
+  and arr = Term.var "arr" array.Array_spec.sort
+  and id = Term.var "id" Identifier.sort
+  and attrs = Term.var "attrs" Attributes.sort in
+  let s = stack in
+  let pop t = s.Stack_spec.pop t
+  and push a b = s.Stack_spec.push a b
+  and top t = s.Stack_spec.top t
+  and is_newstack t = s.Stack_spec.is_newstack t
+  and replace a b = s.Stack_spec.replace a b
+  and newstack = s.Stack_spec.newstack in
+  let assign a i v = array.Array_spec.assign a i v
+  and read a i = array.Array_spec.read a i
+  and is_undefined a i = array.Array_spec.is_undefined a i
+  and empty_arr = array.Array_spec.empty in
+  let ax name lhs rhs = Axiom.v ~name ~lhs ~rhs () in
+  let defs =
+    [
+      ax "def_init" init' (push newstack empty_arr);
+      ax "def_enter" (enterblock' stk) (push stk empty_arr);
+      ax "def_leave" (leaveblock' stk)
+        (Term.ite (is_newstack (pop stk)) (Term.err stack_sort) (pop stk));
+      ax "def_add" (add' stk id attrs)
+        (replace stk (assign (top stk) id attrs));
+      ax "def_inblock" (is_inblock' stk id)
+        (Term.ite (is_newstack stk) (Term.err Sort.bool)
+           (Builtins.not_ (is_undefined (top stk) id)));
+      ax "def_retrieve" (retrieve' stk id)
+        (Term.ite (is_newstack stk)
+           (Term.err Attributes.sort)
+           (Term.ite
+              (is_undefined (top stk) id)
+              (retrieve' (pop stk) id)
+              (read (top stk) id)));
+      ax "phi_newstack" (phi newstack) (Term.err sym_sort);
+      ax "phi_enter"
+        (phi (push stk empty_arr))
+        (Term.ite (is_newstack stk) Symboltable_spec.init
+           (Symboltable_spec.enterblock (phi stk)));
+      ax "phi_add"
+        (phi (push stk (assign arr id attrs)))
+        (Symboltable_spec.add (phi (push stk arr)) id attrs);
+    ]
+  in
+  let fresh =
+    Spec.v ~name:"Symboltable_as_Stack" ~signature
+      ~constructors:Symboltable_spec.constructors ~axioms:defs ()
+  in
+  Spec.union ~name:"Symboltable_as_Stack" base fresh
+
+let nonempty_lemma =
+  Axiom.v ~name:"nonempty"
+    ~lhs:(stack.Stack_spec.is_newstack (Term.var "stk" stack_sort))
+    ~rhs:Term.ff ()
+
+let base_config () =
+  Proof.config ~generators:[ (stack_sort, generators) ] ~max_case_depth:6
+    ~fuel:5_000 ~max_goals:150
+    combined
+
+let verified_config () = Proof.prove_lemma (base_config ()) nonempty_lemma
+
+(* Translate an abstract Symboltable axiom into its proof obligation over
+   the representation. *)
+let primed_name = function
+  | "INIT" -> Some init_op'
+  | "ENTERBLOCK" -> Some enterblock_op'
+  | "LEAVEBLOCK" -> Some leaveblock_op'
+  | "ADD" -> Some add_op'
+  | "IS_INBLOCK?" -> Some is_inblock_op'
+  | "RETRIEVE" -> Some retrieve_op'
+  | _ -> None
+
+let rec translate term =
+  match term with
+  | Term.Var (x, s) when Sort.equal s sym_sort -> Term.var x stack_sort
+  | Term.Var _ -> term
+  | Term.Err s when Sort.equal s sym_sort -> Term.err stack_sort
+  | Term.Err _ -> term
+  | Term.App (op, args) -> (
+    let args = List.map translate args in
+    match primed_name (Op.name op) with
+    | Some op' -> Term.app op' args
+    | None -> Term.app op args)
+  | Term.Ite (c, a, b) -> Term.ite (translate c) (translate a) (translate b)
+
+let obligation axiom =
+  let lhs = translate (Axiom.lhs axiom) and rhs = translate (Axiom.rhs axiom) in
+  if Sort.equal (Term.sort_of lhs) stack_sort then (phi lhs, phi rhs)
+  else (lhs, rhs)
+
+type result = {
+  axiom_name : string;
+  goal : Term.t * Term.t;
+  outcome : Proof.outcome;
+}
+
+let abstract_axioms () =
+  List.filter
+    (fun ax ->
+      match int_of_string_opt (Axiom.name ax) with
+      | Some n -> n >= 1 && n <= 9
+      | None -> false)
+    (Spec.axioms Symboltable_spec.spec)
+
+let verify () =
+  let cfg0 = base_config () in
+  match Proof.prove_axiom cfg0 nonempty_lemma with
+  | Proof.Unknown _ as lemma_outcome -> (lemma_outcome, [])
+  | Proof.Proved _ as lemma_outcome ->
+    let cfg =
+      match Proof.prove_lemma cfg0 nonempty_lemma with
+      | Ok cfg -> cfg
+      | Error _ -> cfg0 (* unreachable: just proved *)
+    in
+    let results =
+      List.map
+        (fun ax ->
+          let goal = obligation ax in
+          { axiom_name = Axiom.name ax; goal; outcome = Proof.prove cfg goal })
+        (abstract_axioms ())
+    in
+    (lemma_outcome, results)
+
+let all_proved (lemma, results) =
+  (match lemma with Proof.Proved _ -> true | Proof.Unknown _ -> false)
+  && results <> []
+  && List.for_all
+       (fun r ->
+         match r.outcome with Proof.Proved _ -> true | Proof.Unknown _ -> false)
+       results
+
+let assumption_violation () =
+  let id = Identifier.id "X" and a = Term.const (Spec.op_exn combined "ATTRS1") in
+  let term = retrieve' (add' stack.Stack_spec.newstack id a) id in
+  let sys = Rewrite.of_spec combined in
+  let got = Rewrite.normalize sys term in
+  (term, got, a)
+
+let pp_results ppf (lemma, results) =
+  Fmt.pf ppf "@[<v>lemma nonempty: %a@,%a@]" Proof.pp_outcome lemma
+    Fmt.(
+      list ~sep:cut (fun ppf r ->
+          let verdict =
+            match r.outcome with
+            | Proof.Proved p ->
+              Fmt.str "proved (%d step(s), depth %d)" (Proof.proof_size p)
+                (Proof.proof_depth p)
+            | Proof.Unknown _ -> "UNKNOWN"
+          in
+          Fmt.pf ppf "axiom %s: %s" r.axiom_name verdict))
+    results

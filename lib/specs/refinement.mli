@@ -1,0 +1,77 @@
+(** The Symboltable refinement and its correctness proof (section 4).
+
+    The paper represents a symbol table as a Stack (of Arrays): for each
+    abstract operation [f] a concrete [f'] is defined over the stack, and
+    an abstraction function [Phi] maps stack terms to abstract symbol-table
+    values. Correctness means every abstract axiom holds under the
+    translation: for axioms whose range is Symboltable the obligation is
+    [Phi(lhs') = Phi(rhs')], otherwise [lhs' = rhs'] — the exact conditions
+    (a)/(b) of the paper.
+
+    The original proof was done mechanically by Musser's verifier;
+    {!verify} reproduces it with {!Proof}: first the representation
+    invariant {!nonempty_lemma} — reachable stacks are never the bare
+    [NEWSTACK]; this is the formal content of the paper's Assumption 1 —
+    is proved by generator induction over [INIT'], [ENTERBLOCK'], [ADD'],
+    then each of axioms 1-9 follows by normalization and case analysis.
+    {!assumption_violation} exhibits why the assumption is necessary:
+    applied to the raw empty stack, [ADD'] breaks axiom 9. *)
+
+open Adt
+
+val array : Array_spec.t
+(** Array (of Attributelists) indexed by Identifier. *)
+
+val stack : Stack_spec.t
+(** Stack (of Arrays). *)
+
+val stack_sort : Sort.t
+
+val combined : Spec.t
+(** Stack, Array, Identifier, Attributelist, Boolean connectives, the
+    abstract Symboltable constructors, the primed operations with their
+    definitional axioms, and [PHI]. *)
+
+(** {1 The implementation's operations} *)
+
+val init' : Term.t
+val enterblock' : Term.t -> Term.t
+val leaveblock' : Term.t -> Term.t
+val add' : Term.t -> Term.t -> Term.t -> Term.t
+val is_inblock' : Term.t -> Term.t -> Term.t
+val retrieve' : Term.t -> Term.t -> Term.t
+val phi : Term.t -> Term.t
+
+val generators : Op.t list
+(** [INIT'; ENTERBLOCK'; ADD'] — the images of the abstract constructors,
+    used as the generator set of sort Stack in induction. *)
+
+val nonempty_lemma : Axiom.t
+(** [IS_NEWSTACK?(stk) = false] for reachable [stk]. *)
+
+(** {1 Proof harness} *)
+
+val base_config : unit -> Proof.config
+(** Prover over {!combined} with the generator override, {e without} the
+    invariant lemma. *)
+
+val verified_config : unit -> (Proof.config, Proof.outcome) result
+(** [base_config] extended by proving {!nonempty_lemma}. *)
+
+val obligation : Axiom.t -> Term.t * Term.t
+(** The proof obligation for one abstract Symboltable axiom: operations
+    primed, Symboltable-sorted sides wrapped in [PHI]. *)
+
+type result = { axiom_name : string; goal : Term.t * Term.t; outcome : Proof.outcome }
+
+val verify : unit -> Proof.outcome * result list
+(** The lemma's outcome and one result per abstract axiom 1-9. *)
+
+val all_proved : Proof.outcome * result list -> bool
+
+val assumption_violation : unit -> Term.t * Term.t * Term.t
+(** [(term, got, expected)]: a ground instance of axiom 9 with [ADD']
+    applied to the bare [NEWSTACK], its actual normal form ([error]), and
+    the value axiom 9 demands. *)
+
+val pp_results : (Proof.outcome * result list) Fmt.t

@@ -1,0 +1,40 @@
+open Adt
+
+type t = Term.t list
+
+exception Error
+
+let newstack = []
+let push s e = e :: s
+let pop = function [] -> raise Error | _ :: rest -> rest
+let top = function [] -> raise Error | e :: _ -> e
+let is_newstack s = s = []
+let replace s e = match s with [] -> raise Error | _ :: rest -> e :: rest
+let depth = List.length
+let to_list s = s
+
+let abstraction (inst : Stack_spec.t) s =
+  List.fold_left inst.Stack_spec.push inst.Stack_spec.newstack (List.rev s)
+
+let model inst =
+  let interp name (args : t Model.value list) : t Model.value option =
+    match (name, args) with
+    | "NEWSTACK", [] -> Some (Model.Rep newstack)
+    | "PUSH", [ Model.Rep s; Model.Foreign e ] -> Some (Model.Rep (push s e))
+    | "POP", [ Model.Rep s ] -> (
+      match pop s with
+      | s' -> Some (Model.Rep s')
+      | exception Error -> raise (Model.Impl_error "POP of NEWSTACK"))
+    | "TOP", [ Model.Rep s ] -> (
+      match top s with
+      | e -> Some (Model.Foreign e)
+      | exception Error -> raise (Model.Impl_error "TOP of NEWSTACK"))
+    | "IS_NEWSTACK?", [ Model.Rep s ] ->
+      Some (Model.Foreign (if is_newstack s then Term.tt else Term.ff))
+    | "REPLACE", [ Model.Rep s; Model.Foreign e ] -> (
+      match replace s e with
+      | s' -> Some (Model.Rep s')
+      | exception Error -> raise (Model.Impl_error "REPLACE of NEWSTACK"))
+    | _ -> None
+  in
+  { Model.model_name = "linked-list stack"; interp; abstraction = abstraction inst }

@@ -1,0 +1,27 @@
+(** A direct implementation of type Stack: a linked list, mirroring the
+    paper's PL/I scheme of a pointer to [stack_elem] structures with [val]
+    and [prev] fields ([NEWSTACK' :: null]). *)
+
+open Adt
+
+type t
+(** A stack of element terms, top first. *)
+
+exception Error
+(** [POP]/[TOP]/[REPLACE] of the empty stack. *)
+
+val newstack : t
+val push : t -> Term.t -> t
+val pop : t -> t
+val top : t -> Term.t
+val is_newstack : t -> bool
+val replace : t -> Term.t -> t
+val depth : t -> int
+val to_list : t -> Term.t list
+
+val abstraction : Stack_spec.t -> t -> Term.t
+(** [Phi] for the given Stack instance: the paper's
+    [Phi(symtab) :: if symtab = null then NEWSTACK else
+    PUSH(Phi(symtab->prev), symtab->val)]. *)
+
+val model : Stack_spec.t -> t Model.t

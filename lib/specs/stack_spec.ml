@@ -1,0 +1,69 @@
+open Adt
+
+type t = {
+  spec : Spec.t;
+  sort : Sort.t;
+  elem_sort : Sort.t;
+  newstack : Term.t;
+  push : Term.t -> Term.t -> Term.t;
+  pop : Term.t -> Term.t;
+  top : Term.t -> Term.t;
+  is_newstack : Term.t -> Term.t;
+  replace : Term.t -> Term.t -> Term.t;
+}
+
+let make ?(sort_name = "Stack") ~elem ~elem_sort () =
+  let sort = Sort.v sort_name in
+  let newstack_op = Op.v "NEWSTACK" ~args:[] ~result:sort in
+  let push_op = Op.v "PUSH" ~args:[ sort; elem_sort ] ~result:sort in
+  let pop_op = Op.v "POP" ~args:[ sort ] ~result:sort in
+  let top_op = Op.v "TOP" ~args:[ sort ] ~result:elem_sort in
+  let is_newstack_op = Op.v "IS_NEWSTACK?" ~args:[ sort ] ~result:Sort.bool in
+  let replace_op = Op.v "REPLACE" ~args:[ sort; elem_sort ] ~result:sort in
+  let newstack = Term.const newstack_op in
+  let push s e = Term.app push_op [ s; e ] in
+  let pop s = Term.app pop_op [ s ] in
+  let top s = Term.app top_op [ s ] in
+  let is_newstack s = Term.app is_newstack_op [ s ] in
+  let replace s e = Term.app replace_op [ s; e ] in
+  let signature =
+    List.fold_left
+      (fun sg op -> Signature.add_op op sg)
+      (Signature.add_sort sort (Spec.signature elem))
+      [ newstack_op; push_op; pop_op; top_op; is_newstack_op; replace_op ]
+  in
+  let stk = Term.var "stk" sort and arr = Term.var "arr" elem_sort in
+  let ax name lhs rhs = Axiom.v ~name ~lhs ~rhs () in
+  let fresh =
+    Spec.v ~name:sort_name ~signature
+      ~constructors:[ "NEWSTACK"; "PUSH" ]
+      ~axioms:
+        [
+          ax "10" (is_newstack newstack) Term.tt;
+          ax "11" (is_newstack (push stk arr)) Term.ff;
+          ax "12" (pop newstack) (Term.err sort);
+          ax "13" (pop (push stk arr)) stk;
+          ax "14" (top newstack) (Term.err elem_sort);
+          ax "15" (top (push stk arr)) arr;
+          ax "16" (replace stk arr)
+            (Term.ite (is_newstack stk) (Term.err sort) (push (pop stk) arr));
+        ]
+      ()
+  in
+  let spec = Spec.union ~name:sort_name elem fresh in
+  {
+    spec;
+    sort;
+    elem_sort;
+    newstack;
+    push;
+    pop;
+    top;
+    is_newstack;
+    replace;
+  }
+
+let of_items t items = List.fold_left t.push t.newstack items
+
+let default =
+  make ~elem:Builtins.item_spec ~elem_sort:Builtins.item_sort ()

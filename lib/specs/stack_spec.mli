@@ -1,0 +1,35 @@
+(** Type Stack — the paper's axioms 10-16 (section 4).
+
+    The paper instantiates Stack at element type Array to represent the
+    symbol table; the constructor here is parameterised by the element
+    specification so the same seven operations and axioms serve Stack (of
+    Arrays), Stack (of Items), or any other instance. [REPLACE] is the
+    derived operation of axiom 16: [REPLACE(stk, arr) =
+    if IS_NEWSTACK?(stk) then error else PUSH(POP(stk), arr)]. *)
+
+open Adt
+
+type t = {
+  spec : Spec.t;
+  sort : Sort.t;
+  elem_sort : Sort.t;
+  newstack : Term.t;
+  push : Term.t -> Term.t -> Term.t;
+  pop : Term.t -> Term.t;
+  top : Term.t -> Term.t;
+  is_newstack : Term.t -> Term.t;
+  replace : Term.t -> Term.t -> Term.t;
+}
+
+val make : ?sort_name:string -> elem:Spec.t -> elem_sort:Sort.t -> unit -> t
+(** [make ~elem ~elem_sort ()] is the Stack specification over the element
+    specification; [sort_name] defaults to ["Stack"]. Operation names carry
+    no suffix, so two instances cannot be unioned into one system unless
+    given distinct [sort_name]s and distinct operation names — the paper
+    needs only one instance at a time. *)
+
+val of_items : t -> Term.t list -> Term.t
+(** [of_items s [a; b]] pushes [a] then [b] ([b] on top). *)
+
+val default : t
+(** Stack (of Items), the instance used by the standalone tests. *)

@@ -1,0 +1,92 @@
+open Adt
+
+module type S = sig
+  type t
+
+  exception Error
+
+  val init : unit -> t
+  val enterblock : t -> t
+  val leaveblock : t -> t
+  val add : t -> Term.t -> Term.t -> t
+  val is_inblock : t -> Term.t -> bool
+  val retrieve : t -> Term.t -> Term.t option
+  val retrieve_exn : t -> Term.t -> Term.t
+  val depth : t -> int
+  val abstraction : t -> Term.t
+  val model : t Model.t
+end
+
+module Make (A : Array_intf.ARRAY) : S = struct
+  (* scopes, innermost first; never empty *)
+  type t = A.t list
+
+  exception Error
+
+  let init () = [ A.empty () ]
+  let enterblock scopes = A.empty () :: scopes
+
+  let leaveblock = function
+    | [ _ ] | [] -> raise Error
+    | _ :: rest -> rest
+
+  let add scopes id attrs =
+    match scopes with
+    | [] -> raise Error
+    | top :: rest -> A.assign top id attrs :: rest
+
+  let is_inblock scopes id =
+    match scopes with
+    | [] -> raise Error
+    | top :: _ -> not (A.is_undefined top id)
+
+  let retrieve scopes id =
+    List.find_map (fun scope -> A.read scope id) scopes
+
+  let retrieve_exn scopes id =
+    match retrieve scopes id with Some v -> v | None -> raise Error
+
+  let depth = List.length
+
+  let abstraction scopes =
+    let add_bindings base scope =
+      List.fold_left
+        (fun acc (id, attrs) -> Symboltable_spec.add acc id attrs)
+        base (A.bindings scope)
+    in
+    let rec build = function
+      | [] -> assert false (* the scope list is never empty *)
+      | [ bottom ] -> add_bindings Symboltable_spec.init bottom
+      | top :: rest -> add_bindings (Symboltable_spec.enterblock (build rest)) top
+    in
+    build scopes
+
+  let model =
+    let interp name (args : t Model.value list) : t Model.value option =
+      match (name, args) with
+      | "INIT", [] -> Some (Model.Rep (init ()))
+      | "ENTERBLOCK", [ Model.Rep s ] -> Some (Model.Rep (enterblock s))
+      | "LEAVEBLOCK", [ Model.Rep s ] -> (
+        match leaveblock s with
+        | s' -> Some (Model.Rep s')
+        | exception Error ->
+          raise (Model.Impl_error "LEAVEBLOCK of the outermost scope"))
+      | "ADD", [ Model.Rep s; Model.Foreign id; Model.Foreign attrs ] ->
+        Some (Model.Rep (add s id attrs))
+      | "IS_INBLOCK?", [ Model.Rep s; Model.Foreign id ] ->
+        Some (Model.Foreign (if is_inblock s id then Term.tt else Term.ff))
+      | "RETRIEVE", [ Model.Rep s; Model.Foreign id ] -> (
+        match retrieve s id with
+        | Some attrs -> Some (Model.Foreign attrs)
+        | None -> raise (Model.Impl_error "RETRIEVE of undeclared identifier"))
+      | _ -> None
+    in
+    {
+      Model.model_name = "stack-of-" ^ A.impl_name;
+      interp;
+      abstraction;
+    }
+end
+
+module Hash = Make (Array_impl_hash)
+module Assoc = Make (Array_impl_assoc)

@@ -1,0 +1,46 @@
+(** The implementation of type Symboltable as a stack of arrays — the
+    paper's representation (section 4): "treat a value of the type as a
+    stack of arrays (with index type Identifier), where each array contains
+    the attributes for the identifiers declared in a single block".
+
+    The functor abstracts over the Array implementation, which is exactly
+    the flexibility the paper advertises ("the process of deciding which
+    axioms must be altered to effect a change is straightforward"):
+    {!Hash} uses the paper's hash-table arrays, {!Assoc} the
+    association-list alternative. Experiment E6 benchmarks them against
+    each other; {!Model.check} verifies both against axioms 1-9. *)
+
+open Adt
+
+module type S = sig
+  type t
+
+  exception Error
+  (** [LEAVEBLOCK] with no enclosing scope (the paper's mismatched-"end"
+      condition), or [RETRIEVE] of an undeclared identifier when using
+      {!retrieve_exn}. *)
+
+  val init : unit -> t
+  val enterblock : t -> t
+  val leaveblock : t -> t
+  val add : t -> Term.t -> Term.t -> t
+  val is_inblock : t -> Term.t -> bool
+  val retrieve : t -> Term.t -> Term.t option
+  val retrieve_exn : t -> Term.t -> Term.t
+  val depth : t -> int
+  (** Number of open scopes (1 after [init]). *)
+
+  val abstraction : t -> Term.t
+  (** [Phi] into {!Symboltable_spec.spec} constructor terms, per the
+      paper's equations (a)-(d). *)
+
+  val model : t Model.t
+end
+
+module Make (_ : Array_intf.ARRAY) : S
+
+module Hash : S
+(** Over {!Array_impl_hash} — the paper's representation. *)
+
+module Assoc : S
+(** Over {!Array_impl_assoc}. *)

@@ -1,0 +1,86 @@
+open Adt
+
+let sort = Sort.v "Symboltable"
+
+let init_op = Op.v "INIT" ~args:[] ~result:sort
+
+let enterblock_op =
+  Op.v "ENTERBLOCK" ~args:[ sort; Knowlist_spec.sort ] ~result:sort
+
+let leaveblock_op = Op.v "LEAVEBLOCK" ~args:[ sort ] ~result:sort
+
+let add_op =
+  Op.v "ADD" ~args:[ sort; Identifier.sort; Attributes.sort ] ~result:sort
+
+let is_inblock_op =
+  Op.v "IS_INBLOCK?" ~args:[ sort; Identifier.sort ] ~result:Sort.bool
+
+let retrieve_op =
+  Op.v "RETRIEVE" ~args:[ sort; Identifier.sort ] ~result:Attributes.sort
+
+let init = Term.const init_op
+let enterblock s k = Term.app enterblock_op [ s; k ]
+let leaveblock s = Term.app leaveblock_op [ s ]
+let add s id attrs = Term.app add_op [ s; id; attrs ]
+let is_inblock s id = Term.app is_inblock_op [ s; id ]
+let retrieve s id = Term.app retrieve_op [ s; id ]
+
+let make ~identifier ~knowlist =
+  let base = Spec.union ~name:"Symboltable_knows" knowlist Attributes.spec in
+  let base = Spec.union ~name:"Symboltable_knows" base identifier in
+  let signature =
+    List.fold_left
+      (fun sg op -> Signature.add_op op sg)
+      (Signature.add_sort sort (Spec.signature base))
+      [
+        init_op;
+        enterblock_op;
+        leaveblock_op;
+        add_op;
+        is_inblock_op;
+        retrieve_op;
+      ]
+  in
+  let symtab = Term.var "symtab" sort
+  and klist = Term.var "klist" Knowlist_spec.sort
+  and id = Term.var "id" Identifier.sort
+  and id1 = Term.var "id1" Identifier.sort
+  and attrs = Term.var "attrs" Attributes.sort in
+  let same a b = Term.app (Spec.op_exn identifier "SAME?") [ a; b ] in
+  let ax name lhs rhs = Axiom.v ~name ~lhs ~rhs () in
+  let fresh =
+    Spec.v ~name:"Symboltable_knows" ~signature
+      ~constructors:[ "INIT"; "ENTERBLOCK"; "ADD" ]
+      ~axioms:
+        [
+          ax "1" (leaveblock init) (Term.err sort);
+          ax "2k" (leaveblock (enterblock symtab klist)) symtab;
+          ax "3" (leaveblock (add symtab id attrs)) (leaveblock symtab);
+          ax "4" (is_inblock init id) Term.ff;
+          ax "5k" (is_inblock (enterblock symtab klist) id) Term.ff;
+          ax "6"
+            (is_inblock (add symtab id attrs) id1)
+            (Term.ite (same id id1) Term.tt (is_inblock symtab id1));
+          ax "7" (retrieve init id) (Term.err Attributes.sort);
+          ax "8k"
+            (retrieve (enterblock symtab klist) id)
+            (Term.ite
+               (Knowlist_spec.is_in klist id)
+               (retrieve symtab id)
+               (Term.err Attributes.sort));
+          ax "9"
+            (retrieve (add symtab id attrs) id1)
+            (Term.ite (same id id1) attrs (retrieve symtab id1));
+        ]
+      ()
+  in
+  Spec.union ~name:"Symboltable_knows" base fresh
+
+let spec = make ~identifier:Identifier.spec ~knowlist:Knowlist_spec.spec
+
+let changed_axioms () =
+  let plain = Spec.axioms Symboltable_spec.spec in
+  List.partition
+    (fun ax ->
+      not (List.exists (fun p -> Axiom.same_equation p ax) plain))
+    (Spec.axioms spec)

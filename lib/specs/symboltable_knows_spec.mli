@@ -1,0 +1,36 @@
+(** The Symboltable variant for a language with "knows lists" (section 4).
+
+    "Assume that the language permits the inheritance of global variables
+    only if they appear in a knows list ... The only difference visible to
+    parts of the compiler other than the symbol table module would be in
+    the ENTERBLOCK operation"; within the specification "all relations, and
+    only those relations, that explicitly deal with the ENTERBLOCK
+    operation would have to be altered". {!changed_axioms} verifies that
+    claim mechanically (experiment E7). *)
+
+open Adt
+
+val sort : Sort.t
+
+val spec : Spec.t
+(** Uses {!Knowlist_spec.spec}; [ENTERBLOCK : Symboltable x Knowlist ->
+    Symboltable]. *)
+
+val make : identifier:Spec.t -> knowlist:Spec.t -> Spec.t
+(** The same specification over custom identifier and knows-list
+    universes. *)
+
+val init : Term.t
+val enterblock : Term.t -> Term.t -> Term.t
+(** [enterblock symtab klist]. *)
+
+val leaveblock : Term.t -> Term.t
+val add : Term.t -> Term.t -> Term.t -> Term.t
+val is_inblock : Term.t -> Term.t -> Term.t
+val retrieve : Term.t -> Term.t -> Term.t
+
+val changed_axioms : unit -> Axiom.t list * Axiom.t list
+(** [(changed, kept)]: the axioms of this specification that have no
+    equal-up-to-renaming counterpart in {!Symboltable_spec.spec}, and those
+    that do. The paper's claim is that every member of [changed] mentions
+    ENTERBLOCK. *)

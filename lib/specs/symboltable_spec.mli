@@ -1,0 +1,39 @@
+(** Type Symboltable — the paper's extended example (section 4, axioms
+    1-9).
+
+    The symbol table of a compiler for a block-structured language:
+    [INIT], [ENTERBLOCK], [LEAVEBLOCK], [ADD], [IS_INBLOCK?], [RETRIEVE].
+    The axioms are exactly the paper's; note the characteristic boundary
+    behaviour they pin down: [LEAVEBLOCK(INIT) = error] (an extra "end"),
+    [IS_INBLOCK?] looks only at the current scope while [RETRIEVE] searches
+    outward through enclosing scopes and yields [error] for undeclared
+    identifiers. *)
+
+open Adt
+
+val sort : Sort.t
+
+val spec : Spec.t
+(** Uses {!Identifier.spec} and {!Attributes.spec}. *)
+
+val make : identifier:Spec.t -> Spec.t
+(** The same specification over a custom identifier universe (any
+    specification built with {!Identifier.spec_with_atoms}); the algebraic
+    symbol-table backend of the block-language compiler instantiates this
+    with the identifiers of the program being compiled. *)
+
+(** {1 Term builders} *)
+
+val init : Term.t
+val enterblock : Term.t -> Term.t
+val leaveblock : Term.t -> Term.t
+
+val add : Term.t -> Term.t -> Term.t -> Term.t
+(** [add symtab id attrs]. *)
+
+val is_inblock : Term.t -> Term.t -> Term.t
+val retrieve : Term.t -> Term.t -> Term.t
+
+val constructors : string list
+(** [INIT], [ENTERBLOCK], [ADD] — the generator set of the type (the
+    operations whose terms denote every reachable symbol table). *)

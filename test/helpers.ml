@@ -1,0 +1,65 @@
+(* Shared fixtures and Alcotest testables for the whole suite. *)
+
+open Adt
+
+let term_testable = Alcotest.testable Term.pp Term.equal
+let sort_testable = Alcotest.testable Sort.pp Sort.equal
+let op_testable = Alcotest.testable Op.pp Op.equal
+
+let subst_testable = Alcotest.testable Subst.pp Subst.equal
+
+let check_term = Alcotest.check term_testable
+let check_terms = Alcotest.check (Alcotest.list term_testable)
+
+(* a tiny free signature over one sort, used by the structural tests *)
+let nat = Sort.v "N"
+let zero_op = Op.v "z" ~args:[] ~result:nat
+let succ_op = Op.v "s" ~args:[ nat ] ~result:nat
+let plus_op = Op.v "plus" ~args:[ nat; nat ] ~result:nat
+let isz_op = Op.v "isz" ~args:[ nat ] ~result:Sort.bool
+
+let base_signature =
+  List.fold_left
+    (fun sg op -> Signature.add_op op sg)
+    (Signature.add_sort nat Signature.empty)
+    [ zero_op; succ_op; plus_op; isz_op ]
+
+let z = Term.const zero_op
+let s t = Term.app succ_op [ t ]
+let plus a b = Term.app plus_op [ a; b ]
+let isz t = Term.app isz_op [ t ]
+let v name = Term.var name nat
+
+let rec church n = if n = 0 then z else s (church (n - 1))
+
+let nat_axioms =
+  let m = v "m" and n' = v "n" in
+  [
+    Axiom.v ~name:"p0" ~lhs:(plus z n') ~rhs:n' ();
+    Axiom.v ~name:"ps" ~lhs:(plus (s m) n') ~rhs:(s (plus m n')) ();
+    Axiom.v ~name:"iz" ~lhs:(isz z) ~rhs:Term.tt ();
+    Axiom.v ~name:"is" ~lhs:(isz (s m)) ~rhs:Term.ff ();
+  ]
+
+let nat_spec =
+  Spec.v ~name:"N" ~signature:base_signature ~constructors:[ "z"; "s" ]
+    ~axioms:nat_axioms ()
+
+let nat_system = Rewrite.of_spec nat_spec
+
+(* parse helpers over an arbitrary spec *)
+let parse_term_exn ?vars ?expected spec src =
+  match Parser.parse_term spec ?vars ?expected src with
+  | Ok t -> t
+  | Error e -> Alcotest.failf "parse_term %S: %a" src Parser.pp_error e
+
+let parse_spec_exn ?env src =
+  match Parser.parse_spec ?env src with
+  | Ok s -> s
+  | Error e -> Alcotest.failf "parse_spec: %a" Parser.pp_error e
+
+let case name f = Alcotest.test_case name `Quick f
+
+let qcheck ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name ~count gen prop)

@@ -1,0 +1,334 @@
+open Blocklang
+open Helpers
+
+let parse = Parser.parse_exn
+
+let test_parse_shapes () =
+  let p = parse "begin decl x : int; x := 1 + 2 * 3; print x end" in
+  Alcotest.(check int) "three statements" 3 (List.length p.Ast.stmts);
+  Alcotest.(check int) "one block" 1 (Ast.block_count p);
+  (* precedence: 1 + (2 * 3) *)
+  match (List.nth p.Ast.stmts 1).Ast.sdesc with
+  | Ast.Assign ("x", { desc = Ast.Binop (Ast.Add, _, { desc = Ast.Binop (Ast.Mul, _, _); _ }); _ }) -> ()
+  | _ -> Alcotest.fail "precedence wrong"
+
+let test_parse_nesting () =
+  let p = parse "begin begin begin decl x : int end end end" in
+  Alcotest.(check int) "blocks" 3 (Ast.block_count p);
+  Alcotest.(check int) "depth" 3 (Ast.max_depth p)
+
+let test_parse_knows () =
+  let p = parse "begin decl x : int; begin knows x decl y : bool end end" in
+  match (List.nth p.Ast.stmts 1).Ast.sdesc with
+  | Ast.Block { knows = Some [ "x" ]; _ } -> ()
+  | _ -> Alcotest.fail "knows list lost"
+
+let test_parse_empty_knows () =
+  let p = parse "begin begin knows decl y : bool end end" in
+  match (List.hd p.Ast.stmts).Ast.sdesc with
+  | Ast.Block { knows = Some []; _ } -> ()
+  | _ -> Alcotest.fail "empty knows list lost"
+
+let test_parse_errors () =
+  List.iter
+    (fun src ->
+      match Parser.parse src with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted %S" src)
+    [
+      "";
+      "begin";
+      "begin end end";
+      "begin decl x end";
+      "begin decl x : float end";
+      "begin x = 1 end";
+      "begin print (1 end";
+      "begin 1 := x end";
+    ]
+
+let test_identifiers () =
+  let p = parse "begin decl a : int; a := b + c; begin knows d decl e : int end end" in
+  Alcotest.(check (list string)) "order, no dups"
+    [ "a"; "b"; "c"; "d"; "e" ]
+    (Ast.identifiers p)
+
+let test_pp_round_trip () =
+  let src = "begin decl x : int; x := (1 + 2) * x; begin knows x print x end end" in
+  let p = parse src in
+  let printed = Fmt.str "%a" Ast.pp_program p in
+  let p' = parse printed in
+  Alcotest.(check (list string)) "identifiers preserved" (Ast.identifiers p)
+    (Ast.identifiers p');
+  Alcotest.(check int) "blocks preserved" (Ast.block_count p) (Ast.block_count p')
+
+(* {2 Checker} *)
+
+let diags_of backend src =
+  match Driver.check_source backend src with
+  | Driver.Check_errors ds -> List.map (fun d -> d.Checker.kind) ds
+  | Driver.Ran _ -> []
+  | Driver.Parse_error e -> Alcotest.failf "parse error: %a" Parser.pp_error e
+  | Driver.Runtime_error msg -> Alcotest.failf "runtime error: %s" msg
+
+let test_checker_accepts_good () =
+  Alcotest.(check int) "no diagnostics" 0
+    (List.length (diags_of Driver.Direct "begin decl x : int; x := 1 end"))
+
+let test_checker_duplicate () =
+  match diags_of Driver.Direct "begin decl x : int; decl x : int end" with
+  | [ Checker.Duplicate_declaration ] -> ()
+  | _ -> Alcotest.fail "expected exactly a duplicate diagnostic"
+
+let test_checker_shadowing_is_fine () =
+  Alcotest.(check int) "no diagnostics" 0
+    (List.length
+       (diags_of Driver.Direct
+          "begin decl x : int; begin decl x : bool; x := true end end"))
+
+let test_checker_undeclared () =
+  match diags_of Driver.Direct "begin x := 1 end" with
+  | [ Checker.Undeclared_identifier ] -> ()
+  | _ -> Alcotest.fail "expected undeclared diagnostic"
+
+let test_checker_out_of_scope_after_block () =
+  match
+    diags_of Driver.Direct
+      "begin begin decl x : int; x := 1 end; x := 2 end"
+  with
+  | [ Checker.Undeclared_identifier ] -> ()
+  | _ -> Alcotest.fail "identifier escaped its block"
+
+let test_checker_types () =
+  (match diags_of Driver.Direct "begin decl x : int; x := true end" with
+  | [ Checker.Type_mismatch ] -> ()
+  | _ -> Alcotest.fail "assignment mismatch missed");
+  (match diags_of Driver.Direct "begin decl b : bool; b := 1 < 2 && true end" with
+  | [] -> ()
+  | _ -> Alcotest.fail "valid boolean expression rejected");
+  match diags_of Driver.Direct "begin decl b : bool; b := 1 && true end" with
+  | Checker.Type_mismatch :: _ -> ()
+  | _ -> Alcotest.fail "operand mismatch missed"
+
+let test_checker_knows_enforced () =
+  let src =
+    "begin decl x : int; decl y : int; begin knows x decl z : int; z := y end end"
+  in
+  (match diags_of Driver.Direct src with
+  | [ Checker.Undeclared_identifier ] -> ()
+  | _ -> Alcotest.fail "knows leak (direct)");
+  match diags_of Driver.Algebraic_knows src with
+  | [ Checker.Undeclared_identifier ] -> ()
+  | _ -> Alcotest.fail "knows leak (algebraic)"
+
+let test_checker_knows_unsupported_backend () =
+  match diags_of Driver.Algebraic "begin begin knows decl x : int end end" with
+  | Checker.Knows_unsupported :: _ -> ()
+  | _ -> Alcotest.fail "unsupported knows not reported"
+
+let test_toplevel_knows_rejected () =
+  match diags_of Driver.Direct "begin knows x decl x : int end" with
+  | Checker.Toplevel_knows :: _ -> ()
+  | _ -> Alcotest.fail "top-level knows accepted"
+
+(* {2 Backends agree (experiment E8)} *)
+
+let programs =
+  [
+    "begin decl x : int; x := 1 end";
+    "begin decl x : int; decl x : int end";
+    "begin x := 1 end";
+    "begin decl x : int; x := true end";
+    "begin decl x : int; begin decl x : bool; x := true; print x end; print x end";
+    "begin decl a : int; decl b : int; a := 2; b := a * a; print a + b end";
+    "begin decl p : bool; p := not (1 < 0); print p end";
+  ]
+
+let test_backends_agree () =
+  List.iter
+    (fun src ->
+      let reference = Fmt.str "%a" Driver.pp_outcome (Driver.run_source Driver.Direct src) in
+      List.iter
+        (fun backend ->
+          Alcotest.(check string)
+            (Fmt.str "%s on %s" (Driver.backend_name backend) src)
+            reference
+            (Fmt.str "%a" Driver.pp_outcome (Driver.run_source backend src)))
+        [ Driver.Algebraic; Driver.Algebraic_knows ])
+    programs
+
+(* {2 VM and codegen} *)
+
+let run_direct src =
+  match Driver.run_source Driver.Direct src with
+  | Driver.Ran values -> values
+  | other -> Alcotest.failf "did not run: %a" Driver.pp_outcome other
+
+let test_vm_arithmetic () =
+  Alcotest.(check (list (testable Vm.pp_value ( = ))))
+    "arithmetic"
+    [ Vm.Vint 14; Vm.Vbool true ]
+    (run_direct
+       "begin decl x : int; x := 2 + 3 * 4; print x; print x == 14 end")
+
+let test_vm_shadowing_slots () =
+  Alcotest.(check (list (testable Vm.pp_value ( = ))))
+    "independent slots"
+    [ Vm.Vint 42; Vm.Vint 7 ]
+    (run_direct
+       "begin decl x : int; x := 7; begin decl x : int; x := 42; print x end; print x end")
+
+let test_vm_outer_assign_from_inner_block () =
+  Alcotest.(check (list (testable Vm.pp_value ( = ))))
+    "writes through scopes"
+    [ Vm.Vint 5 ]
+    (run_direct "begin decl x : int; begin x := 5 end; print x end")
+
+let test_eval_vm_differential () =
+  List.iter
+    (fun src ->
+      match Parser.parse src with
+      | Error _ -> ()
+      | Ok p -> (
+        match Checker.Direct.check p with
+        | Error _ -> ()
+        | Ok rp ->
+          let compiled = Vm.run (Codegen.compile rp) in
+          let interpreted = Eval.run rp in
+          Alcotest.(check (list (testable Vm.pp_value ( = ))))
+            ("agree on " ^ src) interpreted compiled))
+    programs
+
+let test_vm_stuck_on_bad_code () =
+  (match Vm.run { Vm.code = [| Vm.Prim Ast.Add |]; slots = 0 } with
+  | exception Vm.Stuck _ -> ()
+  | _ -> Alcotest.fail "underflow accepted");
+  (match Vm.run { Vm.code = [| Vm.Jmp 99 |]; slots = 0 } with
+  | exception Vm.Stuck _ -> ()
+  | _ -> Alcotest.fail "wild jump accepted");
+  (* an intentional infinite loop trips the step budget *)
+  match Vm.run ~max_steps:1000 { Vm.code = [| Vm.Jmp 0 |]; slots = 0 } with
+  | exception Vm.Stuck _ -> ()
+  | _ -> Alcotest.fail "non-termination unnoticed"
+
+(* {2 Control flow} *)
+
+let test_if_statement () =
+  Alcotest.(check (list (testable Vm.pp_value ( = ))))
+    "both branches"
+    [ Vm.Vint 1; Vm.Vint 10 ]
+    (run_direct
+       {|begin
+           decl x : int;
+           x := 5;
+           if x < 10 then begin print 1 end else begin print 2 end;
+           if 10 < x then begin x := 10 end;
+           print x * 2
+         end|})
+
+let test_while_loop () =
+  Alcotest.(check (list (testable Vm.pp_value ( = ))))
+    "sum 1..5"
+    [ Vm.Vint 15 ]
+    (run_direct
+       {|begin
+           decl i : int;
+           decl sum : int;
+           i := 1;
+           while not (5 < i) do begin
+             sum := sum + i;
+             i := i + 1
+           end;
+           print sum
+         end|})
+
+let test_loop_body_scope_reinitialised () =
+  (* a local declared in the loop body is reset on every iteration *)
+  Alcotest.(check (list (testable Vm.pp_value ( = ))))
+    "fresh local per iteration"
+    [ Vm.Vint 7; Vm.Vint 7; Vm.Vint 7 ]
+    (run_direct
+       {|begin
+           decl i : int;
+           i := 0;
+           while i < 3 do begin
+             decl t : int;
+             t := t + 7;
+             print t;
+             i := i + 1
+           end
+         end|})
+
+let test_condition_must_be_bool () =
+  (match diags_of Driver.Direct "begin if 1 then begin end end" with
+  | Checker.Type_mismatch :: _ -> ()
+  | _ -> Alcotest.fail "int condition accepted");
+  match diags_of Driver.Direct "begin while 0 do begin end end" with
+  | Checker.Type_mismatch :: _ -> ()
+  | _ -> Alcotest.fail "int loop condition accepted"
+
+let test_branch_scoping () =
+  (* declarations inside a branch do not escape *)
+  match
+    diags_of Driver.Direct
+      "begin if true then begin decl x : int; x := 1 end; x := 2 end"
+  with
+  | [ Checker.Undeclared_identifier ] -> ()
+  | _ -> Alcotest.fail "branch local escaped"
+
+let test_control_flow_backends_agree () =
+  let src =
+    {|begin
+        decl n : int;
+        decl fact : int;
+        n := 5;
+        fact := 1;
+        while 0 < n do begin
+          fact := fact * n;
+          n := n - 1
+        end;
+        if fact == 120 then begin print fact end else begin print 0 end
+      end|}
+  in
+  let reference = Fmt.str "%a" Driver.pp_outcome (Driver.run_source Driver.Direct src) in
+  Alcotest.(check string) "value" "120" reference;
+  List.iter
+    (fun backend ->
+      Alcotest.(check string)
+        (Driver.backend_name backend)
+        reference
+        (Fmt.str "%a" Driver.pp_outcome (Driver.run_source backend src)))
+    [ Driver.Algebraic; Driver.Algebraic_knows ]
+
+let suite =
+  [
+    case "parser: statement shapes and precedence" test_parse_shapes;
+    case "parser: nesting" test_parse_nesting;
+    case "parser: knows lists" test_parse_knows;
+    case "parser: empty knows lists" test_parse_empty_knows;
+    case "parser: rejects malformed programs" test_parse_errors;
+    case "identifier collection" test_identifiers;
+    case "pretty-printer round trip" test_pp_round_trip;
+    case "checker: accepts valid programs" test_checker_accepts_good;
+    case "checker: duplicate declarations" test_checker_duplicate;
+    case "checker: shadowing is legal" test_checker_shadowing_is_fine;
+    case "checker: undeclared identifiers" test_checker_undeclared;
+    case "checker: block locals do not escape" test_checker_out_of_scope_after_block;
+    case "checker: type discipline" test_checker_types;
+    case "checker: knows lists enforced" test_checker_knows_enforced;
+    case "checker: knows needs a capable backend"
+      test_checker_knows_unsupported_backend;
+    case "checker: top-level knows rejected" test_toplevel_knows_rejected;
+    case "all backends produce identical verdicts (E8)" test_backends_agree;
+    case "vm: arithmetic" test_vm_arithmetic;
+    case "vm: shadowed variables get distinct slots" test_vm_shadowing_slots;
+    case "vm: inner blocks write outer variables" test_vm_outer_assign_from_inner_block;
+    case "vm and tree-walker agree (differential)" test_eval_vm_differential;
+    case "vm: traps ill-formed code" test_vm_stuck_on_bad_code;
+    case "control flow: if" test_if_statement;
+    case "control flow: while" test_while_loop;
+    case "control flow: loop-body locals are re-initialised"
+      test_loop_body_scope_reinitialised;
+    case "control flow: conditions must be bool" test_condition_must_be_bool;
+    case "control flow: branch locals do not escape" test_branch_scoping;
+    case "control flow: all backends agree" test_control_flow_backends_agree;
+  ]

@@ -1,0 +1,99 @@
+open Adt
+open Helpers
+
+let u = Enum.universe nat_spec
+
+let test_terms_exactly () =
+  check_terms "size 1" [ z ] (Enum.terms_exactly u nat ~size:1);
+  check_terms "size 2" [ s z ] (Enum.terms_exactly u nat ~size:2);
+  check_terms "size 3" [ s (s z) ] (Enum.terms_exactly u nat ~size:3);
+  Alcotest.(check int) "size 0" 0 (List.length (Enum.terms_exactly u nat ~size:0))
+
+let test_terms_up_to () =
+  Alcotest.(check int) "count" 4 (List.length (Enum.terms_up_to u nat ~size:4));
+  Alcotest.(check int) "count_up_to" 4 (Enum.count_up_to u nat ~size:4);
+  (* increasing size order *)
+  let sizes = List.map Term.size (Enum.terms_up_to u nat ~size:4) in
+  Alcotest.(check (list int)) "ordered" [ 1; 2; 3; 4 ] sizes
+
+let test_no_duplicates () =
+  let ts = Enum.terms_up_to u nat ~size:6 in
+  let distinct = List.sort_uniq Term.compare ts in
+  Alcotest.(check int) "no duplicates" (List.length ts) (List.length distinct)
+
+let test_all_constructor_ground () =
+  List.iter
+    (fun t ->
+      if not (Spec.is_constructor_ground_term nat_spec t) then
+        Alcotest.failf "%a is not a ground constructor term" Term.pp t)
+    (Enum.terms_up_to u nat ~size:6)
+
+let test_bool_enumeration () =
+  (* true and false are implicit constructors of Bool *)
+  Alcotest.(check int) "two booleans" 2
+    (List.length (Enum.terms_up_to u Sort.bool ~size:3))
+
+let test_branching_counts () =
+  (* Queue over 4 items: size 1 -> NEW; size 3+2k enumerations grow by
+     item-count multiples *)
+  let uq = Enum.universe Adt_specs.Queue_spec.spec in
+  let qsort = Adt_specs.Queue_spec.sort in
+  Alcotest.(check int) "just NEW" 1 (List.length (Enum.terms_exactly uq qsort ~size:1));
+  Alcotest.(check int) "no size-2 queues" 0
+    (List.length (Enum.terms_exactly uq qsort ~size:2));
+  Alcotest.(check int) "one-element queues" 4
+    (List.length (Enum.terms_exactly uq qsort ~size:3));
+  Alcotest.(check int) "two-element queues" 16
+    (List.length (Enum.terms_exactly uq qsort ~size:5))
+
+let test_atoms () =
+  let atoms = fun sort -> if Sort.equal sort (Sort.v "Ghost") then [ z ] else [] in
+  let u' = Enum.universe ~atoms nat_spec in
+  Alcotest.(check int) "atom leaves" 1
+    (List.length (Enum.leaves u' (Sort.v "Ghost")))
+
+let test_substitutions () =
+  let vars = [ ("a", nat); ("b", nat) ] in
+  let subs = Enum.substitutions_up_to u vars ~size:3 in
+  Alcotest.(check int) "3 x 3" 9 (List.length subs);
+  List.iter
+    (fun sub ->
+      Alcotest.(check int) "binds both" 2 (Subst.cardinal sub))
+    subs;
+  Alcotest.(check int) "no vars: one empty substitution" 1
+    (List.length (Enum.substitutions_up_to u [] ~size:3))
+
+let test_random_term () =
+  let state = Random.State.make [| 42 |] in
+  for _ = 1 to 50 do
+    match Enum.random_term u nat ~size:8 state with
+    | Some t ->
+      if not (Spec.is_constructor_ground_term nat_spec t) then
+        Alcotest.failf "random term %a not a value" Term.pp t
+    | None -> Alcotest.fail "no term generated"
+  done;
+  (* a sort with no generators gives None *)
+  Alcotest.(check bool) "ghost sort" true
+    (Enum.random_term u (Sort.v "Ghost") ~size:3 state = None)
+
+let test_random_substitution () =
+  let state = Random.State.make [| 7 |] in
+  match Enum.random_substitution u [ ("a", nat); ("c", Sort.bool) ] ~size:4 state with
+  | Some sub ->
+    Alcotest.(check bool) "a bound" true (Subst.mem "a" sub);
+    Alcotest.(check bool) "c bound" true (Subst.mem "c" sub)
+  | None -> Alcotest.fail "no substitution"
+
+let suite =
+  [
+    case "terms of exact size" test_terms_exactly;
+    case "terms up to a size" test_terms_up_to;
+    case "no duplicates" test_no_duplicates;
+    case "only ground constructor terms" test_all_constructor_ground;
+    case "boolean universe" test_bool_enumeration;
+    case "branching combinatorics (Queue)" test_branching_counts;
+    case "caller-supplied atoms" test_atoms;
+    case "bounded-exhaustive substitutions" test_substitutions;
+    case "random terms are values" test_random_term;
+    case "random substitutions" test_random_substitution;
+  ]

@@ -1,0 +1,238 @@
+(* Differential fuzzing of the block-language pipeline: generate random
+   well-formed programs (declarations before use, type-correct expressions,
+   bounded loops), then check that
+
+   - the checker accepts them on every backend,
+   - the stack-VM execution of the compiled code equals the tree-walking
+     interpreter,
+   - the direct and algebraic backends produce the same resolved behaviour.
+
+   Programs are built deterministically from an integer seed so failures
+   reproduce. *)
+
+open Blocklang
+open Helpers
+
+type genv = {
+  st : Random.State.t;
+  mutable fresh : int;
+  mutable scopes : (string * Ast.typ) list list;
+  mutable procs : (string * Ast.typ list * Ast.typ) list;
+      (** procedures already declared (callable from here on) *)
+}
+
+let fresh_name g prefix =
+  g.fresh <- g.fresh + 1;
+  Fmt.str "%s%d" prefix g.fresh
+
+(* names as the checker resolves them: innermost binding wins, so an
+   identifier shadowed at a different type is only visible at the inner
+   type *)
+let visible g ty =
+  let rec resolve seen = function
+    | [] -> []
+    | scope :: rest ->
+      let fresh = List.filter (fun (x, _) -> not (List.mem x seen)) scope in
+      fresh @ resolve (List.map fst fresh @ seen) rest
+  in
+  resolve [] g.scopes
+  |> List.filter (fun (_, t) -> t = ty)
+  |> List.map fst
+
+let pick g = function
+  | [] -> None
+  | xs -> Some (List.nth xs (Random.State.int g.st (List.length xs)))
+
+let e desc = { Ast.desc; eline = 0 }
+let s sdesc = { Ast.sdesc; sline = 0 }
+
+let rec gen_expr g ty depth : Ast.expr =
+  let leaf () =
+    match (ty, pick g (visible g ty)) with
+    | _, Some x when Random.State.bool g.st -> e (Ast.Var x)
+    | Ast.Tint, _ -> e (Ast.Int (Random.State.int g.st 100))
+    | Ast.Tbool, _ -> e (Ast.Bool (Random.State.bool g.st))
+  in
+  let callable = List.filter (fun (_, _, ret) -> ret = ty) g.procs in
+  if depth = 0 then leaf ()
+  else if callable <> [] && Random.State.int g.st 5 = 0 then begin
+    match pick g callable with
+    | Some (f, params, _) ->
+      e (Ast.Call (f, List.map (fun pty -> gen_expr g pty (depth - 1)) params))
+    | None -> leaf ()
+  end
+  else
+    match ty with
+    | Ast.Tint -> (
+      match Random.State.int g.st 4 with
+      | 0 -> leaf ()
+      | 1 -> e (Ast.Binop (Ast.Add, gen_expr g Ast.Tint (depth - 1), gen_expr g Ast.Tint (depth - 1)))
+      | 2 -> e (Ast.Binop (Ast.Sub, gen_expr g Ast.Tint (depth - 1), gen_expr g Ast.Tint (depth - 1)))
+      | _ -> e (Ast.Binop (Ast.Mul, gen_expr g Ast.Tint (depth - 1), gen_expr g Ast.Tint (depth - 1))))
+    | Ast.Tbool -> (
+      match Random.State.int g.st 5 with
+      | 0 -> leaf ()
+      | 1 -> e (Ast.Binop (Ast.Lt, gen_expr g Ast.Tint (depth - 1), gen_expr g Ast.Tint (depth - 1)))
+      | 2 -> e (Ast.Binop (Ast.Eq, gen_expr g Ast.Tint (depth - 1), gen_expr g Ast.Tint (depth - 1)))
+      | 3 -> e (Ast.Binop (Ast.And, gen_expr g Ast.Tbool (depth - 1), gen_expr g Ast.Tbool (depth - 1)))
+      | _ -> e (Ast.Not (gen_expr g Ast.Tbool (depth - 1))))
+
+let gen_decl g =
+  let ty = if Random.State.bool g.st then Ast.Tint else Ast.Tbool in
+  let name =
+    (* occasionally shadow an identifier from an enclosing scope — but
+       never a loop counter ("c..."), whose shadowing would break the
+       generated loop's termination argument *)
+    match g.scopes with
+    | _ :: outer :: _ when Random.State.int g.st 4 = 0 -> (
+      let candidates =
+        List.filter (fun x -> String.length x > 0 && x.[0] = 'v')
+          (List.map fst outer)
+      in
+      match pick g candidates with
+      | Some x when not (List.mem_assoc x (List.hd g.scopes)) -> x
+      | _ -> fresh_name g "v")
+    | _ -> fresh_name g "v"
+  in
+  g.scopes <- ((name, ty) :: List.hd g.scopes) :: List.tl g.scopes;
+  s (Ast.Decl (name, ty))
+
+let rec gen_stmt g depth : Ast.stmt option =
+  match Random.State.int g.st 8 with
+  | 0 | 1 -> Some (gen_decl g)
+  | 2 | 3 -> (
+    let ty = if Random.State.bool g.st then Ast.Tint else Ast.Tbool in
+    match pick g (visible g ty) with
+    | Some x -> Some (s (Ast.Assign (x, gen_expr g ty 2)))
+    | None -> Some (gen_decl g))
+  | 4 ->
+    let ty = if Random.State.bool g.st then Ast.Tint else Ast.Tbool in
+    Some (s (Ast.Print (gen_expr g ty 2)))
+  | 5 when depth > 0 -> Some (s (Ast.Block (gen_block g (depth - 1) 3)))
+  | 6 when depth > 0 ->
+    let c = gen_expr g Ast.Tbool 2 in
+    let th = gen_block g (depth - 1) 2 in
+    let el =
+      if Random.State.bool g.st then Some (gen_block g (depth - 1) 2) else None
+    in
+    Some (s (Ast.If (c, th, el)))
+  | 7 when depth > 0 ->
+    (* a guaranteed-terminating loop: a wrapper block declares a fresh
+       counter, the loop body ends by incrementing it. The counter is kept
+       OUT of the generator's scope tracking so no generated statement can
+       assign to (or shadow) it and break termination. *)
+    let counter = fresh_name g "c" in
+    let body = gen_block g (depth - 1) 2 in
+    let increment =
+      s (Ast.Assign (counter, e (Ast.Binop (Ast.Add, e (Ast.Var counter), e (Ast.Int 1)))))
+    in
+    let body = { body with Ast.stmts = body.Ast.stmts @ [ increment ] } in
+    Some
+      (s
+         (Ast.Block
+            {
+              Ast.knows = None;
+              stmts =
+                [
+                  s (Ast.Decl (counter, Ast.Tint));
+                  s (Ast.Assign (counter, e (Ast.Int 0)));
+                  s (Ast.While (e (Ast.Binop (Ast.Lt, e (Ast.Var counter), e (Ast.Int 3))), body));
+                ];
+            }))
+  | _ -> None
+
+and gen_block g depth budget : Ast.block =
+  g.scopes <- [] :: g.scopes;
+  let stmts =
+    List.filter_map (fun _ -> gen_stmt g depth) (List.init budget Fun.id)
+  in
+  g.scopes <- List.tl g.scopes;
+  { Ast.knows = None; stmts }
+
+(* a random procedure: parameters only in scope, body computes over them
+   (and may call previously generated procedures) and returns *)
+let gen_proc g =
+  let name = fresh_name g "p" in
+  let n_params = Random.State.int g.st 3 in
+  let params =
+    List.init n_params (fun _ ->
+        ( fresh_name g "a",
+          if Random.State.bool g.st then Ast.Tint else Ast.Tbool ))
+  in
+  let ret = if Random.State.bool g.st then Ast.Tint else Ast.Tbool in
+  (* the body sees only its parameters: generated procedures are pure *)
+  let saved = g.scopes in
+  g.scopes <- [ params ];
+  let body_stmts =
+    [ s (Ast.Return (gen_expr g ret 3)) ]
+  in
+  g.scopes <- saved;
+  g.procs <- g.procs @ [ (name, List.map snd params, ret) ];
+  s (Ast.Proc (name, params, ret, { Ast.knows = None; stmts = body_stmts }))
+
+let build_program seed : Ast.program =
+  let g =
+    { st = Random.State.make [| seed |]; fresh = 0; scopes = []; procs = [] }
+  in
+  g.scopes <- [ [] ];
+  let procs = List.init (Random.State.int g.st 3) (fun _ -> gen_proc g) in
+  g.scopes <- [];
+  let body = gen_block g 3 6 in
+  { body with Ast.stmts = procs @ body.Ast.stmts }
+
+(* the generated loop wraps the counter decl in a block whose scope the
+   builder does not track; that is fine because the counter name is fresh *)
+
+let prop_checker_accepts =
+  qcheck ~count:150 "generated programs are well formed" QCheck2.Gen.int
+    (fun seed ->
+      match Checker.Direct.check (build_program seed) with
+      | Ok _ -> true
+      | Error diags ->
+        QCheck2.Test.fail_reportf "rejected: %a"
+          Fmt.(list ~sep:semi Checker.pp_diagnostic)
+          diags)
+
+let prop_vm_matches_eval =
+  qcheck ~count:150 "vm = tree-walker on generated programs" QCheck2.Gen.int
+    (fun seed ->
+      match Checker.Direct.check (build_program seed) with
+      | Error _ -> true
+      | Ok rp -> Vm.run (Codegen.compile rp) = Eval.run rp)
+
+let prop_backends_agree =
+  qcheck ~count:40 "backends agree on generated programs" QCheck2.Gen.int
+    (fun seed ->
+      let program = build_program seed in
+      let outcome backend =
+        match backend with
+        | `Direct -> Checker.Direct.check program
+        | `Algebraic -> Checker.Algebraic.check program
+      in
+      match (outcome `Direct, outcome `Algebraic) with
+      | Ok a, Ok b ->
+        (* identical resolution implies identical behaviour *)
+        Eval.run a = Eval.run b
+      | Error _, Error _ -> true
+      | _ -> false)
+
+let prop_printed_program_reparses =
+  qcheck ~count:100 "generated programs re-parse after printing"
+    QCheck2.Gen.int (fun seed ->
+      let program = build_program seed in
+      let printed = Fmt.str "%a" Ast.pp_program program in
+      match Parser.parse printed with
+      | Ok program' ->
+        Ast.identifiers program = Ast.identifiers program'
+        && Ast.block_count program = Ast.block_count program'
+      | Error e ->
+        QCheck2.Test.fail_reportf "no reparse: %a@.%s" Parser.pp_error e
+          printed)
+
+let suite =
+  [
+    prop_checker_accepts;
+    prop_vm_matches_eval;
+    prop_backends_agree;
+    prop_printed_program_reparses;
+  ]

@@ -1,0 +1,111 @@
+open Adt
+open Helpers
+open Adt_specs
+
+let test_no_prompts_when_complete () =
+  Alcotest.(check int) "queue" 0 (List.length (Heuristics.prompts Queue_spec.spec));
+  Alcotest.(check int) "symboltable" 0
+    (List.length (Heuristics.prompts Symboltable_spec.spec))
+
+let test_boundary_classified_and_first () =
+  let broken =
+    Spec.without_axiom "3" (Spec.without_axiom "6" Queue_spec.spec)
+  in
+  match Heuristics.prompts broken with
+  | [ first; second ] ->
+    Alcotest.(check bool) "boundary first" true
+      (first.Heuristics.kind = Heuristics.Boundary);
+    Alcotest.(check string) "FRONT(NEW)" "FRONT(NEW)"
+      (Term.to_string first.Heuristics.missing_lhs);
+    Alcotest.(check bool) "general second" true
+      (second.Heuristics.kind = Heuristics.General)
+  | other -> Alcotest.failf "expected 2 prompts, got %d" (List.length other)
+
+let test_question_text () =
+  let broken = Spec.without_axiom "5" Queue_spec.spec in
+  match Heuristics.prompts broken with
+  | [ p ] ->
+    Alcotest.(check bool) "asks for the case" true
+      (Astring_contains.contains p.Heuristics.question "REMOVE(NEW)");
+    Alcotest.(check bool) "flags boundary" true
+      (Astring_contains.contains p.Heuristics.question "boundary")
+  | _ -> Alcotest.fail "expected exactly one prompt"
+
+let test_forced_rhs_suggestion () =
+  (* result sort with a single constant constructor: the suggestion is
+     forced *)
+  let unit_sort = Sort.v "U" in
+  let sg =
+    List.fold_left
+      (fun sg op -> Signature.add_op op sg)
+      (Signature.add_sort unit_sort (Signature.add_sort nat Signature.empty))
+      [
+        zero_op;
+        succ_op;
+        Op.v "unit" ~args:[] ~result:unit_sort;
+        Op.v "observe" ~args:[ nat ] ~result:unit_sort;
+      ]
+  in
+  let spec =
+    Spec.v ~name:"U" ~signature:sg ~constructors:[ "z"; "s"; "unit" ] ~axioms:[] ()
+  in
+  match Heuristics.prompts spec with
+  | prompts ->
+    Alcotest.(check bool) "has prompts" true (prompts <> []);
+    List.iter
+      (fun p ->
+        match p.Heuristics.suggested_rhs with
+        | Some t -> Alcotest.(check string) "suggests unit" "unit" (Term.to_string t)
+        | None -> Alcotest.fail "expected a forced suggestion")
+      prompts
+
+let test_stub_axioms_complete_the_spec () =
+  let broken =
+    Spec.without_axiom "3" (Spec.without_axiom "5" Queue_spec.spec)
+  in
+  let stubs = Heuristics.stub_axioms broken in
+  Alcotest.(check int) "one stub per hole" 2 (List.length stubs);
+  let repaired = Heuristics.complete_with_stubs broken in
+  Alcotest.(check bool) "now complete" true
+    (Completeness.is_complete (Completeness.check repaired));
+  (* the stubs say error, which is what the paper's axioms say here *)
+  let interp = Interp.create repaired in
+  let front_new = parse_term_exn repaired "FRONT(NEW)" in
+  Alcotest.(check bool) "stub behaves like the original axiom" true
+    (match Interp.eval interp front_new with
+    | Interp.Error_value _ -> true
+    | _ -> false)
+
+let test_skeletons_for_fresh_op () =
+  (* an operation with no axioms yet: skeletons propose one split of the
+     first constructor-bearing argument *)
+  let even_op = Op.v "even" ~args:[ nat ] ~result:Sort.bool in
+  let sg = Signature.add_op even_op base_signature in
+  let spec =
+    Spec.v ~name:"N" ~signature:sg ~constructors:[ "z"; "s" ]
+      ~axioms:nat_axioms ()
+  in
+  let sk = Heuristics.skeletons spec even_op in
+  Alcotest.(check (list string)) "even skeletons" [ "even(z)"; "even(s(n))" ]
+    (List.map Term.to_string sk);
+  (* with axioms present, skeletons mirror the coverage analysis *)
+  let sk' = Heuristics.skeletons spec isz_op in
+  Alcotest.(check int) "isz has two covered cases" 2 (List.length sk')
+
+let test_skeletons_follow_existing_axioms () =
+  let sk = Heuristics.skeletons Queue_spec.spec (Spec.op_exn Queue_spec.spec "FRONT") in
+  Alcotest.(check int) "two cases" 2 (List.length sk)
+
+let suite =
+  [
+    case "no prompts on complete specs" test_no_prompts_when_complete;
+    case "boundary cases classified and listed first"
+      test_boundary_classified_and_first;
+    case "question text names the case" test_question_text;
+    case "forced suggestions for singleton result sorts"
+      test_forced_rhs_suggestion;
+    case "stub axioms make the spec complete" test_stub_axioms_complete_the_spec;
+    case "skeletons for an unaxiomatised operation" test_skeletons_for_fresh_op;
+    case "skeletons follow existing case analysis"
+      test_skeletons_follow_existing_axioms;
+  ]

@@ -1,0 +1,32 @@
+let () =
+  Alcotest.run "guttag-adt"
+    [
+      ("term", Test_term.suite);
+      ("subst", Test_subst.suite);
+      ("rewrite", Test_rewrite.suite);
+      ("signature-axiom-spec", Test_spec.suite);
+      ("enum", Test_enum.suite);
+      ("completeness", Test_completeness.suite);
+      ("heuristics", Test_heuristics.suite);
+      ("ordering", Test_ordering.suite);
+      ("consistency", Test_consistency.suite);
+      ("completion", Test_completion.suite);
+      ("parser", Test_parser.suite);
+      ("library", Test_library.suite);
+      ("memo", Test_memo.suite);
+      ("interp", Test_interp.suite);
+      ("model", Test_model.suite);
+      ("proof", Test_proof.suite);
+      ("queue", Test_queue.suite);
+      ("stack-array", Test_stack_array.suite);
+      ("symboltable", Test_symboltable.suite);
+      ("knowlist", Test_knowlist.suite);
+      ("bounded-queue", Test_bounded_queue.suite);
+      ("refinement", Test_refinement.suite);
+      ("array-as-list", Test_array_as_list.suite);
+      ("blocklang", Test_blocklang.suite);
+      ("procedures", Test_procedures.suite);
+      ("pretty", Test_pretty.suite);
+      ("properties", Test_props.suite);
+      ("fuzz", Test_fuzz.suite);
+    ]

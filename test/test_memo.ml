@@ -1,0 +1,90 @@
+open Adt
+open Helpers
+open Adt_specs
+
+let test_memo_agrees_with_plain () =
+  let memo = Rewrite.Memo.create () in
+  (* the whole enumerated queue universe: front, remove, is_empty *)
+  let u = Enum.universe Queue_spec.spec in
+  let sys = Rewrite.of_spec Queue_spec.spec in
+  List.iter
+    (fun q ->
+      List.iter
+        (fun t ->
+          check_term
+            (Fmt.str "agree on %a" Term.pp t)
+            (Rewrite.normalize sys t)
+            (Rewrite.normalize_memo ~memo sys t))
+        [ Queue_spec.front q; Queue_spec.remove q; Queue_spec.is_empty q ])
+    (Enum.terms_up_to u Queue_spec.sort ~size:9)
+
+let test_memo_hits_on_repetition () =
+  let memo = Rewrite.Memo.create () in
+  let sys = Rewrite.of_spec Queue_spec.spec in
+  let q = Queue_spec.of_items [ Builtins.item 1; Builtins.item 2; Builtins.item 3 ] in
+  let (_ : Term.t) = Rewrite.normalize_memo ~memo sys (Queue_spec.front q) in
+  let before = Rewrite.Memo.hits memo in
+  let (_ : Term.t) = Rewrite.normalize_memo ~memo sys (Queue_spec.front q) in
+  Alcotest.(check bool) "second run hits" true (Rewrite.Memo.hits memo > before);
+  Alcotest.(check bool) "entries cached" true (Rewrite.Memo.size memo > 0);
+  Rewrite.Memo.clear memo;
+  Alcotest.(check int) "cleared" 0 (Rewrite.Memo.size memo)
+
+let test_memo_interp () =
+  let plain = Interp.create Queue_spec.spec in
+  let memoized = Interp.create ~memo:true Queue_spec.spec in
+  Alcotest.(check bool) "plain has no stats" true (Interp.memo_stats plain = None);
+  let q = Queue_spec.of_items [ Builtins.item 2; Builtins.item 1 ] in
+  List.iter
+    (fun t ->
+      let a = Fmt.str "%a" Interp.pp_value (Interp.eval plain t) in
+      let b = Fmt.str "%a" Interp.pp_value (Interp.eval memoized t) in
+      Alcotest.(check string) "same value" a b)
+    [
+      Queue_spec.front q;
+      Queue_spec.remove q;
+      Queue_spec.front (Queue_spec.remove q);
+      Queue_spec.front Queue_spec.new_;
+    ];
+  match Interp.memo_stats memoized with
+  | Some (_, misses, entries) ->
+    Alcotest.(check bool) "worked" true (misses > 0 && entries > 0)
+  | None -> Alcotest.fail "memoized session lost its memo"
+
+let test_memo_error_propagation () =
+  let memo = Rewrite.Memo.create () in
+  let sys = Rewrite.of_spec Queue_spec.spec in
+  let t = Queue_spec.is_empty (Queue_spec.remove Queue_spec.new_) in
+  Alcotest.(check bool) "error" true
+    (Term.is_error (Rewrite.normalize_memo ~memo sys t));
+  (* and again, from the cache *)
+  Alcotest.(check bool) "error (cached)" true
+    (Term.is_error (Rewrite.normalize_memo ~memo sys t))
+
+let test_memo_open_terms () =
+  let memo = Rewrite.Memo.create () in
+  check_term "open term"
+    (v "n")
+    (Rewrite.normalize_memo ~memo nat_system (plus z (v "n")));
+  (* cached result for the open term is still correct *)
+  check_term "open term again"
+    (v "n")
+    (Rewrite.normalize_memo ~memo nat_system (plus z (v "n")))
+
+let test_memo_fuel () =
+  let loop = Rewrite.rule ~name:"loop" ~lhs:(isz (v "x")) ~rhs:(isz (s (v "x"))) () in
+  let sys = Rewrite.of_rules [ loop ] in
+  let memo = Rewrite.Memo.create () in
+  match Rewrite.normalize_memo ~fuel:50 ~memo sys (isz z) with
+  | exception Rewrite.Out_of_fuel _ -> ()
+  | t -> Alcotest.failf "terminated at %a" Term.pp t
+
+let suite =
+  [
+    case "memoized normalization agrees with plain" test_memo_agrees_with_plain;
+    case "repeated terms hit the cache" test_memo_hits_on_repetition;
+    case "memoized interpreter sessions" test_memo_interp;
+    case "error propagation through the cache" test_memo_error_propagation;
+    case "open terms are cached correctly" test_memo_open_terms;
+    case "fuel still bounds memoized runs" test_memo_fuel;
+  ]

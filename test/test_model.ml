@@ -1,0 +1,105 @@
+open Adt
+open Helpers
+open Adt_specs
+
+let queue_universe = Enum.universe Queue_spec.spec
+
+let test_queue_impl_is_a_model () =
+  match Model.check queue_universe Queue_impl.model ~size:5 with
+  | Ok verified -> Alcotest.(check bool) "many instances" true (verified > 50)
+  | Error cex -> Alcotest.failf "%a" Model.pp_counterexample cex
+
+let test_eval_in_model () =
+  let t = Queue_spec.front (Queue_spec.of_items [ Builtins.item 1; Builtins.item 2 ]) in
+  (match Model.eval Queue_spec.spec Queue_impl.model t with
+  | Ok (Model.Foreign item) -> check_term "front" (Builtins.item 1) item
+  | Ok (Model.Rep _) -> Alcotest.fail "front is not a queue"
+  | Error _ -> Alcotest.fail "errored");
+  match Model.eval Queue_spec.spec Queue_impl.model (Queue_spec.front Queue_spec.new_) with
+  | Error s -> Alcotest.check sort_testable "error sort" Builtins.item_sort s
+  | Ok _ -> Alcotest.fail "FRONT(NEW) should be an error"
+
+let test_ite_in_model () =
+  let q = Queue_spec.of_items [ Builtins.item 1 ] in
+  let t = Term.ite (Queue_spec.is_empty q) (Builtins.item 2) (Queue_spec.front q) in
+  match Model.eval Queue_spec.spec Queue_impl.model t with
+  | Ok (Model.Foreign r) -> check_term "else branch" (Builtins.item 1) r
+  | _ -> Alcotest.fail "unexpected"
+
+let test_to_term_phi () =
+  let t = Queue_spec.remove (Queue_spec.of_items [ Builtins.item 1; Builtins.item 2 ]) in
+  let denoted = Model.to_term Queue_spec.spec Queue_impl.model
+      (Model.eval Queue_spec.spec Queue_impl.model t)
+  in
+  check_term "Phi of remove" (Queue_spec.of_items [ Builtins.item 2 ]) denoted
+
+let test_faulty_impl_caught () =
+  (* a LIFO "queue": FRONT returns the most recent item *)
+  let faulty =
+    {
+      Model.model_name = "lifo";
+      interp =
+        (fun name args ->
+          match (name, args) with
+          | "NEW", [] -> Some (Model.Rep [])
+          | "ADD", [ Model.Rep q; Model.Foreign i ] -> Some (Model.Rep (i :: q))
+          | "FRONT", [ Model.Rep q ] -> (
+            match q with
+            | i :: _ -> Some (Model.Foreign i)
+            | [] -> raise (Model.Impl_error "empty"))
+          | "REMOVE", [ Model.Rep q ] -> (
+            match q with
+            | _ :: rest -> Some (Model.Rep rest)
+            | [] -> raise (Model.Impl_error "empty"))
+          | "IS_EMPTY?", [ Model.Rep q ] ->
+            Some (Model.Foreign (if q = [] then Term.tt else Term.ff))
+          | _ -> None);
+      abstraction = (fun q -> Queue_spec.of_items (List.rev q));
+    }
+  in
+  match Model.check queue_universe faulty ~size:5 with
+  | Error cex ->
+    (* the offending axiom must be FRONT's or REMOVE's inductive case *)
+    Alcotest.(check bool) "axiom 4 or 6" true
+      (List.mem (Axiom.name cex.Model.axiom) [ "4"; "6" ])
+  | Ok _ -> Alcotest.fail "LIFO accepted as a FIFO model"
+
+let test_missing_error_caught () =
+  (* an implementation that silently returns a default instead of error *)
+  let sloppy =
+    {
+      Queue_impl.model with
+      Model.interp =
+        (fun name args ->
+          match (name, args) with
+          | "FRONT", [ Model.Rep q ] when Queue_impl.is_empty q ->
+            Some (Model.Foreign (Builtins.item 1))
+          | _ -> Queue_impl.model.Model.interp name args);
+    }
+  in
+  match Model.check queue_universe sloppy ~size:5 with
+  | Error cex -> Alcotest.(check string) "axiom 3" "3" (Axiom.name cex.Model.axiom)
+  | Ok _ -> Alcotest.fail "missing error behaviour accepted"
+
+let test_check_random () =
+  let state = Random.State.make [| 11 |] in
+  match Model.check_random queue_universe Queue_impl.model ~count:300 ~size:9 state with
+  | Ok n -> Alcotest.(check bool) "ran" true (n > 0)
+  | Error cex -> Alcotest.failf "%a" Model.pp_counterexample cex
+
+let test_check_axiom_single () =
+  let ax = Option.get (Spec.find_axiom "4" Queue_spec.spec) in
+  Alcotest.(check bool) "axiom 4 holds" true
+    (Model.check_axiom queue_universe Queue_impl.model ~size:5 ax = None)
+
+let suite =
+  [
+    case "the two-list queue models the Queue axioms" test_queue_impl_is_a_model;
+    case "evaluation in a model" test_eval_in_model;
+    case "if-then-else in a model" test_ite_in_model;
+    case "denotation through Phi" test_to_term_phi;
+    case "a LIFO impostor is rejected" test_faulty_impl_caught;
+    case "missing error behaviour is rejected" test_missing_error_caught;
+    case "randomised checking" test_check_random;
+    case "single-axiom checking" test_check_axiom_single;
+  ]

@@ -1,0 +1,238 @@
+open Adt
+open Helpers
+
+let queue_src =
+  {|
+spec Item
+  sort Item
+  ops
+    I1 : -> Item
+    I2 : -> Item
+  constructors I1 I2
+end
+
+spec Queue
+  uses Item
+  sort Queue
+  ops
+    NEW : -> Queue
+    ADD : Queue Item -> Queue
+    FRONT : Queue -> Item
+    IS_EMPTY? : Queue -> Bool
+  constructors NEW ADD
+  vars
+    q : Queue
+    i : Item
+  axioms
+    [1] IS_EMPTY?(NEW) = true
+    [2] IS_EMPTY?(ADD(q, i)) = false
+    [3] FRONT(NEW) = error
+    [4] FRONT(ADD(q, i)) = if IS_EMPTY?(q) then i else FRONT(q)
+end
+|}
+
+let queue () = parse_spec_exn queue_src
+
+let test_parse_spec_shape () =
+  let spec = queue () in
+  Alcotest.(check string) "name" "Queue" (Spec.name spec);
+  Alcotest.(check int) "axioms (uses included)" 4 (List.length (Spec.axioms spec));
+  Alcotest.(check bool) "sorts" true
+    (Signature.mem_sort (Sort.v "Queue") (Spec.signature spec)
+    && Signature.mem_sort (Sort.v "Item") (Spec.signature spec));
+  Alcotest.(check bool) "constructors merged" true
+    (Spec.is_constructor_name "NEW" spec && Spec.is_constructor_name "I1" spec)
+
+let test_parse_specs_list () =
+  match Parser.parse_specs queue_src with
+  | Ok [ item; queue ] ->
+    Alcotest.(check string) "first" "Item" (Spec.name item);
+    Alcotest.(check string) "second" "Queue" (Spec.name queue)
+  | Ok other -> Alcotest.failf "expected 2 specs, got %d" (List.length other)
+  | Error e -> Alcotest.failf "%a" Parser.pp_error e
+
+let test_axiom_labels () =
+  let spec = queue () in
+  Alcotest.(check bool) "label 4 present" true (Spec.find_axiom "4" spec <> None)
+
+let test_env_resolution () =
+  let env name =
+    if name = "Item" then Some Adt_specs.Builtins.item_spec else None
+  in
+  let src =
+    {|
+spec Box
+  uses Item
+  sort Box
+  ops
+    WRAP : Item -> Box
+  constructors WRAP
+end
+|}
+  in
+  let spec =
+    match Parser.parse_spec ~env src with
+    | Ok s -> s
+    | Error e -> Alcotest.failf "%a" Parser.pp_error e
+  in
+  Alcotest.(check bool) "imported op" true (Spec.find_op "ITEM1" spec <> None)
+
+let test_unknown_uses () =
+  match Parser.parse_spec "spec A uses Nothing sort A end" with
+  | Error e ->
+    Alcotest.(check bool) "mentions the name" true
+      (Astring_contains.contains e.Parser.message "Nothing")
+  | Ok _ -> Alcotest.fail "unknown uses accepted"
+
+let test_error_positions () =
+  match Parser.parse_spec "spec A\n  sort A\n  ops\n    F : A -> Mystery\nend" with
+  | Error e -> Alcotest.(check int) "line" 4 e.Parser.line
+  | Ok _ -> Alcotest.fail "undeclared sort accepted"
+
+let test_duplicate_op_rejected () =
+  let src = "spec A sort A ops F : -> A F : A -> A end" in
+  match Parser.parse_spec src with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "conflicting redeclaration accepted"
+
+let test_unknown_variable_in_axiom () =
+  let src =
+    "spec A sort A ops C : -> A F : A -> A constructors C axioms F(ghost) = C end"
+  in
+  match Parser.parse_spec src with
+  | Error e ->
+    Alcotest.(check bool) "mentions ghost" true
+      (Astring_contains.contains e.Parser.message "ghost")
+  | Ok _ -> Alcotest.fail "undeclared variable accepted"
+
+let test_rhs_sort_checked () =
+  let src =
+    "spec A sort A ops C : -> A IS? : A -> Bool constructors C axioms IS?(C) = C end"
+  in
+  match Parser.parse_spec src with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "ill-sorted axiom accepted"
+
+let test_error_needs_context () =
+  (* a bare error with no expected sort cannot be typed *)
+  let spec = queue () in
+  match Parser.parse_term spec "error" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bare error accepted"
+
+let test_parse_term_forms () =
+  let spec = queue () in
+  let item = Sort.v "Item" and qsort = Sort.v "Queue" in
+  check_term "constant" (Term.const (Spec.op_exn spec "NEW"))
+    (parse_term_exn spec "NEW");
+  check_term "constant with parens" (Term.const (Spec.op_exn spec "NEW"))
+    (parse_term_exn spec "NEW()");
+  let t = parse_term_exn spec "FRONT(ADD(NEW, I1))" in
+  Alcotest.check sort_testable "sort" item (Term.sort_of t);
+  let open_term = parse_term_exn spec ~vars:[ ("q", qsort) ] "IS_EMPTY?(q)" in
+  Alcotest.(check (list (pair string sort_testable))) "vars"
+    [ ("q", qsort) ]
+    (Term.vars open_term);
+  (* if-then-else with error branch gets its sort from context *)
+  let ite =
+    parse_term_exn spec ~vars:[ ("q", qsort) ]
+      "if IS_EMPTY?(q) then FRONT(q) else error"
+  in
+  Alcotest.check sort_testable "ite sort" item (Term.sort_of ite)
+
+let test_parse_term_arity_errors () =
+  let spec = queue () in
+  (match Parser.parse_term spec "ADD(NEW)" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "missing argument accepted");
+  (match Parser.parse_term spec "NEW(NEW)" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "extra argument accepted");
+  match Parser.parse_term spec "FRONT(I1)" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "wrong sort accepted"
+
+let test_comments_and_whitespace () =
+  let src = "-- leading comment\nspec A -- trailing\n  sort A\nend\n-- done" in
+  match Parser.parse_spec src with
+  | Ok s -> Alcotest.(check string) "name" "A" (Spec.name s)
+  | Error e -> Alcotest.failf "%a" Parser.pp_error e
+
+let test_lexer_tokens () =
+  match Lexer.tokenize "F(x) -> [1] = -- c\nY?" with
+  | Ok tokens ->
+    let kinds = List.map (fun t -> t.Lexer.token) tokens in
+    Alcotest.(check bool) "arrow lexed" true (List.mem Lexer.Arrow kinds);
+    Alcotest.(check bool) "brackets lexed" true (List.mem Lexer.Lbracket kinds)
+  | Error _ -> Alcotest.fail "lexer failed"
+
+let test_lexer_identifier_charset () =
+  (* ?, ., ' as in the paper's names *)
+  match Lexer.tokenize "IS.NEWSTACK? INIT' X_1" with
+  | Ok tokens ->
+    let idents =
+      List.filter_map
+        (function { Lexer.token = Lexer.Ident s; _ } -> Some s | _ -> None)
+        tokens
+    in
+    Alcotest.(check (list string)) "idents"
+      [ "IS.NEWSTACK?"; "INIT'"; "X_1" ]
+      idents
+  | Error _ -> Alcotest.fail "lexer failed"
+
+let test_lexer_bad_char () =
+  match Lexer.tokenize "spec @" with
+  | Error e -> Alcotest.(check int) "column" 6 e.Lexer.col
+  | Ok _ -> Alcotest.fail "@ accepted"
+
+let test_round_trip_corpus () =
+  List.iter
+    (fun spec ->
+      let src = Pretty.source_of_spec spec in
+      match Parser.parse_spec src with
+      | Error e -> Alcotest.failf "%s does not re-parse: %a@.%s" (Spec.name spec) Parser.pp_error e src
+      | Ok spec' ->
+        Alcotest.(check bool)
+          (Spec.name spec ^ " signature survives")
+          true
+          (Signature.equal (Spec.signature spec) (Spec.signature spec'));
+        Alcotest.(check int)
+          (Spec.name spec ^ " axiom count survives")
+          (List.length (Spec.axioms spec))
+          (List.length (Spec.axioms spec'));
+        List.iter2
+          (fun a b ->
+            if not (Axiom.same_equation a b) then
+              Alcotest.failf "axiom drift: %a vs %a" Axiom.pp a Axiom.pp b)
+          (Spec.axioms spec) (Spec.axioms spec'))
+    [
+      nat_spec;
+      Adt_specs.Queue_spec.spec;
+      Adt_specs.Stack_spec.default.Adt_specs.Stack_spec.spec;
+      Adt_specs.Array_spec.default.Adt_specs.Array_spec.spec;
+      Adt_specs.Symboltable_spec.spec;
+      Adt_specs.Knowlist_spec.spec;
+      Adt_specs.Bounded_queue_spec.spec;
+    ]
+
+let suite =
+  [
+    case "specification shape" test_parse_spec_shape;
+    case "multiple specifications per file" test_parse_specs_list;
+    case "axiom labels" test_axiom_labels;
+    case "uses resolved through the environment" test_env_resolution;
+    case "unknown uses rejected" test_unknown_uses;
+    case "error positions point at the problem" test_error_positions;
+    case "conflicting redeclarations rejected" test_duplicate_op_rejected;
+    case "undeclared axiom variables rejected" test_unknown_variable_in_axiom;
+    case "axiom sides must agree in sort" test_rhs_sort_checked;
+    case "bare error needs sort context" test_error_needs_context;
+    case "term forms" test_parse_term_forms;
+    case "term arity and sort errors" test_parse_term_arity_errors;
+    case "comments and whitespace" test_comments_and_whitespace;
+    case "lexer token coverage" test_lexer_tokens;
+    case "lexer accepts the paper's identifier charset"
+      test_lexer_identifier_charset;
+    case "lexer reports bad characters" test_lexer_bad_char;
+    case "pretty-printed corpus re-parses (round trip)" test_round_trip_corpus;
+  ]

@@ -1,0 +1,69 @@
+open Adt
+open Helpers
+
+let test_source_has_sections () =
+  let src = Pretty.source_of_spec nat_spec in
+  List.iter
+    (fun needle ->
+      if not (Astring_contains.contains src needle) then
+        Alcotest.failf "missing %S in:@.%s" needle src)
+    [ "spec N"; "sort N"; "ops"; "constructors"; "vars"; "axioms"; "end" ]
+
+let test_builtins_omitted () =
+  let src = Pretty.source_of_spec nat_spec in
+  Alcotest.(check bool) "no true decl" false
+    (Astring_contains.contains src "true : -> Bool");
+  Alcotest.(check bool) "no Bool sort decl" false
+    (Astring_contains.contains src "sort Bool")
+
+let test_axiom_labels_printed () =
+  let src = Pretty.source_of_spec nat_spec in
+  Alcotest.(check bool) "label" true (Astring_contains.contains src "[p0]")
+
+let test_spec_without_axioms () =
+  let src = Pretty.source_of_spec Adt_specs.Builtins.item_spec in
+  match Parser.parse_spec src with
+  | Ok s ->
+    Alcotest.(check int) "no axioms" 0 (List.length (Spec.axioms s));
+    Alcotest.(check bool) "constructors kept" true
+      (Spec.is_constructor_name "ITEM1" s)
+  | Error e -> Alcotest.failf "%a@.%s" Parser.pp_error e src
+
+let test_union_round_trip () =
+  (* the knows-variant spec is the most heterogeneous union in the corpus *)
+  let spec = Adt_specs.Symboltable_knows_spec.spec in
+  let src = Pretty.source_of_spec spec in
+  match Parser.parse_spec src with
+  | Ok s ->
+    Alcotest.(check bool) "signature" true
+      (Signature.equal (Spec.signature spec) (Spec.signature s));
+    Alcotest.(check int) "axioms" (List.length (Spec.axioms spec))
+      (List.length (Spec.axioms s))
+  | Error e -> Alcotest.failf "%a@.%s" Parser.pp_error e src
+
+let test_refinement_round_trip () =
+  (* primed operation names (INIT', IS_INBLOCK?') survive the round trip *)
+  let spec = Adt_specs.Refinement.combined in
+  let src = Pretty.source_of_spec spec in
+  match Parser.parse_spec src with
+  | Ok s ->
+    Alcotest.(check bool) "signature" true
+      (Signature.equal (Spec.signature spec) (Spec.signature s))
+  | Error e -> Alcotest.failf "%a@.%s" Parser.pp_error e src
+
+let test_pp_axioms () =
+  let text = Fmt.str "%a" Pretty.pp_axioms nat_axioms in
+  Alcotest.(check bool) "one per line" true
+    (List.length (String.split_on_char '\n' text) >= 4);
+  Alcotest.(check bool) "labelled" true (Astring_contains.contains text "[ps]")
+
+let suite =
+  [
+    case "rendered source has every section" test_source_has_sections;
+    case "builtin Boolean material is implicit" test_builtins_omitted;
+    case "axiom labels are printed" test_axiom_labels_printed;
+    case "axiom-free specifications round trip" test_spec_without_axioms;
+    case "heterogeneous unions round trip" test_union_round_trip;
+    case "the refinement system round trips" test_refinement_round_trip;
+    case "pp_axioms" test_pp_axioms;
+  ]

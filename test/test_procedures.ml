@@ -1,0 +1,319 @@
+open Blocklang
+open Helpers
+
+let run_direct src =
+  match Driver.run_source Driver.Direct src with
+  | Driver.Ran values -> values
+  | other -> Alcotest.failf "did not run: %a" Driver.pp_outcome other
+
+let diags_of backend src =
+  match Driver.check_source backend src with
+  | Driver.Check_errors ds -> List.map (fun d -> d.Checker.kind) ds
+  | Driver.Ran _ -> []
+  | Driver.Parse_error e -> Alcotest.failf "parse error: %a" Parser.pp_error e
+  | Driver.Runtime_error msg -> Alcotest.failf "runtime error: %s" msg
+
+let values = Alcotest.(list (testable Vm.pp_value ( = )))
+
+(* {2 Attribute encoding} *)
+
+let test_proc_attrs_roundtrip () =
+  List.iter
+    (fun (ret, params, index) ->
+      let t = Adt_specs.Attributes.mk_proc ~ret ~params ~index in
+      Alcotest.(check (option (triple int (list int) int)))
+        "decode inverts mk_proc"
+        (Some (ret, params, index))
+        (Adt_specs.Attributes.decode_proc t);
+      (* proc attributes never decode as variable attributes *)
+      Alcotest.(check bool) "kinds are distinct" true
+        (Adt_specs.Attributes.decode t = None))
+    [
+      (0, [], 0);
+      (1, [ 0 ], 3);
+      (0, [ 0; 1; 0 ], 12);
+      (1, [ 1; 1; 1; 1 ], 7);
+      (0, [ 1; 0 ], 0);
+    ]
+
+let test_proc_attrs_algebraic_equality () =
+  let open Adt in
+  let interp = Interp.create Adt_specs.Attributes.spec in
+  let a = Adt_specs.Attributes.mk_proc ~ret:0 ~params:[ 0; 1 ] ~index:2 in
+  let b = Adt_specs.Attributes.mk_proc ~ret:0 ~params:[ 0; 1 ] ~index:2 in
+  let c = Adt_specs.Attributes.mk_proc ~ret:0 ~params:[ 1; 0 ] ~index:2 in
+  Alcotest.(check (option bool)) "equal attrs" (Some true)
+    (Interp.eval_bool interp (Adt_specs.Attributes.eq a b));
+  Alcotest.(check (option bool)) "different params" (Some false)
+    (Interp.eval_bool interp (Adt_specs.Attributes.eq a c));
+  Alcotest.(check (option bool)) "proc vs variable" (Some false)
+    (Interp.eval_bool interp
+       (Adt_specs.Attributes.eq a (Adt_specs.Attributes.mk ~ty:0 ~slot:2)))
+
+(* {2 Parsing} *)
+
+let test_parse_proc () =
+  let p =
+    Parser.parse_exn
+      "begin proc f(a : int, b : bool) : int begin return a end; decl x : int; x := f(1, true) end"
+  in
+  match (List.hd p.Ast.stmts).Ast.sdesc with
+  | Ast.Proc ("f", [ ("a", Ast.Tint); ("b", Ast.Tbool) ], Ast.Tint, _) -> ()
+  | _ -> Alcotest.fail "procedure shape lost"
+
+let test_parse_empty_params () =
+  let p = Parser.parse_exn "begin proc f() : int begin return 1 end end" in
+  match (List.hd p.Ast.stmts).Ast.sdesc with
+  | Ast.Proc ("f", [], Ast.Tint, _) -> ()
+  | _ -> Alcotest.fail "empty parameter list lost"
+
+let test_parse_call_precedence () =
+  let p = Parser.parse_exn "begin decl x : int; x := 1 + f(2) * 3 end" in
+  match (List.nth p.Ast.stmts 1).Ast.sdesc with
+  | Ast.Assign
+      ( "x",
+        {
+          desc =
+            Ast.Binop
+              ( Ast.Add,
+                _,
+                { desc = Ast.Binop (Ast.Mul, { desc = Ast.Call ("f", [ _ ]); _ }, _); _ }
+              );
+          _;
+        } ) ->
+    ()
+  | _ -> Alcotest.fail "call precedence wrong"
+
+(* {2 Checking} *)
+
+let test_call_arity_checked () =
+  match
+    diags_of Driver.Direct
+      "begin proc f(a : int) : int begin return a end; decl x : int; x := f(1, 2) end"
+  with
+  | [ Checker.Type_mismatch ] -> ()
+  | _ -> Alcotest.fail "arity violation missed"
+
+let test_call_arg_types_checked () =
+  match
+    diags_of Driver.Direct
+      "begin proc f(a : bool) : int begin return 1 end; decl x : int; x := f(3) end"
+  with
+  | [ Checker.Type_mismatch ] -> ()
+  | _ -> Alcotest.fail "argument type violation missed"
+
+let test_return_type_checked () =
+  match
+    diags_of Driver.Direct
+      "begin proc f(a : int) : int begin return a < 2 end end"
+  with
+  | [ Checker.Type_mismatch ] -> ()
+  | _ -> Alcotest.fail "return type violation missed"
+
+let test_misplaced_return () =
+  match diags_of Driver.Direct "begin return 1 end" with
+  | [ Checker.Misplaced_return ] -> ()
+  | _ -> Alcotest.fail "toplevel return accepted"
+
+let test_variable_call_rejected () =
+  match
+    diags_of Driver.Direct "begin decl x : int; decl y : int; y := x(1) end"
+  with
+  | [ Checker.Not_a_procedure ] -> ()
+  | _ -> Alcotest.fail "calling a variable accepted"
+
+let test_proc_as_variable_rejected () =
+  match
+    diags_of Driver.Direct
+      "begin proc f() : int begin return 1 end; decl x : int; x := f end"
+  with
+  | [ Checker.Type_mismatch ] -> ()
+  | _ -> Alcotest.fail "using a procedure as a variable accepted"
+
+let test_recursion_rejected () =
+  (* the name enters scope only after the body *)
+  match
+    diags_of Driver.Direct
+      "begin proc f(a : int) : int begin return f(a - 1) end end"
+  with
+  | [ Checker.Undeclared_identifier ] -> ()
+  | _ -> Alcotest.fail "direct recursion accepted"
+
+let test_duplicate_proc_rejected () =
+  match
+    diags_of Driver.Direct
+      "begin proc f() : int begin return 1 end; proc f() : int begin return 2 end end"
+  with
+  | [ Checker.Duplicate_declaration ] -> ()
+  | _ -> Alcotest.fail "duplicate procedure accepted"
+
+let test_params_do_not_escape () =
+  match
+    diags_of Driver.Direct
+      "begin proc f(a : int) : int begin return a end; decl x : int; x := a end"
+  with
+  | [ Checker.Undeclared_identifier ] -> ()
+  | _ -> Alcotest.fail "parameter escaped its procedure"
+
+let test_proc_sees_enclosing_scope () =
+  Alcotest.check values "reads a global"
+    [ Vm.Vint 42 ]
+    (run_direct
+       "begin decl g : int; g := 40; proc f(a : int) : int begin return g + a end; print f(2) end")
+
+let test_proc_writes_global () =
+  Alcotest.check values "writes a global"
+    [ Vm.Vint 0; Vm.Vint 7 ]
+    (run_direct
+       {|begin
+           decl g : int;
+           proc set(v : int) : int begin g := v; return v end;
+           decl sink : int;
+           print g;
+           sink := set(7);
+           print g
+         end|})
+
+(* {2 Execution} *)
+
+let test_call_results () =
+  Alcotest.check values "nested calls"
+    [ Vm.Vint 55; Vm.Vbool false; Vm.Vint 16 ]
+    (run_direct
+       {|begin
+           decl total : int;
+           proc square(a : int) : int begin return a * a end;
+           proc sum_squares(n : int) : int begin
+             decl i : int; decl acc : int;
+             i := 1;
+             while not (n < i) do begin
+               acc := acc + square(i);
+               i := i + 1
+             end;
+             return acc
+           end;
+           proc is_big(x : int) : bool begin return 100 < x end;
+           total := sum_squares(5);
+           print total;
+           print is_big(total);
+           print square(square(2))
+         end|})
+
+let test_fall_off_end_default () =
+  Alcotest.check values "default return values"
+    [ Vm.Vint 0; Vm.Vbool false ]
+    (run_direct
+       {|begin
+           proc nothing() : int begin decl t : int; t := 9 end;
+           proc nope() : bool begin decl t : int; t := 9 end;
+           print nothing();
+           print nope()
+         end|})
+
+let test_early_return () =
+  Alcotest.check values "return exits the body"
+    [ Vm.Vint 1 ]
+    (run_direct
+       {|begin
+           proc f(a : int) : int begin
+             if a < 10 then begin return 1 end;
+             return 2
+           end;
+           print f(3)
+         end|})
+
+let test_return_inside_loop () =
+  Alcotest.check values "return exits a running loop"
+    [ Vm.Vint 5 ]
+    (run_direct
+       {|begin
+           proc first_ge(n : int) : int begin
+             decl i : int;
+             i := 0;
+             while i < 100 do begin
+               if n < i + 1 then begin return i end;
+               i := i + 1
+             end;
+             return 0 - 1
+           end;
+           print first_ge(5)
+         end|})
+
+let procedure_programs =
+  [
+    "begin proc f() : int begin return 3 end; print f() end";
+    "begin decl g : int; g := 1; proc f(a : int) : int begin return a + g end; print f(1); g := 5; print f(1) end";
+    {|begin
+        proc square(a : int) : int begin return a * a end;
+        proc quad(a : int) : int begin return square(a) * square(a) end;
+        print quad(2)
+      end|};
+    "begin proc p(a : bool, b : int) : bool begin if a then begin return b < 3 end; return false end; print p(true, 2); print p(false, 2) end";
+  ]
+
+let test_vm_eval_differential () =
+  List.iter
+    (fun src ->
+      match Checker.Direct.check (Parser.parse_exn src) with
+      | Error ds ->
+        Alcotest.failf "rejected %s: %a" src
+          Fmt.(list ~sep:semi Checker.pp_diagnostic)
+          ds
+      | Ok rp ->
+        Alcotest.check values ("agree on " ^ src) (Eval.run rp)
+          (Vm.run (Codegen.compile rp)))
+    procedure_programs
+
+let test_backends_agree_on_procedures () =
+  List.iter
+    (fun src ->
+      let reference =
+        Fmt.str "%a" Driver.pp_outcome (Driver.run_source Driver.Direct src)
+      in
+      List.iter
+        (fun backend ->
+          Alcotest.(check string)
+            (Driver.backend_name backend)
+            reference
+            (Fmt.str "%a" Driver.pp_outcome (Driver.run_source backend src)))
+        [ Driver.Algebraic; Driver.Algebraic_knows ])
+    procedure_programs
+
+let test_pp_round_trip () =
+  List.iter
+    (fun src ->
+      let p = Parser.parse_exn src in
+      let printed = Fmt.str "%a" Ast.pp_program p in
+      match Parser.parse printed with
+      | Ok p' ->
+        Alcotest.(check (list string)) "identifiers" (Ast.identifiers p)
+          (Ast.identifiers p')
+      | Error e -> Alcotest.failf "no reparse: %a@.%s" Parser.pp_error e printed)
+    procedure_programs
+
+let suite =
+  [
+    case "proc attributes encode and decode" test_proc_attrs_roundtrip;
+    case "proc attributes compare algebraically" test_proc_attrs_algebraic_equality;
+    case "parsing: procedure declarations" test_parse_proc;
+    case "parsing: empty parameter lists" test_parse_empty_params;
+    case "parsing: calls inside expressions" test_parse_call_precedence;
+    case "checker: call arity" test_call_arity_checked;
+    case "checker: argument types" test_call_arg_types_checked;
+    case "checker: return type" test_return_type_checked;
+    case "checker: misplaced return" test_misplaced_return;
+    case "checker: calling a variable" test_variable_call_rejected;
+    case "checker: procedure as a variable" test_proc_as_variable_rejected;
+    case "checker: recursion is rejected" test_recursion_rejected;
+    case "checker: duplicate procedures" test_duplicate_proc_rejected;
+    case "checker: parameters stay local" test_params_do_not_escape;
+    case "scoping: bodies read enclosing scopes" test_proc_sees_enclosing_scope;
+    case "scoping: bodies write enclosing scopes" test_proc_writes_global;
+    case "execution: calls, loops, nesting" test_call_results;
+    case "execution: default return values" test_fall_off_end_default;
+    case "execution: early return" test_early_return;
+    case "execution: return inside a loop" test_return_inside_loop;
+    case "vm and tree-walker agree" test_vm_eval_differential;
+    case "all backends agree" test_backends_agree_on_procedures;
+    case "pretty-printing round trips" test_pp_round_trip;
+  ]

@@ -1,0 +1,158 @@
+open Adt
+open Helpers
+open Adt_specs
+
+let cfg = Proof.config nat_spec
+
+let proved outcome = match outcome with Proof.Proved _ -> true | Proof.Unknown _ -> false
+
+let test_by_normalization () =
+  Alcotest.(check bool) "ground equality" true
+    (Proof.holds cfg (plus (church 1) (church 1), church 2));
+  Alcotest.(check bool) "open normalization" true
+    (Proof.holds cfg (plus z (v "n"), v "n"))
+
+let test_unequal_rejected () =
+  Alcotest.(check bool) "1 <> 2" false (Proof.holds cfg (church 1, church 2));
+  Alcotest.(check bool) "true <> false" false (Proof.holds cfg (Term.tt, Term.ff))
+
+let test_by_induction () =
+  (* plus(n, z) = n needs induction on n *)
+  let goal = (plus (v "n") z, v "n") in
+  match Proof.prove cfg goal with
+  | Proof.Proved (Proof.By_induction { on = (name, sort); cases }) ->
+    Alcotest.(check string) "on n" "n" name;
+    Alcotest.check sort_testable "at sort N" nat sort;
+    Alcotest.(check int) "two generator cases" 2 (List.length cases)
+  | Proof.Proved p -> Alcotest.failf "unexpected proof shape: %a" Proof.pp_proof p
+  | Proof.Unknown _ as u -> Alcotest.failf "%a" Proof.pp_outcome u
+
+let test_induction_uses_hypothesis () =
+  (* plus(n, s(m)) = s(plus(n, m)) requires the IH in the s-case *)
+  let goal = (plus (v "n") (s (v "m")), s (plus (v "n") (v "m"))) in
+  Alcotest.(check bool) "proved" true (Proof.holds cfg goal)
+
+let test_false_universal_rejected () =
+  Alcotest.(check bool) "isz(n) = true is not provable" false
+    (Proof.holds cfg (isz (v "n"), Term.tt));
+  Alcotest.(check bool) "plus(n,n) = n is not provable" false
+    (Proof.holds cfg (plus (v "n") (v "n"), v "n"))
+
+let test_case_split () =
+  let qcfg = Proof.config Queue_spec.spec in
+  let q = Term.var "q" Queue_spec.sort and i = Term.var "i" Builtins.item_sort in
+  let goal =
+    (Queue_spec.is_empty (Queue_spec.remove (Queue_spec.add q i)), Queue_spec.is_empty q)
+  in
+  match Proof.prove qcfg goal with
+  | Proof.Proved (Proof.By_cases { condition; _ }) ->
+    Alcotest.(check string) "split on emptiness" "IS_EMPTY?($q)"
+      (Term.to_string condition)
+  | Proof.Proved p -> Alcotest.failf "unexpected shape: %a" Proof.pp_proof p
+  | Proof.Unknown _ as u -> Alcotest.failf "%a" Proof.pp_outcome u
+
+let test_depth_limits_respected () =
+  let shallow =
+    Proof.config ~max_case_depth:0 ~max_induction_depth:0 Queue_spec.spec
+  in
+  let q = Term.var "q" Queue_spec.sort and i = Term.var "i" Builtins.item_sort in
+  let goal =
+    (Queue_spec.is_empty (Queue_spec.remove (Queue_spec.add q i)), Queue_spec.is_empty q)
+  in
+  Alcotest.(check bool) "needs case analysis or induction" false
+    (Proof.holds shallow goal);
+  let no_induction = Proof.config ~max_induction_depth:0 nat_spec in
+  Alcotest.(check bool) "needs induction" false
+    (Proof.holds no_induction (plus (v "n") z, v "n"))
+
+let test_prove_lemma_pipeline () =
+  (* prove plus(n, z) = n as a lemma, then use it *)
+  match
+    Proof.prove_lemma cfg (Axiom.v ~name:"plus-z-right" ~lhs:(plus (v "n") z) ~rhs:(v "n") ())
+  with
+  | Error u -> Alcotest.failf "lemma failed: %a" Proof.pp_outcome u
+  | Ok cfg' ->
+    Alcotest.(check int) "registered as invariant" 1
+      (List.length cfg'.Proof.invariants);
+    (* the invariant is usable at top-level variables of sort N *)
+    Alcotest.(check bool) "consequence" true
+      (Proof.holds cfg' (isz (plus (v "n") z), isz (v "n")))
+
+let test_ground_lemma_becomes_rule () =
+  match Proof.prove_lemma cfg (Axiom.v ~name:"g" ~lhs:(plus z z) ~rhs:z ()) with
+  | Ok cfg' -> Alcotest.(check int) "extra rule" 1 (List.length cfg'.Proof.extra_rules)
+  | Error _ -> Alcotest.fail "trivial lemma failed"
+
+let test_unsound_lemma_unprovable () =
+  match Proof.prove_lemma cfg (Axiom.v ~name:"bad" ~lhs:(isz (v "n")) ~rhs:Term.tt ()) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "false lemma proved"
+
+let test_invariants_not_universal () =
+  (* an invariant registered for reachable values must not rewrite
+     arbitrary subterms (soundness regression test) *)
+  let stack = Refinement.stack in
+  match Refinement.verified_config () with
+  | Error u -> Alcotest.failf "lemma: %a" Proof.pp_outcome u
+  | Ok cfg ->
+    Alcotest.(check bool) "IS_NEWSTACK?(NEWSTACK) = false NOT provable" false
+      (Proof.holds cfg (stack.Stack_spec.is_newstack stack.Stack_spec.newstack, Term.ff));
+    Alcotest.(check bool) "its negation still provable" true
+      (Proof.holds cfg (stack.Stack_spec.is_newstack stack.Stack_spec.newstack, Term.tt))
+
+let test_generator_override () =
+  (* generators define the quantification domain: if every "reachable"
+     value is a successor, isz(n) = false becomes provable by generator
+     induction — while with the default constructors (z included) it is
+     rightly rejected. This is the mechanism behind the paper's
+     Assumption 1. *)
+  let only_succ = Proof.config ~generators:[ (nat, [ succ_op ]) ] nat_spec in
+  Alcotest.(check bool) "provable over successor-generated values" true
+    (Proof.holds only_succ (isz (v "n"), Term.ff));
+  Alcotest.(check bool) "not provable over all naturals" false
+    (Proof.holds cfg (isz (v "n"), Term.ff))
+
+let test_disprove () =
+  let u = Enum.universe nat_spec in
+  (match Proof.disprove cfg ~universe:u ~size:4 (isz (v "n"), Term.tt) with
+  | Some (sub, got, expected) ->
+    Alcotest.(check bool) "counterexample binds n" true (Subst.mem "n" sub);
+    Alcotest.(check bool) "distinct values" false (Term.equal got expected)
+  | None -> Alcotest.fail "no counterexample found");
+  Alcotest.(check bool) "true statements survive" true
+    (Proof.disprove cfg ~universe:u ~size:4 (plus (v "n") z, v "n") = None)
+
+let test_proof_metrics () =
+  match Proof.prove cfg (plus (v "n") z, v "n") with
+  | Proof.Proved p ->
+    Alcotest.(check bool) "size" true (Proof.proof_size p >= 3);
+    Alcotest.(check bool) "depth" true (Proof.proof_depth p >= 2)
+  | Proof.Unknown _ -> Alcotest.fail "unproved"
+
+let test_skolems_do_not_leak () =
+  (* skolem constants are internal: they never appear in reported normal
+     forms of a [By_normalization] on ground goals *)
+  match Proof.prove cfg (plus (church 2) (church 2), church 4) with
+  | Proof.Proved (Proof.By_normalization { lhs_nf; _ }) ->
+    check_term "clean" (church 4) lhs_nf
+  | _ -> Alcotest.fail "unexpected"
+
+let suite =
+  [
+    case "proof by normalization" test_by_normalization;
+    case "unequal sides rejected" test_unequal_rejected;
+    case "proof by structural induction" test_by_induction;
+    case "induction hypotheses are used" test_induction_uses_hypothesis;
+    case "false universals rejected" test_false_universal_rejected;
+    case "proof by case analysis" test_case_split;
+    case "depth limits respected" test_depth_limits_respected;
+    case "lemmas become invariants" test_prove_lemma_pipeline;
+    case "ground lemmas become rules" test_ground_lemma_becomes_rule;
+    case "false lemmas rejected" test_unsound_lemma_unprovable;
+    case "invariants are not universal rules (soundness)"
+      test_invariants_not_universal;
+    case "generator overrides change the domain" test_generator_override;
+    case "disproof by bounded search" test_disprove;
+    case "proof metrics" test_proof_metrics;
+    case "skolem constants stay internal" test_skolems_do_not_leak;
+  ]

@@ -1,0 +1,124 @@
+open Adt
+open Helpers
+open Adt_specs
+
+let item = Builtins.item
+let interp = Interp.create Queue_spec.spec
+
+(* reference semantics: a plain OCaml list, front first *)
+let rec reference_eval t : (Term.t list, unit) result =
+  match t with
+  | Term.App (op, []) when Op.name op = "NEW" -> Ok []
+  | Term.App (op, [ q; i ]) when Op.name op = "ADD" ->
+    Result.map (fun l -> l @ [ i ]) (reference_eval q)
+  | Term.App (op, [ q ]) when Op.name op = "REMOVE" -> (
+    match reference_eval q with
+    | Ok (_ :: rest) -> Ok rest
+    | Ok [] | Error () -> Error ())
+  | _ -> Error ()
+
+let test_axioms_against_reference () =
+  (* every queue term up to size 9 evaluates consistently with lists *)
+  let u = Enum.universe Queue_spec.spec in
+  let queues = Enum.terms_up_to u Queue_spec.sort ~size:9 in
+  List.iter
+    (fun q ->
+      let expected = reference_eval q in
+      (match (Interp.eval interp (Queue_spec.is_empty q), expected) with
+      | Interp.Value b, Ok l ->
+        Alcotest.(check bool) "emptiness" (l = []) (Term.equal b Term.tt)
+      | other, _ -> Alcotest.failf "is_empty: %a" Interp.pp_value other);
+      match (Interp.eval interp (Queue_spec.front q), expected) with
+      | Interp.Value f, Ok (x :: _) -> check_term "front" x f
+      | Interp.Error_value _, Ok [] -> ()
+      | got, Ok l ->
+        Alcotest.failf "front of %a (len %d): %a" Term.pp q (List.length l)
+          Interp.pp_value got
+      | _, Error () -> Alcotest.fail "reference failed on enumerated term")
+    queues
+
+let test_remove_is_list_tail () =
+  let q = Queue_spec.of_items [ item 1; item 2; item 3 ] in
+  match Interp.eval interp (Queue_spec.remove q) with
+  | Interp.Value t ->
+    Alcotest.(check (option (list term_testable))) "tail"
+      (Some [ item 2; item 3 ])
+      (Queue_spec.to_items t)
+  | other -> Alcotest.failf "remove: %a" Interp.pp_value other
+
+let test_of_to_items () =
+  let items = [ item 1; item 2; item 3 ] in
+  Alcotest.(check (option (list term_testable))) "round trip" (Some items)
+    (Queue_spec.to_items (Queue_spec.of_items items));
+  Alcotest.(check bool) "non-value" true
+    (Queue_spec.to_items (Queue_spec.remove Queue_spec.new_) = None)
+
+(* {2 The two-list implementation} *)
+
+let test_impl_fifo () =
+  let q =
+    List.fold_left Queue_impl.add Queue_impl.empty [ item 1; item 2; item 3 ]
+  in
+  check_term "front" (item 1) (Queue_impl.front q);
+  let q = Queue_impl.remove q in
+  check_term "second" (item 2) (Queue_impl.front q);
+  Alcotest.(check int) "length" 2 (Queue_impl.length q);
+  check_terms "to_list" [ item 2; item 3 ] (Queue_impl.to_list q)
+
+let test_impl_errors () =
+  (match Queue_impl.front Queue_impl.empty with
+  | exception Queue_impl.Error -> ()
+  | _ -> Alcotest.fail "front of empty");
+  match Queue_impl.remove Queue_impl.empty with
+  | exception Queue_impl.Error -> ()
+  | _ -> Alcotest.fail "remove of empty"
+
+let test_impl_persistence () =
+  let q1 = Queue_impl.add Queue_impl.empty (item 1) in
+  let q2 = Queue_impl.add q1 (item 2) in
+  let _ = Queue_impl.remove q2 in
+  (* q1 and q2 unchanged *)
+  check_terms "q1" [ item 1 ] (Queue_impl.to_list q1);
+  check_terms "q2" [ item 1; item 2 ] (Queue_impl.to_list q2)
+
+let test_phi_homomorphism () =
+  (* Phi(add(q, i)) = ADD(Phi(q), i); Phi(remove q) = REMOVE(Phi(q))
+     normalized — spot-checked over random operation sequences *)
+  let state = Random.State.make [| 3 |] in
+  for _ = 1 to 100 do
+    let rec build q n =
+      if n = 0 then q
+      else
+        let q' =
+          match Random.State.int state 3 with
+          | 0 -> Queue_impl.add q (item (1 + Random.State.int state 4))
+          | 1 -> ( match Queue_impl.remove q with q' -> q' | exception Queue_impl.Error -> q)
+          | _ -> q
+        in
+        build q' (n - 1)
+    in
+    let q = build Queue_impl.empty (Random.State.int state 12) in
+    let i = item (1 + Random.State.int state 4) in
+    (* ADD commutes with Phi *)
+    let lhs = Queue_impl.abstraction (Queue_impl.add q i) in
+    let rhs = Queue_spec.add (Queue_impl.abstraction q) i in
+    check_term "Phi-add" lhs (Interp.reduce interp rhs);
+    (* REMOVE commutes with Phi on nonempty queues *)
+    if not (Queue_impl.is_empty q) then begin
+      let lhs = Queue_impl.abstraction (Queue_impl.remove q) in
+      let rhs = Interp.reduce interp (Queue_spec.remove (Queue_impl.abstraction q)) in
+      check_term "Phi-remove" lhs rhs
+    end
+  done
+
+let suite =
+  [
+    case "axioms agree with list semantics (bounded-exhaustive)"
+      test_axioms_against_reference;
+    case "REMOVE behaves as list tail" test_remove_is_list_tail;
+    case "of_items / to_items" test_of_to_items;
+    case "implementation: FIFO order" test_impl_fifo;
+    case "implementation: error cases" test_impl_errors;
+    case "implementation: persistence" test_impl_persistence;
+    case "Phi is a homomorphism on random workloads" test_phi_homomorphism;
+  ]

@@ -1,0 +1,171 @@
+open Adt
+open Helpers
+
+(* {2 Signature} *)
+
+let test_signature_builtins () =
+  Alcotest.(check bool) "bool sort" true
+    (Signature.mem_sort Sort.bool Signature.empty);
+  Alcotest.check op_testable "true" Signature.true_op
+    (Signature.find_op_exn "true" Signature.empty);
+  Alcotest.check op_testable "false" Signature.false_op
+    (Signature.find_op_exn "false" Signature.empty)
+
+let test_signature_add () =
+  Alcotest.(check bool) "mem_op" true (Signature.mem_op "plus" base_signature);
+  Alcotest.(check bool) "not mem" false (Signature.mem_op "minus" base_signature);
+  (* idempotent on identical op *)
+  Alcotest.(check int) "idempotent" (Signature.cardinal base_signature)
+    (Signature.cardinal (Signature.add_op plus_op base_signature));
+  (* clash on same name, different rank *)
+  (match Signature.add_op (Op.v "plus" ~args:[ nat ] ~result:nat) base_signature with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "clash accepted");
+  (* undeclared sort *)
+  match Signature.add_op (Op.v "f" ~args:[ Sort.v "Mystery" ] ~result:nat) base_signature with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "undeclared sort accepted"
+
+let test_signature_queries () =
+  Alcotest.(check int) "ops_with_result" 3
+    (List.length (Signature.ops_with_result nat base_signature));
+  (* insertion order: builtins first, then declaration order *)
+  let names = List.map Op.name (Signature.ops base_signature) in
+  Alcotest.(check (list string)) "order"
+    [ "true"; "false"; "z"; "s"; "plus"; "isz" ]
+    names
+
+let test_signature_union () =
+  let other =
+    Signature.add_op
+      (Op.v "len" ~args:[ Sort.v "L" ] ~result:nat)
+      (Signature.add_sort (Sort.v "L") (Signature.add_sort nat Signature.empty))
+  in
+  let u = Signature.union base_signature other in
+  Alcotest.(check bool) "both present" true
+    (Signature.mem_op "len" u && Signature.mem_op "plus" u);
+  Alcotest.(check bool) "self union" true
+    (Signature.equal base_signature (Signature.union base_signature base_signature))
+
+(* {2 Axiom} *)
+
+let test_axiom_validation () =
+  (match Axiom.v ~lhs:(v "x") ~rhs:z () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "variable lhs accepted");
+  (match Axiom.v ~lhs:(plus z z) ~rhs:(isz z) () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "sort mismatch accepted");
+  match Axiom.v ~lhs:(s z) ~rhs:(v "ghost") () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "unbound rhs variable accepted"
+
+let test_axiom_accessors () =
+  let ax = Axiom.v ~name:"p0" ~lhs:(plus z (v "n")) ~rhs:(v "n") () in
+  Alcotest.(check string) "name" "p0" (Axiom.name ax);
+  Alcotest.check op_testable "head" plus_op (Axiom.head ax);
+  Alcotest.(check (list (pair string sort_testable))) "vars"
+    [ ("n", nat) ]
+    (Axiom.vars ax);
+  Alcotest.(check bool) "left-linear" true (Axiom.is_left_linear ax);
+  let nl = Axiom.v ~lhs:(plus (v "n") (v "n")) ~rhs:(v "n") () in
+  Alcotest.(check bool) "non-left-linear" false (Axiom.is_left_linear nl)
+
+let test_axiom_same_equation () =
+  let a = Axiom.v ~name:"a" ~lhs:(plus z (v "n")) ~rhs:(v "n") () in
+  let b = Axiom.v ~name:"b" ~lhs:(plus z (v "k")) ~rhs:(v "k") () in
+  let c = Axiom.v ~name:"c" ~lhs:(plus z (v "n")) ~rhs:z () in
+  Alcotest.(check bool) "variant" true (Axiom.same_equation a b);
+  Alcotest.(check bool) "different" false (Axiom.same_equation a c)
+
+let test_axiom_instantiate () =
+  let ax = Axiom.v ~lhs:(plus z (v "n")) ~rhs:(v "n") () in
+  let lhs, rhs = Axiom.instantiate (Subst.singleton "n" (church 2)) ax in
+  check_term "lhs" (plus z (church 2)) lhs;
+  check_term "rhs" (church 2) rhs
+
+(* {2 Spec} *)
+
+let test_spec_constructors () =
+  Alcotest.(check bool) "z is ctor" true (Spec.is_constructor_name "z" nat_spec);
+  Alcotest.(check bool) "plus is not" false
+    (Spec.is_constructor_name "plus" nat_spec);
+  Alcotest.(check bool) "builtins are Bool ctors" true
+    (Spec.is_constructor Signature.true_op nat_spec);
+  Alcotest.(check (list string)) "ctors of N" [ "z"; "s" ]
+    (List.map Op.name (Spec.constructors_of_sort nat nat_spec));
+  Alcotest.(check bool) "has ctors" true (Spec.has_constructors nat nat_spec);
+  Alcotest.(check bool) "no ctors for unknown" false
+    (Spec.has_constructors (Sort.v "Ghost") nat_spec)
+
+let test_spec_observers () =
+  Alcotest.(check (list string)) "observers" [ "plus"; "isz" ]
+    (List.map Op.name (Spec.observers nat_spec))
+
+let test_spec_axioms_for () =
+  Alcotest.(check int) "plus axioms" 2
+    (List.length (Spec.axioms_for plus_op nat_spec));
+  Alcotest.(check bool) "find by name" true
+    (Spec.find_axiom "p0" nat_spec <> None);
+  Alcotest.(check bool) "absent" true (Spec.find_axiom "nope" nat_spec = None)
+
+let test_spec_without_axiom () =
+  let broken = Spec.without_axiom "iz" nat_spec in
+  Alcotest.(check int) "one fewer" 3 (List.length (Spec.axioms broken));
+  Alcotest.(check int) "original untouched" 4 (List.length (Spec.axioms nat_spec))
+
+let test_spec_duplicate_name_rejected () =
+  let clash = Axiom.v ~name:"p0" ~lhs:(plus z z) ~rhs:z () in
+  match Spec.with_axioms [ clash ] nat_spec with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "duplicate axiom name accepted"
+
+let test_spec_union () =
+  let u = Spec.union ~name:"U" nat_spec nat_spec in
+  Alcotest.(check int) "no duplicated axioms" 4 (List.length (Spec.axioms u));
+  Alcotest.(check string) "name" "U" (Spec.name u)
+
+let test_spec_constructor_terms () =
+  Alcotest.(check bool) "ctor term" true
+    (Spec.is_constructor_term nat_spec (s (s (v "x"))));
+  Alcotest.(check bool) "ground ctor term" true
+    (Spec.is_constructor_ground_term nat_spec (church 3));
+  Alcotest.(check bool) "observer inside" false
+    (Spec.is_constructor_term nat_spec (s (plus z z)));
+  Alcotest.(check bool) "error is no value" false
+    (Spec.is_constructor_term nat_spec (Term.err nat));
+  Alcotest.(check bool) "open term not ground" false
+    (Spec.is_constructor_ground_term nat_spec (s (v "x")))
+
+let test_sorts_of_interest () =
+  Alcotest.(check bool) "N is of interest" true
+    (List.exists (Sort.equal nat) (Spec.sorts_of_interest nat_spec))
+
+let test_spec_invalid_constructor () =
+  match
+    Spec.v ~name:"broken" ~signature:base_signature
+      ~constructors:[ "does-not-exist" ] ~axioms:[] ()
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "unknown constructor accepted"
+
+let suite =
+  [
+    case "signature: builtins" test_signature_builtins;
+    case "signature: add and clash" test_signature_add;
+    case "signature: queries and order" test_signature_queries;
+    case "signature: union" test_signature_union;
+    case "axiom: validation" test_axiom_validation;
+    case "axiom: accessors" test_axiom_accessors;
+    case "axiom: equality up to renaming" test_axiom_same_equation;
+    case "axiom: instantiation" test_axiom_instantiate;
+    case "spec: constructor classification" test_spec_constructors;
+    case "spec: observers" test_spec_observers;
+    case "spec: axiom lookup" test_spec_axioms_for;
+    case "spec: axiom removal" test_spec_without_axiom;
+    case "spec: duplicate names rejected" test_spec_duplicate_name_rejected;
+    case "spec: union deduplicates" test_spec_union;
+    case "spec: constructor terms" test_spec_constructor_terms;
+    case "spec: sorts of interest" test_sorts_of_interest;
+    case "spec: unknown constructor rejected" test_spec_invalid_constructor;
+  ]

@@ -1,0 +1,180 @@
+open Adt
+open Helpers
+open Adt_specs
+
+let stack = Stack_spec.default
+let sinterp = Interp.create stack.Stack_spec.spec
+let item = Builtins.item
+
+(* {2 Stack: axioms 10-16} *)
+
+let test_stack_axioms_behaviour () =
+  let s2 = Stack_spec.of_items stack [ item 1; item 2 ] in
+  (match Interp.eval sinterp (stack.Stack_spec.top s2) with
+  | Interp.Value t -> check_term "top is last pushed" (item 2) t
+  | other -> Alcotest.failf "top: %a" Interp.pp_value other);
+  (match Interp.eval sinterp (stack.Stack_spec.pop s2) with
+  | Interp.Value t -> check_term "pop" (Stack_spec.of_items stack [ item 1 ]) t
+  | other -> Alcotest.failf "pop: %a" Interp.pp_value other);
+  Alcotest.(check (option bool)) "empty" (Some true)
+    (Interp.eval_bool sinterp (stack.Stack_spec.is_newstack stack.Stack_spec.newstack));
+  Alcotest.(check (option bool)) "nonempty" (Some false)
+    (Interp.eval_bool sinterp (stack.Stack_spec.is_newstack s2))
+
+let test_stack_boundary_errors () =
+  List.iter
+    (fun t ->
+      match Interp.eval sinterp t with
+      | Interp.Error_value _ -> ()
+      | other -> Alcotest.failf "%a: %a" Term.pp t Interp.pp_value other)
+    [
+      stack.Stack_spec.pop stack.Stack_spec.newstack;
+      stack.Stack_spec.top stack.Stack_spec.newstack;
+      stack.Stack_spec.replace stack.Stack_spec.newstack (item 1);
+    ]
+
+let test_replace_is_derived () =
+  (* axiom 16: REPLACE(stk, arr) = PUSH(POP(stk), arr) off the empty stack *)
+  let s = Stack_spec.of_items stack [ item 1; item 2 ] in
+  match Interp.eval sinterp (stack.Stack_spec.replace s (item 3)) with
+  | Interp.Value t ->
+    check_term "replaced top" (Stack_spec.of_items stack [ item 1; item 3 ]) t
+  | other -> Alcotest.failf "replace: %a" Interp.pp_value other
+
+let test_stack_impl_model () =
+  let u = Enum.universe stack.Stack_spec.spec in
+  match Model.check u (Stack_impl.model stack) ~size:5 with
+  | Ok n -> Alcotest.(check bool) "instances" true (n > 20)
+  | Error cex -> Alcotest.failf "%a" Model.pp_counterexample cex
+
+let test_stack_impl_ops () =
+  let s = Stack_impl.push (Stack_impl.push Stack_impl.newstack (item 1)) (item 2) in
+  check_term "top" (item 2) (Stack_impl.top s);
+  Alcotest.(check int) "depth" 2 (Stack_impl.depth s);
+  check_terms "to_list" [ item 2; item 1 ] (Stack_impl.to_list s);
+  let s' = Stack_impl.replace s (item 3) in
+  check_term "replace" (item 3) (Stack_impl.top s');
+  Alcotest.(check bool) "pop to base" true
+    (Stack_impl.is_newstack (Stack_impl.pop (Stack_impl.pop s)));
+  match Stack_impl.pop Stack_impl.newstack with
+  | exception Stack_impl.Error -> ()
+  | _ -> Alcotest.fail "pop of newstack"
+
+let test_stack_impl_phi () =
+  let s = Stack_impl.push (Stack_impl.push Stack_impl.newstack (item 1)) (item 2) in
+  check_term "Phi"
+    (Stack_spec.of_items stack [ item 1; item 2 ])
+    (Stack_impl.abstraction stack s)
+
+(* {2 Array: axioms 17-20} *)
+
+let array = Array_spec.default
+let ainterp = Interp.create array.Array_spec.spec
+let idx = Identifier.id
+let attrs = Attributes.attrs
+
+let test_array_read_last_assignment () =
+  let arr =
+    Array_spec.of_bindings array
+      [ (idx "X", attrs 1); (idx "Y", attrs 2); (idx "X", attrs 3) ]
+  in
+  (match Interp.eval ainterp (array.Array_spec.read arr (idx "X")) with
+  | Interp.Value t -> check_term "shadowed" (attrs 3) t
+  | other -> Alcotest.failf "read: %a" Interp.pp_value other);
+  match Interp.eval ainterp (array.Array_spec.read arr (idx "Y")) with
+  | Interp.Value t -> check_term "other key" (attrs 2) t
+  | other -> Alcotest.failf "read: %a" Interp.pp_value other
+
+let test_array_undefined () =
+  let arr = Array_spec.of_bindings array [ (idx "X", attrs 1) ] in
+  Alcotest.(check (option bool)) "defined" (Some false)
+    (Interp.eval_bool ainterp (array.Array_spec.is_undefined arr (idx "X")));
+  Alcotest.(check (option bool)) "undefined" (Some true)
+    (Interp.eval_bool ainterp (array.Array_spec.is_undefined arr (idx "Z")));
+  match Interp.eval ainterp (array.Array_spec.read arr (idx "Z")) with
+  | Interp.Error_value _ -> ()
+  | other -> Alcotest.failf "read undefined: %a" Interp.pp_value other
+
+let check_array_model (type a) name (impl : (module Array_intf.ARRAY with type t = a)) =
+  let u = Enum.universe array.Array_spec.spec in
+  match Model.check u (Array_intf.model impl array) ~size:4 with
+  | Ok n -> Alcotest.(check bool) (name ^ " instances") true (n > 20)
+  | Error cex -> Alcotest.failf "%s: %a" name Model.pp_counterexample cex
+
+let test_array_impls_model () =
+  check_array_model "assoc" (module Array_impl_assoc);
+  check_array_model "hash" (module Array_impl_hash)
+
+let test_array_impls_agree () =
+  (* differential test: both implementations answer identically on random
+     workloads *)
+  let state = Random.State.make [| 5 |] in
+  let ids = [| idx "X"; idx "Y"; idx "Z"; idx "W" |] in
+  for _ = 1 to 100 do
+    let n = Random.State.int state 20 in
+    let ops =
+      List.init n (fun _ ->
+          ( ids.(Random.State.int state 4),
+            attrs (1 + Random.State.int state 3) ))
+    in
+    let assoc =
+      List.fold_left
+        (fun a (k, v) -> Array_impl_assoc.assign a k v)
+        (Array_impl_assoc.empty ()) ops
+    in
+    let hash =
+      List.fold_left
+        (fun a (k, v) -> Array_impl_hash.assign a k v)
+        (Array_impl_hash.empty ()) ops
+    in
+    Array.iter
+      (fun k ->
+        Alcotest.(check (option term_testable))
+          "read agrees"
+          (Array_impl_assoc.read assoc k)
+          (Array_impl_hash.read hash k);
+        Alcotest.(check bool)
+          "undefined agrees"
+          (Array_impl_assoc.is_undefined assoc k)
+          (Array_impl_hash.is_undefined hash k))
+      ids;
+    Alcotest.(check (list (pair term_testable term_testable)))
+      "bindings agree"
+      (Array_impl_assoc.bindings assoc)
+      (Array_impl_hash.bindings hash)
+  done
+
+let test_hash_distributes () =
+  (* different identifiers may share buckets but reads stay correct even
+     with many keys (bucket-scan path) *)
+  let names = List.init 40 (fun i -> Fmt.str "K%d" i) in
+  let identifier = Identifier.spec_with_atoms names in
+  let arr =
+    List.fold_left
+      (fun a name ->
+        Array_impl_hash.assign a
+          (Term.const (Spec.op_exn identifier ("ID_" ^ name)))
+          (attrs 1))
+      (Array_impl_hash.empty ())
+      names
+  in
+  List.iter
+    (fun name ->
+      let k = Term.const (Spec.op_exn identifier ("ID_" ^ name)) in
+      Alcotest.(check bool) "found" false (Array_impl_hash.is_undefined arr k))
+    names
+
+let suite =
+  [
+    case "stack axioms: LIFO behaviour" test_stack_axioms_behaviour;
+    case "stack axioms: boundary errors" test_stack_boundary_errors;
+    case "REPLACE as derived operation" test_replace_is_derived;
+    case "linked-list stack models the axioms" test_stack_impl_model;
+    case "linked-list stack operations" test_stack_impl_ops;
+    case "stack abstraction function" test_stack_impl_phi;
+    case "array reads return the latest assignment" test_array_read_last_assignment;
+    case "array undefined behaviour" test_array_undefined;
+    case "both array implementations model the axioms" test_array_impls_model;
+    case "hash and assoc arrays agree (differential)" test_array_impls_agree;
+    case "hash array handles many keys" test_hash_distributes;
+  ]

@@ -1,0 +1,142 @@
+open Adt
+open Helpers
+
+let test_bind_and_find () =
+  let s = Subst.singleton "x" z in
+  Alcotest.(check bool) "mem" true (Subst.mem "x" s);
+  check_term "find" z (Option.get (Subst.find "x" s));
+  Alcotest.(check bool) "rebind same" true (Subst.bind "x" z s <> None);
+  Alcotest.(check bool) "rebind different" true
+    (Subst.bind "x" (Helpers.s z) s = None)
+
+let test_of_bindings () =
+  Alcotest.(check bool) "consistent" true
+    (Subst.of_bindings [ ("x", z); ("y", s z) ] <> None);
+  Alcotest.(check bool) "duplicate same" true
+    (Subst.of_bindings [ ("x", z); ("x", z) ] <> None);
+  Alcotest.(check bool) "duplicate different" true
+    (Subst.of_bindings [ ("x", z); ("x", s z) ] = None)
+
+let test_apply () =
+  let sub = Option.get (Subst.of_bindings [ ("x", s z); ("y", z) ]) in
+  check_term "simultaneous"
+    (plus (s z) z)
+    (Subst.apply sub (plus (v "x") (v "y")));
+  check_term "unbound left alone" (v "w") (Subst.apply sub (v "w"));
+  (* simultaneity: x -> y, y -> z applied to (x, y) gives (y, z), not (z, z) *)
+  let swap = Option.get (Subst.of_bindings [ ("x", v "y"); ("y", z) ]) in
+  check_term "no chaining" (plus (v "y") z)
+    (Subst.apply swap (plus (v "x") (v "y")))
+
+let test_compose () =
+  let s1 = Subst.singleton "x" (s (v "y")) in
+  let s2 = Subst.singleton "y" z in
+  let t = plus (v "x") (v "y") in
+  check_term "compose = apply-then-apply"
+    (Subst.apply s2 (Subst.apply s1 t))
+    (Subst.apply (Subst.compose s1 s2) t)
+
+let test_restrict () =
+  let sub = Option.get (Subst.of_bindings [ ("x", z); ("y", s z) ]) in
+  let r = Subst.restrict [ ("x", nat) ] sub in
+  Alcotest.(check bool) "kept" true (Subst.mem "x" r);
+  Alcotest.(check bool) "dropped" false (Subst.mem "y" r)
+
+let test_match_basic () =
+  let pattern = plus (v "a") (v "b") in
+  let subject = plus (s z) z in
+  let sub = Option.get (Subst.match_term ~pattern subject) in
+  check_term "a" (s z) (Option.get (Subst.find "a" sub));
+  check_term "b" z (Option.get (Subst.find "b" sub));
+  check_term "reconstructs" subject (Subst.apply sub pattern)
+
+let test_match_nonlinear () =
+  let pattern = plus (v "a") (v "a") in
+  Alcotest.(check bool) "same" true
+    (Subst.matches ~pattern (plus (s z) (s z)));
+  Alcotest.(check bool) "different" false
+    (Subst.matches ~pattern (plus (s z) z))
+
+let test_match_rigid () =
+  (* subject variables are rigid: x does not match z *)
+  Alcotest.(check bool) "var vs const" false
+    (Subst.matches ~pattern:(s z) (s (v "x")));
+  Alcotest.(check bool) "var pattern matches var" true
+    (Subst.matches ~pattern:(v "p") (v "x"))
+
+let test_match_sort_mismatch () =
+  let bool_var = Term.var "c" Sort.bool in
+  Alcotest.(check bool) "sort mismatch fails" false
+    (Subst.matches ~pattern:bool_var z)
+
+let test_match_error_and_ite () =
+  Alcotest.(check bool) "error matches error" true
+    (Subst.matches ~pattern:(Term.err nat) (Term.err nat));
+  Alcotest.(check bool) "error sort respected" false
+    (Subst.matches ~pattern:(Term.err nat) (Term.err Sort.bool));
+  let pat = Term.ite (Term.var "c" Sort.bool) (v "a") (v "b") in
+  let subj = Term.ite Term.tt z (s z) in
+  Alcotest.(check bool) "ite matches" true (Subst.matches ~pattern:pat subj)
+
+let test_unify_basic () =
+  let a = plus (v "x") z in
+  let b = plus (s z) (v "y") in
+  let mgu = Option.get (Subst.unify a b) in
+  check_term "unified" (Subst.apply mgu a) (Subst.apply mgu b);
+  check_term "x" (s z) (Option.get (Subst.find "x" mgu));
+  check_term "y" z (Option.get (Subst.find "y" mgu))
+
+let test_unify_occurs () =
+  Alcotest.(check bool) "occurs check" true
+    (Subst.unify (v "x") (s (v "x")) = None)
+
+let test_unify_clash () =
+  Alcotest.(check bool) "constructor clash" true
+    (Subst.unify z (s (v "x")) = None)
+
+let test_unify_var_var () =
+  let mgu = Option.get (Subst.unify (v "x") (v "y")) in
+  check_term "joined" (Subst.apply mgu (v "x")) (Subst.apply mgu (v "y"))
+
+let test_unify_idempotent () =
+  let a = plus (v "x") (s (v "x")) in
+  let b = plus (v "y") (v "z") in
+  let mgu = Option.get (Subst.unify a b) in
+  let once = Subst.apply mgu a in
+  check_term "idempotent" once (Subst.apply mgu once)
+
+let test_unify_deep () =
+  let a = plus (s (s (v "x"))) (v "x") in
+  let b = plus (v "y") (s z) in
+  let mgu = Option.get (Subst.unify a b) in
+  check_term "agree" (Subst.apply mgu a) (Subst.apply mgu b);
+  check_term "y value" (s (s (s z))) (Option.get (Subst.find "y" mgu))
+
+let test_variant () =
+  Alcotest.(check bool) "renaming" true
+    (Subst.variant (plus (v "x") (v "y")) (plus (v "a") (v "b")));
+  Alcotest.(check bool) "not a renaming" false
+    (Subst.variant (plus (v "x") (v "y")) (plus (v "a") (v "a")));
+  Alcotest.(check bool) "instance is not variant" false
+    (Subst.variant (plus (v "x") (v "y")) (plus z (v "b")))
+
+let suite =
+  [
+    case "bind and find" test_bind_and_find;
+    case "of_bindings" test_of_bindings;
+    case "apply is simultaneous" test_apply;
+    case "compose" test_compose;
+    case "restrict" test_restrict;
+    case "matching binds pattern variables" test_match_basic;
+    case "non-linear patterns" test_match_nonlinear;
+    case "subject variables are rigid" test_match_rigid;
+    case "matching respects sorts" test_match_sort_mismatch;
+    case "matching error and if forms" test_match_error_and_ite;
+    case "unification: basic" test_unify_basic;
+    case "unification: occurs check" test_unify_occurs;
+    case "unification: clash" test_unify_clash;
+    case "unification: var-var" test_unify_var_var;
+    case "unification: idempotent mgu" test_unify_idempotent;
+    case "unification: deep" test_unify_deep;
+    case "variant check" test_variant;
+  ]

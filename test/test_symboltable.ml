@@ -1,0 +1,196 @@
+open Adt
+open Helpers
+open Adt_specs
+
+let interp = Interp.create Symboltable_spec.spec
+let idx = Identifier.id
+let attrs = Attributes.attrs
+
+let eval_attrs t =
+  match Interp.eval interp t with
+  | Interp.Value v -> Some v
+  | Interp.Error_value _ -> None
+  | other -> Alcotest.failf "unexpected %a" Interp.pp_value other
+
+let eval_bool t = Option.get (Interp.eval_bool interp t)
+
+(* the paper's scenario: nested scopes with shadowing *)
+let nested =
+  let open Symboltable_spec in
+  add
+    (add
+       (enterblock (add (add init (idx "X") (attrs 1)) (idx "Y") (attrs 2)))
+       (idx "X") (attrs 3))
+    (idx "Z") (attrs 3)
+
+let test_retrieve_innermost () =
+  check_term "shadowed X" (attrs 3)
+    (Option.get (eval_attrs (Symboltable_spec.retrieve nested (idx "X"))))
+
+let test_retrieve_outer () =
+  check_term "outer Y" (attrs 2)
+    (Option.get (eval_attrs (Symboltable_spec.retrieve nested (idx "Y"))))
+
+let test_retrieve_undeclared () =
+  Alcotest.(check bool) "W undeclared" true
+    (eval_attrs (Symboltable_spec.retrieve nested (idx "W")) = None)
+
+let test_is_inblock_local_only () =
+  Alcotest.(check bool) "X in current block" true
+    (eval_bool (Symboltable_spec.is_inblock nested (idx "X")));
+  Alcotest.(check bool) "Y only in outer block" false
+    (eval_bool (Symboltable_spec.is_inblock nested (idx "Y")))
+
+let test_leaveblock_restores () =
+  let restored = Symboltable_spec.leaveblock nested in
+  check_term "X back to outer" (attrs 1)
+    (Option.get (eval_attrs (Symboltable_spec.retrieve restored (idx "X"))));
+  Alcotest.(check bool) "Z gone" true
+    (eval_attrs (Symboltable_spec.retrieve restored (idx "Z")) = None)
+
+let test_leaveblock_of_init_errors () =
+  match Interp.eval interp (Symboltable_spec.leaveblock Symboltable_spec.init) with
+  | Interp.Error_value _ -> ()
+  | other -> Alcotest.failf "extra end: %a" Interp.pp_value other
+
+let test_retrieve_init_errors () =
+  Alcotest.(check bool) "error" true
+    (eval_attrs (Symboltable_spec.retrieve Symboltable_spec.init (idx "X")) = None)
+
+(* reference semantics: list of scopes, each an assoc list *)
+let rec reference t : (Term.t * Term.t) list list option =
+  match t with
+  | Term.App (op, []) when Op.name op = "INIT" -> Some [ [] ]
+  | Term.App (op, [ s ]) when Op.name op = "ENTERBLOCK" ->
+    Option.map (fun scopes -> [] :: scopes) (reference s)
+  | Term.App (op, [ s; id; a ]) when Op.name op = "ADD" -> (
+    match reference s with
+    | Some (top :: rest) -> Some (((id, a) :: top) :: rest)
+    | _ -> None)
+  | _ -> None
+
+let reference_retrieve scopes id =
+  List.find_map
+    (fun scope ->
+      List.find_map (fun (k, v) -> if Term.equal k id then Some v else None) scope)
+    scopes
+
+let test_bounded_exhaustive_vs_reference () =
+  (* compare the algebra against the reference on every symbol table built
+     from at most 3 operations over 2 identifiers and 1 attribute *)
+  let u = Enum.universe Symboltable_spec.spec in
+  let tables = Enum.terms_up_to u Symboltable_spec.sort ~size:9 in
+  Alcotest.(check bool) "enough cases" true (List.length tables > 50);
+  List.iter
+    (fun table ->
+      match reference table with
+      | None -> Alcotest.failf "reference failed on %a" Term.pp table
+      | Some scopes ->
+        List.iter
+          (fun id ->
+            let expected = reference_retrieve scopes id in
+            let got = eval_attrs (Symboltable_spec.retrieve table id) in
+            Alcotest.(check (option term_testable))
+              (Fmt.str "retrieve %a from %a" Term.pp id Term.pp table)
+              expected got;
+            let expected_in =
+              match scopes with
+              | top :: _ -> List.exists (fun (k, _) -> Term.equal k id) top
+              | [] -> false
+            in
+            Alcotest.(check bool) "is_inblock" expected_in
+              (eval_bool (Symboltable_spec.is_inblock table id)))
+          [ idx "X"; idx "Y" ])
+    tables
+
+let impl_models : (string * (module Symboltable_impl.S)) list =
+  [ ("hash", (module Symboltable_impl.Hash)); ("assoc", (module Symboltable_impl.Assoc)) ]
+
+let test_impls_are_models () =
+  List.iter
+    (fun (name, impl) ->
+      let module I = (val impl : Symboltable_impl.S) in
+      let u = Enum.universe Symboltable_spec.spec in
+      match Model.check u I.model ~size:5 with
+      | Ok n -> Alcotest.(check bool) (name ^ " ran") true (n > 100)
+      | Error cex -> Alcotest.failf "%s: %a" name Model.pp_counterexample cex)
+    impl_models
+
+let test_impl_operations () =
+  List.iter
+    (fun (name, impl) ->
+      let module I = (val impl : Symboltable_impl.S) in
+      let st = I.init () in
+      let st = I.add st (idx "X") (attrs 1) in
+      let st = I.enterblock st in
+      let st = I.add st (idx "X") (attrs 2) in
+      Alcotest.(check int) (name ^ " depth") 2 (I.depth st);
+      check_term (name ^ " inner X") (attrs 2) (I.retrieve_exn st (idx "X"));
+      Alcotest.(check bool) (name ^ " inblock") true (I.is_inblock st (idx "X"));
+      let st = I.leaveblock st in
+      check_term (name ^ " outer X") (attrs 1) (I.retrieve_exn st (idx "X"));
+      Alcotest.(check bool) (name ^ " undeclared") true
+        (I.retrieve st (idx "W") = None);
+      match I.leaveblock st with
+      | exception I.Error -> ()
+      | _ -> Alcotest.fail (name ^ " left the outermost scope"))
+    impl_models
+
+let test_impl_abstraction () =
+  let module I = Symboltable_impl.Assoc in
+  let st = I.add (I.enterblock (I.add (I.init ()) (idx "X") (attrs 1))) (idx "Y") (attrs 2) in
+  check_term "Phi"
+    Symboltable_spec.(
+      add (enterblock (add init (idx "X") (attrs 1))) (idx "Y") (attrs 2))
+    (I.abstraction st)
+
+let test_algebra_and_impl_agree_on_random_workloads () =
+  let module I = Symboltable_impl.Hash in
+  let state = Random.State.make [| 23 |] in
+  let ids = [| idx "X"; idx "Y"; idx "Z"; idx "W" |] in
+  for _ = 1 to 60 do
+    (* build the same random op sequence on both sides *)
+    let rec build (term, st, depth) n =
+      if n = 0 then (term, st)
+      else
+        let choice = Random.State.int state 4 in
+        let id = ids.(Random.State.int state 4) in
+        let a = attrs (1 + Random.State.int state 3) in
+        let next =
+          match choice with
+          | 0 -> (Symboltable_spec.add term id a, I.add st id a, depth)
+          | 1 -> (Symboltable_spec.enterblock term, I.enterblock st, depth + 1)
+          | 2 when depth > 1 ->
+            (Symboltable_spec.leaveblock term, I.leaveblock st, depth - 1)
+          | _ -> (term, st, depth)
+        in
+        build next (n - 1)
+    in
+    let term, st = build (Symboltable_spec.init, I.init (), 1) 15 in
+    Array.iter
+      (fun id ->
+        let symbolic = eval_attrs (Symboltable_spec.retrieve term id) in
+        Alcotest.(check (option term_testable)) "retrieve agrees" symbolic
+          (I.retrieve st id);
+        let symbolic_in = eval_bool (Symboltable_spec.is_inblock term id) in
+        Alcotest.(check bool) "is_inblock agrees" symbolic_in (I.is_inblock st id))
+      ids
+  done
+
+let suite =
+  [
+    case "RETRIEVE finds the innermost declaration" test_retrieve_innermost;
+    case "RETRIEVE searches enclosing scopes" test_retrieve_outer;
+    case "RETRIEVE of undeclared identifiers errors" test_retrieve_undeclared;
+    case "IS_INBLOCK? sees only the current scope" test_is_inblock_local_only;
+    case "LEAVEBLOCK restores the enclosing scope" test_leaveblock_restores;
+    case "LEAVEBLOCK of INIT errors (extra end)" test_leaveblock_of_init_errors;
+    case "RETRIEVE from INIT errors" test_retrieve_init_errors;
+    case "bounded-exhaustive agreement with scoped-map semantics"
+      test_bounded_exhaustive_vs_reference;
+    case "both implementations are models of axioms 1-9" test_impls_are_models;
+    case "implementation operations" test_impl_operations;
+    case "implementation abstraction function" test_impl_abstraction;
+    case "algebra and implementation agree on random workloads"
+      test_algebra_and_impl_agree_on_random_workloads;
+  ]

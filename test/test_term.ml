@@ -1,0 +1,148 @@
+open Adt
+open Helpers
+
+let test_sort_of () =
+  Alcotest.check sort_testable "var" nat (Term.sort_of (v "x"));
+  Alcotest.check sort_testable "app" nat (Term.sort_of (plus z z));
+  Alcotest.check sort_testable "err" nat (Term.sort_of (Term.err nat));
+  Alcotest.check sort_testable "ite" nat
+    (Term.sort_of (Term.ite Term.tt z (s z)));
+  Alcotest.check sort_testable "bool" Sort.bool (Term.sort_of (isz z))
+
+let test_app_checks_arity () =
+  Alcotest.check_raises "too few" (Term.Ill_sorted "s applied to 0 arguments, expects 1")
+    (fun () -> ignore (Term.app succ_op []));
+  match Term.app plus_op [ z ] with
+  | exception Term.Ill_sorted _ -> ()
+  | _ -> Alcotest.fail "arity violation accepted"
+
+let test_app_checks_sorts () =
+  match Term.app succ_op [ isz z ] with
+  | exception Term.Ill_sorted _ -> ()
+  | _ -> Alcotest.fail "sort violation accepted"
+
+let test_ite_checks () =
+  (match Term.ite z z z with
+  | exception Term.Ill_sorted _ -> ()
+  | _ -> Alcotest.fail "non-bool condition accepted");
+  match Term.ite Term.tt z Term.tt with
+  | exception Term.Ill_sorted _ -> ()
+  | _ -> Alcotest.fail "mismatched branches accepted"
+
+let test_equal_compare () =
+  let t1 = plus (s z) (v "x") in
+  let t2 = plus (s z) (v "x") in
+  let t3 = plus (s z) (v "y") in
+  Alcotest.(check bool) "equal" true (Term.equal t1 t2);
+  Alcotest.(check bool) "not equal" false (Term.equal t1 t3);
+  Alcotest.(check int) "compare self" 0 (Term.compare t1 t2);
+  Alcotest.(check bool) "total" true (Term.compare t1 t3 <> 0);
+  (* antisymmetry on this pair *)
+  Alcotest.(check bool) "antisym" true
+    (Term.compare t1 t3 = -Term.compare t3 t1)
+
+let test_size_depth () =
+  Alcotest.(check int) "size const" 1 (Term.size z);
+  Alcotest.(check int) "size" 4 (Term.size (plus (s z) (v "x")));
+  Alcotest.(check int) "depth" 3 (Term.depth (plus (s z) (v "x")));
+  Alcotest.(check int) "ite size" 4 (Term.size (Term.ite Term.tt z (v "x")));
+  Alcotest.(check int) "church" 11 (Term.size (church 10))
+
+let test_vars () =
+  let t = plus (v "x") (plus (v "y") (v "x")) in
+  Alcotest.(check (list (pair string sort_testable)))
+    "first-occurrence order"
+    [ ("x", nat); ("y", nat) ]
+    (Term.vars t);
+  Alcotest.(check bool) "ground" true (Term.is_ground (church 3));
+  Alcotest.(check bool) "not ground" false (Term.is_ground t)
+
+let test_ops_count () =
+  let t = plus (s (s z)) (v "x") in
+  Alcotest.(check bool) "ops" true (Op.Set.mem succ_op (Term.ops t));
+  Alcotest.(check int) "count s" 2 (Term.count_op "s" t);
+  Alcotest.(check int) "count plus" 1 (Term.count_op "plus" t);
+  Alcotest.(check int) "count absent" 0 (Term.count_op "nope" t)
+
+let test_positions () =
+  let t = plus (s z) (v "x") in
+  Alcotest.(check int) "number of positions" (Term.size t)
+    (List.length (Term.positions t));
+  check_term "root" t (Option.get (Term.subterm_at t []));
+  check_term "child 0" (s z) (Option.get (Term.subterm_at t [ 0 ]));
+  check_term "nested" z (Option.get (Term.subterm_at t [ 0; 0 ]));
+  Alcotest.(check bool) "out of range" true
+    (Term.subterm_at t [ 7 ] = None)
+
+let test_replace_at () =
+  let t = plus (s z) (v "x") in
+  check_term "replace root" z (Option.get (Term.replace_at t [] z));
+  check_term "replace nested"
+    (plus (s (v "y")) (v "x"))
+    (Option.get (Term.replace_at t [ 0; 0 ] (v "y")));
+  Alcotest.(check bool) "bad position" true
+    (Term.replace_at t [ 5; 0 ] z = None);
+  (* replace inside an if-then-else *)
+  let ite = Term.ite (isz (v "c")) z (s z) in
+  check_term "ite cond"
+    (Term.ite (isz z) z (s z))
+    (Option.get (Term.replace_at ite [ 0; 0 ] z))
+
+let test_subterms_fold () =
+  let t = plus (s z) z in
+  Alcotest.(check int) "subterms" 4 (List.length (Term.subterms t));
+  Alcotest.(check int) "fold counts nodes" 4
+    (Term.fold (fun n _ -> n + 1) 0 t)
+
+let test_rename_map_vars () =
+  let t = plus (v "x") (v "y") in
+  check_term "rename"
+    (plus (v "x_1") (v "y_1"))
+    (Term.rename (fun x -> x ^ "_1") t);
+  check_term "map_vars"
+    (plus z (v "y"))
+    (Term.map_vars (fun x sort -> if x = "x" then z else Term.var x sort) t)
+
+let test_fresh_wrt () =
+  Alcotest.(check string) "free" "q" (Term.fresh_wrt ~avoid:[] "q" nat);
+  Alcotest.(check string) "taken" "q1"
+    (Term.fresh_wrt ~avoid:[ ("q", nat) ] "q" nat);
+  Alcotest.(check string) "taken twice" "q2"
+    (Term.fresh_wrt ~avoid:[ ("q", nat); ("q1", nat) ] "q" nat)
+
+let test_check () =
+  Alcotest.(check bool) "well formed" true
+    (Term.check base_signature (plus z (s z)) = Ok ());
+  let rogue = Op.v "rogue" ~args:[] ~result:nat in
+  Alcotest.(check bool) "undeclared op" true
+    (Result.is_error (Term.check base_signature (Term.const rogue)));
+  let wrong_rank = Op.v "plus" ~args:[ nat ] ~result:nat in
+  Alcotest.(check bool) "wrong rank" true
+    (Result.is_error (Term.check base_signature (Term.App (wrong_rank, [ z ]))))
+
+let test_pp () =
+  Alcotest.(check string) "const" "z" (Term.to_string z);
+  Alcotest.(check string) "nested" "plus(s(z), x)"
+    (Term.to_string (plus (s z) (v "x")));
+  Alcotest.(check string) "error" "error" (Term.to_string (Term.err nat));
+  Alcotest.(check string) "ite" "if isz(x) then z else s(z)"
+    (Term.to_string (Term.ite (isz (v "x")) z (s z)))
+
+let suite =
+  [
+    case "sort_of on every form" test_sort_of;
+    case "application arity is checked" test_app_checks_arity;
+    case "application sorts are checked" test_app_checks_sorts;
+    case "if-then-else is checked" test_ite_checks;
+    case "equality and comparison" test_equal_compare;
+    case "size and depth" test_size_depth;
+    case "free variables" test_vars;
+    case "operation collection and counting" test_ops_count;
+    case "positions and subterm_at" test_positions;
+    case "replace_at" test_replace_at;
+    case "subterms and fold" test_subterms_fold;
+    case "rename and map_vars" test_rename_map_vars;
+    case "fresh variable names" test_fresh_wrt;
+    case "deep signature check" test_check;
+    case "printing" test_pp;
+  ]
