@@ -1,13 +1,14 @@
 (* Benchmark harness: one section per experiment of DESIGN.md / EXPERIMENTS.md.
 
    The paper (Guttag, CACM 1977) has no quantitative tables; its measurable
-   claims and exhibited artifacts are reproduced here as experiments E1-E8.
+   claims and exhibited artifacts are reproduced here as experiments E1-E9.
    Sections print the artifact reproductions (the ring-buffer figures, the
    mechanical proof, the prompting transcript, the axiom diff) and time the
    claims that are about cost (symbolic interpretation overhead,
-   representation trade-offs, checker scaling).
+   representation trade-offs, checker scaling, engine cache warmth).
 
-     dune exec bench/main.exe *)
+     dune exec bench/main.exe                          # human-readable
+     dune exec bench/main.exe -- --json results.json   # + machine-readable *)
 
 open Bechamel
 open Toolkit
@@ -37,6 +38,9 @@ let pretty_ns ns =
   else if ns >= 1e3 then Fmt.str "%8.2f us" (ns /. 1e3)
   else Fmt.str "%8.2f ns" ns
 
+(* accumulated rows for --json: (bench name, ns/op), in report order *)
+let json_rows : (string * float) list ref = ref []
+
 let report_group title tests =
   Fmt.pr "@.--- %s ---@." title;
   let results = run_tests tests in
@@ -56,9 +60,53 @@ let report_group title tests =
       String.sub name 1 (String.length name - 1)
     else name
   in
+  let rows =
+    List.map (fun (name, ns) -> (clean name, ns))
+      (List.sort (fun (a, _) (b, _) -> compare a b) rows)
+  in
+  json_rows := !json_rows @ rows;
   List.iter
-    (fun (name, ns) -> Fmt.pr "  %-46s %s/op@." (clean name) (pretty_ns ns))
-    (List.sort (fun (a, _) (b, _) -> compare a b) rows)
+    (fun (name, ns) -> Fmt.pr "  %-46s %s/op@." name (pretty_ns ns))
+    rows
+
+(* machine-readable results, so the perf trajectory can be tracked across
+   revisions: [{"experiment": "e1", "name": "...", "ns_per_op": 123.4}] *)
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Fmt.str "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let experiment_of name =
+  match String.index_opt name '/' with
+  | Some i -> String.sub name 0 i
+  | None -> name
+
+let write_json path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc "[\n";
+      List.iteri
+        (fun i (name, ns) ->
+          Printf.fprintf oc
+            "  {\"experiment\": \"%s\", \"name\": \"%s\", \"ns_per_op\": %.2f}%s\n"
+            (json_escape (experiment_of name))
+            (json_escape name)
+            (if Float.is_nan ns then -1. else ns)
+            (if i = List.length !json_rows - 1 then "" else ","))
+        !json_rows;
+      output_string oc "]\n");
+  Fmt.pr "wrote %d results to %s@." (List.length !json_rows) path
 
 let t name f = Test.make ~name (Staged.stage f)
 
@@ -431,8 +479,57 @@ let e8 () =
           Blocklang.Driver.check_source Blocklang.Driver.Algebraic p12);
     ]
 
+(* {1 E9 - engine: warm shared cache vs cold per-session normalization} *)
+
+let e9_requests =
+  (* a work mix with heavy overlap, as a long-lived service would see *)
+  [
+    "normalize Queue FRONT(REMOVE(ADD(ADD(NEW, ITEM1), ITEM2)))";
+    "normalize Queue IS_EMPTY?(REMOVE(ADD(NEW, ITEM1)))";
+    "normalize Queue FRONT(ADD(ADD(ADD(NEW, ITEM1), ITEM2), ITEM3))";
+    "normalize Queue FRONT(REMOVE(REMOVE(ADD(ADD(ADD(NEW, ITEM1), ITEM2), ITEM3))))";
+    "normalize Queue IS_EMPTY?(NEW)";
+    "normalize Queue FRONT(REMOVE(ADD(ADD(NEW, ITEM1), ITEM2)))";
+    "normalize Queue FRONT(ADD(ADD(ADD(NEW, ITEM1), ITEM2), ITEM3))";
+    "normalize Queue IS_EMPTY?(REMOVE(ADD(NEW, ITEM1)))";
+  ]
+
+let e9_replay session =
+  List.iter
+    (fun line -> ignore (Engine.Dispatch.handle_line session line))
+    e9_requests
+
+let e9 () =
+  Fmt.pr "@.=== E9: evaluation engine, shared-cache warmth ===@.";
+  let warm = Engine.Session.create [ Queue_spec.spec ] in
+  e9_replay warm;
+  (* one representative request, repeated against a warm session *)
+  let hot = "normalize Queue FRONT(REMOVE(ADD(ADD(NEW, ITEM1), ITEM2)))" in
+  report_group "normalize throughput, batch of 8 requests"
+    [
+      t "e9/cold-session/batch" (fun () ->
+          e9_replay (Engine.Session.create [ Queue_spec.spec ]));
+      t "e9/warm-session/batch" (fun () -> e9_replay warm);
+      t "e9/warm-session/single" (fun () ->
+          ignore (Engine.Dispatch.handle_line warm hot));
+    ];
+  let totals = Engine.Session.cache_totals warm in
+  Fmt.pr "  warm session after run: hits=%d misses=%d entries=%d@."
+    totals.Engine.Session.hits totals.Engine.Session.misses
+    totals.Engine.Session.entries
+
 let () =
   Fmt.pr "Reproduction benches for Guttag, 'Abstract Data Types and the Development of Data Structures' (CACM 1977)@.";
+  let json_path = ref None in
+  let rec parse_args = function
+    | [] -> ()
+    | "--json" :: path :: rest ->
+      json_path := Some path;
+      parse_args rest
+    | "--json" :: [] -> failwith "--json requires a file argument"
+    | arg :: _ -> failwith (Fmt.str "unknown argument %s" arg)
+  in
+  parse_args (List.tl (Array.to_list Sys.argv));
   e1 ();
   e2 ();
   e3 ();
@@ -441,4 +538,6 @@ let () =
   e6 ();
   e7 ();
   e8 ();
+  e9 ();
+  Option.iter write_json !json_path;
   Fmt.pr "@.done.@."

@@ -11,7 +11,9 @@
                  backend
      run         compile and execute a block-language program
      verify-symboltable
-                 replay the paper's representation-correctness proof *)
+                 replay the paper's representation-correctness proof
+     serve       long-lived evaluation engine over stdio or a Unix socket
+     batch       replay an engine request script deterministically *)
 
 let read_file path =
   let ic = open_in_bin path in
@@ -109,23 +111,57 @@ let term_arg =
 let trace_flag =
   Arg.(value & flag & info [ "trace" ] ~doc:"Print every rewrite step.")
 
+let stats_flag =
+  Arg.(
+    value & flag
+    & info [ "stats" ]
+        ~doc:
+          "Print rewrite statistics (steps, fuel, cache counters when \
+           memoized) after the normal form.")
+
+let memo_flag =
+  Arg.(
+    value & flag
+    & info [ "memo" ]
+        ~doc:"Normalize through a bounded LRU normal-form cache.")
+
+let fuel_opt =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "fuel" ] ~docv:"N" ~doc:"Rewrite-step budget for this run.")
+
 let normalize_cmd =
-  let run libs file term_src trace =
+  let run libs file term_src trace stats memo fuel =
     let spec = last_spec ~lib:(load_library libs) file in
     match Adt.Parser.parse_term spec term_src with
     | Error e ->
       Fmt.epr "term:%a@." Adt.Parser.pp_error e;
       exit 2
     | Ok term -> (
-      let interp = Adt.Interp.create spec in
+      let interp = Adt.Interp.create ?fuel ~memo spec in
+      let print_stats steps =
+        Fmt.pr "steps: %d@." steps;
+        Fmt.pr "fuel:  %d/%d used@." steps (Adt.Interp.fuel interp);
+        match Adt.Interp.memo_stats interp with
+        | None -> ()
+        | Some s ->
+          Fmt.pr "cache: hits=%d misses=%d entries=%d evictions=%d capacity=%d@."
+            s.Adt.Interp.hits s.Adt.Interp.misses s.Adt.Interp.entries
+            s.Adt.Interp.evictions s.Adt.Interp.capacity
+      in
       try
         if trace then begin
           let nf, events = Adt.Interp.trace interp term in
           List.iter (fun e -> Fmt.pr "%a@." Adt.Rewrite.pp_event e) events;
-          Fmt.pr "normal form: %a@." Adt.Term.pp nf
+          Fmt.pr "normal form: %a@." Adt.Term.pp nf;
+          if stats then print_stats (List.length events)
         end
-        else if Adt.Term.is_ground term then
-          Fmt.pr "%a@." Adt.Interp.pp_value (Adt.Interp.eval interp term)
+        else if Adt.Term.is_ground term then begin
+          let value, steps = Adt.Interp.eval_count interp term in
+          Fmt.pr "%a@." Adt.Interp.pp_value value;
+          if stats then print_stats steps
+        end
         else Fmt.pr "%a@." Adt.Term.pp (Adt.Interp.reduce interp term)
       with Adt.Rewrite.Out_of_fuel partial ->
         Fmt.epr "diverged (out of fuel); last term: %a@." Adt.Term.pp partial;
@@ -134,7 +170,9 @@ let normalize_cmd =
   let doc = "Evaluate a ground term symbolically (the paper's section-5 interpreter)." in
   Cmd.v
     (Cmd.info "normalize" ~doc)
-    Term.(const run $ lib_arg $ file_arg $ term_arg $ trace_flag)
+    Term.(
+      const run $ lib_arg $ file_arg $ term_arg $ trace_flag $ stats_flag
+      $ memo_flag $ fuel_opt)
 
 let complete_cmd =
   let run libs file =
@@ -286,6 +324,98 @@ let verify_cmd =
   in
   Cmd.v (Cmd.info "verify-symboltable" ~doc) Term.(const run $ proofs_flag)
 
+(* {1 The evaluation engine: serve and batch} *)
+
+let spec_files_arg =
+  Arg.(
+    non_empty & pos_all file []
+    & info [] ~docv:"FILE"
+        ~doc:
+          "Specification files (.adt) to load into the engine's library. \
+           Every specification of every file is served by name.")
+
+let engine_fuel_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "fuel" ] ~docv:"N"
+        ~doc:
+          "Per-request rewrite-step ceiling (a request's own fuel=N option \
+           may lower it, never raise it).")
+
+let timeout_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "timeout" ] ~docv:"SECONDS"
+        ~doc:"Per-request wall-clock budget; unlimited when absent.")
+
+let cache_capacity_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "cache-capacity" ] ~docv:"N"
+        ~doc:
+          "Capacity of each specification's shared LRU normal-form cache \
+           (least recently used normal forms are evicted).")
+
+let make_session libs files ~fuel ~timeout ~cache_capacity =
+  let lib = load_library (libs @ files) in
+  Engine.Session.create ?fuel ?timeout ?cache_capacity
+    (Adt.Library.specs lib)
+
+let serve_cmd =
+  let socket_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:
+            "Listen on a Unix domain socket instead of serving the \
+             stdio pipe; connections share one session (one cache, one \
+             set of metrics).")
+  in
+  let run libs files fuel timeout cache_capacity socket =
+    let session = make_session libs files ~fuel ~timeout ~cache_capacity in
+    match socket with
+    | Some path -> Engine.Server.serve_socket session ~path
+    | None -> Engine.Server.serve session stdin stdout
+  in
+  let doc =
+    "Serve normalize/check/skeletons/prove/stats requests over a \
+     line-oriented protocol, with a shared bounded normal-form cache and \
+     per-request limits."
+  in
+  Cmd.v
+    (Cmd.info "serve" ~doc)
+    Term.(
+      const run $ lib_arg $ spec_files_arg $ engine_fuel_arg $ timeout_arg
+      $ cache_capacity_arg $ socket_arg)
+
+let batch_cmd =
+  let requests_arg =
+    Arg.(
+      value & opt string "-"
+      & info [ "requests" ] ~docv:"FILE"
+          ~doc:"Request script to replay; $(b,-) (the default) is stdin.")
+  in
+  let run libs files fuel timeout cache_capacity requests =
+    let session = make_session libs files ~fuel ~timeout ~cache_capacity in
+    let ic = if String.equal requests "-" then stdin else open_in requests in
+    Fun.protect
+      ~finally:(fun () -> if not (String.equal requests "-") then close_in_noerr ic)
+      (fun () -> Engine.Server.serve ~echo:true session ic stdout)
+  in
+  let doc =
+    "Replay an engine request script deterministically, echoing each \
+     request above its response (the expect-test front end of the engine)."
+  in
+  Cmd.v
+    (Cmd.info "batch" ~doc)
+    Term.(
+      const run $ lib_arg $ spec_files_arg $ engine_fuel_arg $ timeout_arg
+      $ cache_capacity_arg $ requests_arg)
+
 let main =
   let doc = "algebraic specification of abstract data types (Guttag, CACM 1977)" in
   Cmd.group
@@ -299,6 +429,8 @@ let main =
       compile_cmd;
       run_cmd;
       verify_cmd;
+      serve_cmd;
+      batch_cmd;
     ]
 
 let () = exit (Cmd.eval main)

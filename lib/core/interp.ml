@@ -5,24 +5,19 @@ type t = {
   memo : Rewrite.Memo.t option;
 }
 
-let create ?(fuel = Rewrite.default_fuel) ?(memo = false) spec =
+let create ?(fuel = Rewrite.default_fuel) ?(memo = false) ?memo_capacity spec =
   {
     spec;
     system = Rewrite.of_spec spec;
     fuel;
-    memo = (if memo then Some (Rewrite.Memo.create ()) else None);
+    memo =
+      (if memo then Some (Rewrite.Memo.create ?capacity:memo_capacity ())
+       else None);
   }
-
-let normalize_opt t term =
-  match t.memo with
-  | None -> Rewrite.normalize_opt ~fuel:t.fuel t.system term
-  | Some memo -> (
-    match Rewrite.normalize_memo ~fuel:t.fuel ~memo t.system term with
-    | nf -> Some nf
-    | exception Rewrite.Out_of_fuel _ -> None)
 
 let spec t = t.spec
 let system t = t.system
+let fuel t = t.fuel
 
 type value =
   | Value of Term.t
@@ -37,13 +32,27 @@ let classify spec term =
     if Spec.is_constructor_ground_term spec term then Value term
     else Stuck term
 
-let eval t term =
+let eval_count ?fuel t term =
   if not (Term.is_ground term) then
     invalid_arg
       (Fmt.str "Interp.eval: term %a has free variables" Term.pp term);
-  match normalize_opt t term with
-  | None -> Diverged
-  | Some nf -> classify t.spec nf
+  let fuel = Option.value ~default:t.fuel fuel in
+  let outcome =
+    match t.memo with
+    | None -> (
+      match Rewrite.normalize_count ~fuel t.system term with
+      | nf, steps -> Some (nf, steps)
+      | exception Rewrite.Out_of_fuel _ -> None)
+    | Some memo -> (
+      match Rewrite.normalize_memo_count ~fuel ~memo t.system term with
+      | nf, steps -> Some (nf, steps)
+      | exception Rewrite.Out_of_fuel _ -> None)
+  in
+  match outcome with
+  | None -> (Diverged, fuel)
+  | Some (nf, steps) -> (classify t.spec nf, steps)
+
+let eval ?fuel t term = fst (eval_count ?fuel t term)
 
 let eval_bool t term =
   match eval t term with
@@ -57,14 +66,30 @@ let apply t name args =
 
 let call t name args = eval t (apply t name args)
 
-let reduce t term =
+let reduce ?fuel t term =
+  let fuel = Option.value ~default:t.fuel fuel in
   match t.memo with
-  | None -> Rewrite.normalize ~fuel:t.fuel t.system term
-  | Some memo -> Rewrite.normalize_memo ~fuel:t.fuel ~memo t.system term
+  | None -> Rewrite.normalize ~fuel t.system term
+  | Some memo -> Rewrite.normalize_memo ~fuel ~memo t.system term
+
+type memo_stats = {
+  hits : int;
+  misses : int;
+  entries : int;
+  evictions : int;
+  capacity : int;
+}
 
 let memo_stats t =
   Option.map
-    (fun m -> (Rewrite.Memo.hits m, Rewrite.Memo.misses m, Rewrite.Memo.size m))
+    (fun m ->
+      {
+        hits = Rewrite.Memo.hits m;
+        misses = Rewrite.Memo.misses m;
+        entries = Rewrite.Memo.size m;
+        evictions = Rewrite.Memo.evictions m;
+        capacity = Rewrite.Memo.capacity m;
+      })
     t.memo
 
 let steps t term =

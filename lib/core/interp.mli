@@ -14,16 +14,29 @@
 
 type t
 
-val create : ?fuel:int -> ?memo:bool -> Spec.t -> t
+val create : ?fuel:int -> ?memo:bool -> ?memo_capacity:int -> Spec.t -> t
 (** [memo] (default false) caches the normal form of every application
     node the session ever normalizes — profitable when a workload
-    revisits the same values (see the E1 ablation in the benchmarks). *)
+    revisits the same values (see the E1 ablation in the benchmarks).
+    [memo_capacity] bounds the cache ({!Rewrite.Memo.default_capacity}
+    entries by default); least recently used normal forms are evicted. *)
 
 val spec : t -> Spec.t
 val system : t -> Rewrite.system
 
-val memo_stats : t -> (int * int * int) option
-(** [(hits, misses, entries)] when created with [~memo:true]. *)
+val fuel : t -> int
+(** The session's default step budget. *)
+
+type memo_stats = {
+  hits : int;
+  misses : int;
+  entries : int;  (** Live cache entries; never exceeds [capacity]. *)
+  evictions : int;
+  capacity : int;
+}
+
+val memo_stats : t -> memo_stats option
+(** Cache counters when created with [~memo:true], [None] otherwise. *)
 
 type value =
   | Value of Term.t  (** A constructor normal form. *)
@@ -32,9 +45,16 @@ type value =
                          evidence of insufficient completeness. *)
   | Diverged  (** Fuel exhausted. *)
 
-val eval : t -> Term.t -> value
+val eval : ?fuel:int -> t -> Term.t -> value
 (** Evaluates a ground term (leftmost-innermost). Raises
-    [Invalid_argument] on terms with free variables. *)
+    [Invalid_argument] on terms with free variables. [fuel] overrides the
+    session's step budget for this call only (per-request limits in the
+    evaluation engine). *)
+
+val eval_count : ?fuel:int -> t -> Term.t -> value * int
+(** {!eval}, also returning the number of rule applications performed; a
+    [Diverged] result reports the whole budget as spent. Cache hits in a
+    memoized session cost no steps — a fully cached term reports 0. *)
 
 val eval_bool : t -> Term.t -> bool option
 (** [Some b] when evaluation yields the Boolean constant [b]. *)
@@ -47,7 +67,7 @@ val apply : t -> string -> Term.t list -> Term.t
 val call : t -> string -> Term.t list -> value
 (** [apply] then [eval]. *)
 
-val reduce : t -> Term.t -> Term.t
+val reduce : ?fuel:int -> t -> Term.t -> Term.t
 (** Normalization without classification (also accepts open terms). *)
 
 val steps : t -> Term.t -> int

@@ -1,0 +1,99 @@
+module Make (K : Hashtbl.HashedType) = struct
+  module Tbl = Hashtbl.Make (K)
+
+  type 'a node = {
+    key : K.t;
+    mutable value : 'a;
+    mutable prev : 'a node option;  (* towards most recently used *)
+    mutable next : 'a node option;  (* towards least recently used *)
+  }
+
+  type 'a t = {
+    table : 'a node Tbl.t;
+    capacity : int;
+    mutable first : 'a node option;  (* most recently used *)
+    mutable last : 'a node option;  (* next eviction victim *)
+    mutable evictions : int;
+  }
+
+  let default_capacity = 65536
+
+  let create ?(capacity = default_capacity) () =
+    if capacity < 1 then invalid_arg "Lru.create: capacity must be positive";
+    {
+      table = Tbl.create (min capacity 1024);
+      capacity;
+      first = None;
+      last = None;
+      evictions = 0;
+    }
+
+  let capacity t = t.capacity
+  let length t = Tbl.length t.table
+  let evictions t = t.evictions
+
+  let unlink t node =
+    (match node.prev with
+    | Some p -> p.next <- node.next
+    | None -> t.first <- node.next);
+    (match node.next with
+    | Some n -> n.prev <- node.prev
+    | None -> t.last <- node.prev);
+    node.prev <- None;
+    node.next <- None
+
+  let push_front t node =
+    node.next <- t.first;
+    (match t.first with Some f -> f.prev <- Some node | None -> ());
+    t.first <- Some node;
+    if Option.is_none t.last then t.last <- Some node
+
+  let touch t node =
+    match node.prev with
+    | None -> () (* already most recent *)
+    | Some _ ->
+      unlink t node;
+      push_front t node
+
+  let find t k =
+    match Tbl.find_opt t.table k with
+    | None -> None
+    | Some node ->
+      touch t node;
+      Some node.value
+
+  let peek t k = Option.map (fun n -> n.value) (Tbl.find_opt t.table k)
+  let mem t k = Tbl.mem t.table k
+
+  let evict t =
+    match t.last with
+    | None -> ()
+    | Some victim ->
+      unlink t victim;
+      Tbl.remove t.table victim.key;
+      t.evictions <- t.evictions + 1
+
+  let add t k v =
+    match Tbl.find_opt t.table k with
+    | Some node ->
+      node.value <- v;
+      touch t node
+    | None ->
+      let node = { key = k; value = v; prev = None; next = None } in
+      Tbl.add t.table k node;
+      push_front t node;
+      if Tbl.length t.table > t.capacity then evict t
+
+  let clear t =
+    Tbl.clear t.table;
+    t.first <- None;
+    t.last <- None;
+    t.evictions <- 0
+
+  let to_list t =
+    let rec walk acc = function
+      | None -> List.rev acc
+      | Some node -> walk ((node.key, node.value) :: acc) node.next
+    in
+    walk [] t.first
+end

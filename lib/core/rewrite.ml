@@ -196,7 +196,7 @@ let joinable ?strategy ?fuel sys a b =
   | Some na, Some nb -> Term.equal na nb
   | _ -> false
 
-module Term_tbl = Hashtbl.Make (struct
+module Term_lru = Lru.Make (struct
   type t = Term.t
 
   let equal = Term.equal
@@ -208,24 +208,29 @@ end)
 
 module Memo = struct
   type t = {
-    table : Term.t Term_tbl.t;
+    cache : Term.t Term_lru.t;
     mutable hits : int;
     mutable misses : int;
   }
 
-  let create () = { table = Term_tbl.create 1024; hits = 0; misses = 0 }
+  let default_capacity = Term_lru.default_capacity
+
+  let create ?capacity () =
+    { cache = Term_lru.create ?capacity (); hits = 0; misses = 0 }
 
   let clear m =
-    Term_tbl.clear m.table;
+    Term_lru.clear m.cache;
     m.hits <- 0;
     m.misses <- 0
 
-  let size m = Term_tbl.length m.table
+  let size m = Term_lru.length m.cache
+  let capacity m = Term_lru.capacity m.cache
   let hits m = m.hits
   let misses m = m.misses
+  let evictions m = Term_lru.evictions m.cache
 end
 
-let normalize_memo ?(fuel = default_fuel) ~memo sys term =
+let normalize_memo_count ?(fuel = default_fuel) ~memo sys term =
   let remaining = ref fuel in
   let rec norm t =
     match t with
@@ -239,7 +244,7 @@ let normalize_memo ?(fuel = default_fuel) ~memo sys term =
         | Term.Err _ -> Term.Err (Term.sort_of th)
         | _ -> Term.Ite (c', th, el))
     | Term.App (op, args) -> (
-      match Term_tbl.find_opt memo.Memo.table t with
+      match Term_lru.find memo.Memo.cache t with
       | Some nf ->
         memo.Memo.hits <- memo.Memo.hits + 1;
         nf
@@ -257,10 +262,14 @@ let normalize_memo ?(fuel = default_fuel) ~memo sys term =
               decr remaining;
               norm (Subst.apply s r.rhs)
         in
-        Term_tbl.add memo.Memo.table t nf;
+        Term_lru.add memo.Memo.cache t nf;
         nf)
   in
-  norm term
+  let nf = norm term in
+  (nf, fuel - !remaining)
+
+let normalize_memo ?fuel ~memo sys term =
+  fst (normalize_memo_count ?fuel ~memo sys term)
 
 type event = {
   position : Term.position;

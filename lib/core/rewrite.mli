@@ -95,23 +95,42 @@ val pp_event : event Fmt.t
     normalizes many terms sharing large subterms — e.g. draining a queue
     evaluates [FRONT(q)] and [REMOVE(q)] over the same [q] again and
     again. A memo caches the normal form of every application node it
-    sees. A memo is only sound for the system it was created against:
-    results cached under one rule set must not be reused under another. *)
+    sees, bounded by a least-recently-used eviction policy ({!Lru}) so
+    that long-lived sessions — the evaluation engine serving a request
+    stream — hold their footprint constant. A memo is only sound for the
+    system it was created against: results cached under one rule set must
+    not be reused under another. *)
 
 module Memo : sig
   type t
 
-  val create : unit -> t
+  val default_capacity : int
+
+  val create : ?capacity:int -> unit -> t
+  (** [capacity] (default {!default_capacity}) bounds the number of cached
+      normal forms; raises [Invalid_argument] when [capacity < 1]. *)
+
   val clear : t -> unit
+  (** Drops every entry and resets all counters, evictions included. *)
+
   val size : t -> int
+  (** Never exceeds {!capacity}. *)
+
+  val capacity : t -> int
   val hits : t -> int
   val misses : t -> int
+  val evictions : t -> int
 end
 
 val normalize_memo :
   ?fuel:int -> memo:Memo.t -> system -> Term.t -> Term.t
 (** Leftmost-innermost normalization through the cache. Raises
     {!Out_of_fuel}. *)
+
+val normalize_memo_count :
+  ?fuel:int -> memo:Memo.t -> system -> Term.t -> Term.t * int
+(** {!normalize_memo}, also returning the number of rule applications
+    performed (a fully cached term reports 0). *)
 
 (** {1 Statistics} *)
 

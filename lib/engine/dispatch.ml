@@ -1,0 +1,132 @@
+open Adt
+
+type outcome = Silent | Reply of string | Closed
+
+let error code fmt = Fmt.kstr (fun message -> Protocol.Error_response { code; message }) fmt
+let ok fmt = Fmt.kstr (fun payload -> Protocol.Ok_response payload) fmt
+
+let with_spec session name k =
+  match Session.find session name with
+  | Some entry -> k entry
+  | None ->
+    error "unknown-spec" "no specification named %s is loaded (have: %s)" name
+      (String.concat ", " (Session.spec_names session))
+
+let parse_term ?vars spec src k =
+  match Parser.parse_term spec ?vars src with
+  | Ok term -> k term
+  | Error e -> error "parse" "%s" (Protocol.sanitize (Fmt.str "%a" Parser.pp_error e))
+
+let do_normalize session entry term_src req_fuel =
+  parse_term entry.Session.spec term_src @@ fun term ->
+  let fuel = Limits.effective_fuel (Session.limits session) req_fuel in
+  let value, steps = Interp.eval_count ~fuel entry.Session.interp term in
+  let metrics = Session.metrics session in
+  metrics.Metrics.fuel_spent <- metrics.Metrics.fuel_spent + steps;
+  match value with
+  | Interp.Diverged -> error "fuel" "normalization exceeded %d rewrite steps" fuel
+  | value ->
+    ok "normalize steps=%d %s" steps
+      (Protocol.sanitize (Fmt.str "%a" Interp.pp_value value))
+
+let do_check entry =
+  let comp = Completeness.check entry.Session.spec in
+  let cons = Consistency.check entry.Session.spec in
+  ok "check %s complete=%b consistent=%b missing=%d critical_pairs=%d"
+    (Spec.name entry.Session.spec)
+    (Completeness.is_complete comp)
+    (Consistency.is_consistent entry.Session.spec cons)
+    (List.length (Completeness.missing comp))
+    (List.length cons.Consistency.pairs)
+
+let do_skeletons entry =
+  let name = Spec.name entry.Session.spec in
+  match Heuristics.prompts entry.Session.spec with
+  | [] -> ok "skeletons %s missing=0" name
+  | prompts ->
+    ok "skeletons %s missing=%d: %s" name (List.length prompts)
+      (String.concat " ; "
+         (List.map
+            (fun p ->
+              Protocol.sanitize (Fmt.str "%a" Term.pp p.Heuristics.missing_lhs))
+            prompts))
+
+let do_prove entry vars lhs_src rhs_src fuel =
+  let vars = List.map (fun (name, sort) -> (name, Sort.v sort)) vars in
+  parse_term ~vars entry.Session.spec lhs_src @@ fun lhs ->
+  parse_term ~vars entry.Session.spec rhs_src @@ fun rhs ->
+  let config = Proof.config ?fuel entry.Session.spec in
+  let name = Spec.name entry.Session.spec in
+  match Proof.prove config (lhs, rhs) with
+  | Proof.Proved proof ->
+    ok "prove %s proved size=%d depth=%d" name (Proof.proof_size proof)
+      (Proof.proof_depth proof)
+  | Proof.Unknown _ -> ok "prove %s unknown" name
+
+let do_stats session verbose =
+  let m = Session.metrics session in
+  let c = Session.cache_totals session in
+  let base =
+    Fmt.str
+      "stats requests=%d normalize=%d check=%d skeletons=%d prove=%d \
+       stats=%d errors=%d fuel=%d cache.hits=%d cache.misses=%d \
+       cache.evictions=%d cache.entries=%d cache.capacity=%d"
+      m.Metrics.requests m.Metrics.normalize m.Metrics.check
+      m.Metrics.skeletons m.Metrics.prove m.Metrics.stats m.Metrics.errors
+      m.Metrics.fuel_spent c.Session.hits c.Session.misses c.Session.evictions
+      c.Session.entries c.Session.capacity
+  in
+  (* latency is real time: only printed on demand, so that batch replays
+     stay deterministic *)
+  if verbose then
+    Protocol.Ok_response
+      (Fmt.str "%s latency.total_ms=%.3f latency.max_ms=%.3f" base
+         (m.Metrics.latency_total *. 1000.)
+         (m.Metrics.latency_max *. 1000.))
+  else Protocol.Ok_response base
+
+let handle_request session = function
+  | Protocol.Normalize { spec; term; fuel } ->
+    with_spec session spec @@ fun entry -> do_normalize session entry term fuel
+  | Protocol.Check { spec } -> with_spec session spec do_check
+  | Protocol.Skeletons { spec } -> with_spec session spec do_skeletons
+  | Protocol.Prove { spec; vars; lhs; rhs; fuel } ->
+    with_spec session spec @@ fun entry -> do_prove entry vars lhs rhs fuel
+  | Protocol.Stats { verbose } -> do_stats session verbose
+  | Protocol.Quit -> Protocol.Ok_response "bye"
+
+let handle_line session line =
+  let metrics = Session.metrics session in
+  match Protocol.parse line with
+  | Ok None -> Silent
+  | Error message ->
+    metrics.Metrics.requests <- metrics.Metrics.requests + 1;
+    metrics.Metrics.errors <- metrics.Metrics.errors + 1;
+    Reply (Protocol.render (Protocol.Error_response { code = "protocol"; message }))
+  | Ok (Some Protocol.Quit) ->
+    metrics.Metrics.requests <- metrics.Metrics.requests + 1;
+    Closed
+  | Ok (Some request) ->
+    metrics.Metrics.requests <- metrics.Metrics.requests + 1;
+    Metrics.record_kind metrics (Protocol.kind_name request);
+    let started = Unix.gettimeofday () in
+    let response =
+      match
+        Limits.with_timeout (Session.limits session).Limits.timeout (fun () ->
+            handle_request session request)
+      with
+      | Ok response -> response
+      | Error `Timeout ->
+        error "timeout" "request exceeded %gs of wall-clock time"
+          (Option.get (Session.limits session).Limits.timeout)
+      | exception e ->
+        (* error isolation: an internal failure answers this request and
+           only this request *)
+        error "internal" "%s" (Protocol.sanitize (Printexc.to_string e))
+    in
+    Metrics.observe_latency metrics (Unix.gettimeofday () -. started);
+    (match response with
+    | Protocol.Error_response _ ->
+      metrics.Metrics.errors <- metrics.Metrics.errors + 1
+    | Protocol.Ok_response _ -> ());
+    Reply (Protocol.render response)

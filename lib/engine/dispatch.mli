@@ -1,0 +1,21 @@
+(** The request dispatcher: one protocol request in, one response out.
+
+    Error isolation is the contract: whatever a request does — name an
+    unloaded specification, fail to parse, exhaust its fuel or wall-clock
+    budget, or trip an internal exception — the dispatcher answers with a
+    structured [error] line and leaves the session intact for the next
+    request. Every request updates the session's {!Metrics}. *)
+
+type outcome =
+  | Silent  (** Blank or comment line: no response. *)
+  | Reply of string  (** The rendered response line. *)
+  | Closed  (** A [quit] request: the server loop should stop. *)
+
+val handle_line : Session.t -> string -> outcome
+(** Parse, enforce limits, evaluate, record metrics, render. Never
+    raises. *)
+
+val handle_request : Session.t -> Protocol.request -> Protocol.response
+(** The evaluation step alone — fuel accounting included, but no
+    request/error/latency counters and no wall-clock enforcement (exposed
+    for unit tests). *)

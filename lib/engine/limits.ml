@@ -1,0 +1,43 @@
+type t = { fuel : int; timeout : float option }
+
+let v ?(fuel = Adt.Rewrite.default_fuel) ?timeout () =
+  if fuel < 1 then invalid_arg "Limits.v: fuel must be positive";
+  (match timeout with
+  | Some s when s <= 0. -> invalid_arg "Limits.v: timeout must be positive"
+  | _ -> ());
+  { fuel; timeout }
+
+let effective_fuel t = function
+  | None -> t.fuel
+  | Some requested -> max 1 (min requested t.fuel)
+
+exception Timed_out
+
+let with_timeout timeout f =
+  match timeout with
+  | None -> Ok (f ())
+  | Some seconds ->
+    let old_handler =
+      Sys.signal Sys.sigalrm (Sys.Signal_handle (fun _ -> raise Timed_out))
+    in
+    let disarm () =
+      ignore
+        (Unix.setitimer Unix.ITIMER_REAL
+           { Unix.it_value = 0.; it_interval = 0. });
+      Sys.set_signal Sys.sigalrm old_handler
+    in
+    ignore
+      (Unix.setitimer Unix.ITIMER_REAL
+         { Unix.it_value = seconds; it_interval = 0. });
+    (* the handler raises at the next allocation/poll point, which the
+       rewriting loop reaches constantly *)
+    match f () with
+    | result ->
+      disarm ();
+      Ok result
+    | exception Timed_out ->
+      disarm ();
+      Error `Timeout
+    | exception e ->
+      disarm ();
+      raise e

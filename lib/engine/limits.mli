@@ -1,0 +1,36 @@
+(** Per-request resource limits.
+
+    The engine serves untrusted request streams against axioms that may
+    not terminate (section 5's symbolic interpretation has no termination
+    guarantee for arbitrary specifications), so every request runs under
+    two independent budgets:
+
+    - a {b fuel} budget — a rewrite-step count enforced inside the
+      normalization loop (a request may lower but never raise the
+      session's ceiling);
+    - a {b wall-clock} budget — a real-time alarm that interrupts work the
+      fuel metric prices badly (pathological matching, huge terms).
+
+    Either exhaustion yields a structured error response; the session and
+    its cache survive. *)
+
+type t = {
+  fuel : int;  (** Per-request rewrite-step ceiling. *)
+  timeout : float option;  (** Per-request wall-clock budget, seconds. *)
+}
+
+val v : ?fuel:int -> ?timeout:float -> unit -> t
+(** [fuel] defaults to {!Adt.Rewrite.default_fuel}; no timeout unless
+    given. Raises [Invalid_argument] on a non-positive budget. *)
+
+val effective_fuel : t -> int option -> int
+(** The budget a request gets: its own [fuel=N] option capped by the
+    session ceiling, or the ceiling when it asks for nothing. *)
+
+exception Timed_out
+
+val with_timeout : float option -> (unit -> 'a) -> ('a, [ `Timeout ]) result
+(** Runs the thunk under a real-time alarm ([Unix.setitimer]); restores
+    the previous signal handler and timer state afterwards. [None] means
+    no limit. Not reentrant (the engine dispatches one request at a
+    time). *)

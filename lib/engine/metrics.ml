@@ -1,0 +1,38 @@
+type t = {
+  mutable requests : int;
+  mutable normalize : int;
+  mutable check : int;
+  mutable skeletons : int;
+  mutable prove : int;
+  mutable stats : int;
+  mutable errors : int;
+  mutable fuel_spent : int;
+  mutable latency_total : float;
+  mutable latency_max : float;
+}
+
+let create () =
+  {
+    requests = 0;
+    normalize = 0;
+    check = 0;
+    skeletons = 0;
+    prove = 0;
+    stats = 0;
+    errors = 0;
+    fuel_spent = 0;
+    latency_total = 0.;
+    latency_max = 0.;
+  }
+
+let record_kind t = function
+  | "normalize" -> t.normalize <- t.normalize + 1
+  | "check" -> t.check <- t.check + 1
+  | "skeletons" -> t.skeletons <- t.skeletons + 1
+  | "prove" -> t.prove <- t.prove + 1
+  | "stats" -> t.stats <- t.stats + 1
+  | _ -> ()
+
+let observe_latency t seconds =
+  t.latency_total <- t.latency_total +. seconds;
+  if seconds > t.latency_max then t.latency_max <- seconds

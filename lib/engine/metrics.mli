@@ -1,0 +1,29 @@
+(** Engine metrics.
+
+    A long-lived evaluation service must be observable: the dispatcher
+    counts requests by kind, error responses, rewrite steps spent, and
+    wall-clock latency. Counters are plain mutable fields — the engine is
+    single-threaded per session — and are queryable over the wire through
+    the [stats] request ({!Dispatch}). *)
+
+type t = {
+  mutable requests : int;  (** Every request line, malformed ones included. *)
+  mutable normalize : int;
+  mutable check : int;
+  mutable skeletons : int;
+  mutable prove : int;
+  mutable stats : int;
+  mutable errors : int;  (** Error responses sent. *)
+  mutable fuel_spent : int;
+      (** Total rewrite-rule applications across all requests. *)
+  mutable latency_total : float;  (** Seconds, summed over requests. *)
+  mutable latency_max : float;
+}
+
+val create : unit -> t
+
+val record_kind : t -> string -> unit
+(** Bumps the counter named by {!Protocol.kind_name}; unknown names only
+    count towards [requests]. *)
+
+val observe_latency : t -> float -> unit

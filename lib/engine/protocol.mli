@@ -1,0 +1,65 @@
+(** The engine's line-oriented wire protocol.
+
+    One request per line, one response line per request, answered in
+    order. Blank lines and lines starting with [#] are ignored (so batch
+    scripts can be annotated). Grammar:
+
+    {v
+    request    := kind option* arg*
+    option     := KEY '=' VALUE            (before the positional args)
+    kind       := 'normalize' | 'check' | 'skeletons' | 'prove'
+                | 'stats'     | 'quit'
+
+    normalize [fuel=N] SPEC TERM           evaluate TERM against SPEC
+    check     SPEC                         completeness + consistency
+    skeletons SPEC                         missing-axiom left-hand sides
+    prove [fuel=N] SPEC VARS LHS == RHS    equational proof; VARS is '-'
+                                           or 'q:Queue,i:Item'
+    stats [verbose=true]                   metrics counters; verbose adds
+                                           wall-clock latency
+    quit                                   close the session
+    v}
+
+    Responses:
+
+    {v
+    response := 'ok' payload | 'error' CODE message
+    CODE     := 'protocol' | 'unknown-spec' | 'parse' | 'fuel'
+              | 'timeout'  | 'internal'
+    v}
+
+    Payloads are single-line (term renderings are whitespace-squashed by
+    {!sanitize}); an error response never kills the session — the next
+    request is served normally. *)
+
+type request =
+  | Normalize of { spec : string; term : string; fuel : int option }
+  | Check of { spec : string }
+  | Skeletons of { spec : string }
+  | Prove of {
+      spec : string;
+      vars : (string * string) list;  (** (variable, sort name) pairs. *)
+      lhs : string;
+      rhs : string;
+      fuel : int option;
+    }
+  | Stats of { verbose : bool }
+  | Quit
+
+type response =
+  | Ok_response of string  (** The payload, without the leading [ok]. *)
+  | Error_response of { code : string; message : string }
+
+val parse : string -> (request option, string) result
+(** [Ok None] for blank/comment lines; [Error message] for malformed
+    requests (unknown kind, bad arity, bad option). *)
+
+val render : response -> string
+(** The response line, newline not included. *)
+
+val kind_name : request -> string
+(** The request's kind keyword, for metrics. *)
+
+val sanitize : string -> string
+(** Collapses all whitespace runs (newlines included) to single spaces —
+    every payload fits one protocol line. *)

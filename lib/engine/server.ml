@@ -1,0 +1,42 @@
+let serve ?(echo = false) session ic oc =
+  let say line =
+    output_string oc line;
+    output_char oc '\n';
+    flush oc
+  in
+  let rec loop () =
+    match input_line ic with
+    | exception End_of_file -> ()
+    | line -> (
+      if echo then say ("> " ^ line);
+      match Dispatch.handle_line session line with
+      | Dispatch.Silent -> loop ()
+      | Dispatch.Reply response ->
+        say response;
+        loop ()
+      | Dispatch.Closed -> say "ok bye")
+  in
+  loop ()
+
+let serve_socket session ~path =
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let cleanup () =
+    (try Unix.close sock with Unix.Unix_error _ -> ());
+    try Unix.unlink path with Unix.Unix_error _ -> ()
+  in
+  Fun.protect ~finally:cleanup @@ fun () ->
+  Unix.bind sock (Unix.ADDR_UNIX path);
+  Unix.listen sock 8;
+  Fmt.epr "adtc engine: listening on %s@." path;
+  let rec accept_loop () =
+    let client, _ = Unix.accept sock in
+    let ic = Unix.in_channel_of_descr client in
+    let oc = Unix.out_channel_of_descr client in
+    (* a broken client connection must not take the engine down *)
+    (try serve session ic oc with Sys_error _ | End_of_file -> ());
+    (try flush oc with Sys_error _ -> ());
+    (try Unix.close client with Unix.Unix_error _ -> ());
+    accept_loop ()
+  in
+  accept_loop ()

@@ -1,0 +1,18 @@
+(** Front ends: the request loop over channels and over a Unix socket.
+
+    [serve] reads one request line at a time, answers, and flushes —
+    suitable for stdio pipelines ([adtc serve]) and for expect-testable
+    batch replays ([adtc batch], which echoes each input line prefixed
+    with [> ] so the transcript documents itself). [serve_socket] accepts
+    connections sequentially on a Unix domain socket; the session — its
+    caches and metrics — is shared across connections, which is the point
+    of running a long-lived engine. *)
+
+val serve : ?echo:bool -> Session.t -> in_channel -> out_channel -> unit
+(** Loops until end of input or a [quit] request. [echo] (default false)
+    copies every input line to the output prefixed with [> ]. *)
+
+val serve_socket : Session.t -> path:string -> unit
+(** Binds [path] (unlinking a stale socket first), then accepts and
+    serves connections one at a time, forever; a client I/O failure
+    closes that connection only. The socket is unlinked on exit. *)

@@ -1,0 +1,62 @@
+open Adt
+
+type entry = { spec : Spec.t; interp : Interp.t }
+
+type t = {
+  registry : (string * entry) list;  (* registration order, names unique *)
+  limits : Limits.t;
+  metrics : Metrics.t;
+}
+
+let create ?fuel ?timeout ?cache_capacity specs =
+  let limits = Limits.v ?fuel ?timeout () in
+  let registry =
+    List.fold_left
+      (fun registry spec ->
+        let name = Spec.name spec in
+        let entry =
+          {
+            spec;
+            interp =
+              Interp.create ~fuel:limits.Limits.fuel ~memo:true
+                ?memo_capacity:cache_capacity spec;
+          }
+        in
+        (* replace an earlier registration of the same name in place *)
+        if List.mem_assoc name registry then
+          List.map
+            (fun (n, e) -> if String.equal n name then (n, entry) else (n, e))
+            registry
+        else registry @ [ (name, entry) ])
+      [] specs
+  in
+  { registry; limits; metrics = Metrics.create () }
+
+let find t name = List.assoc_opt name t.registry
+let spec_names t = List.map fst t.registry
+let limits t = t.limits
+let metrics t = t.metrics
+
+type cache_totals = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  entries : int;
+  capacity : int;
+}
+
+let cache_totals t =
+  List.fold_left
+    (fun acc (_, entry) ->
+      match Interp.memo_stats entry.interp with
+      | None -> acc
+      | Some s ->
+        {
+          hits = acc.hits + s.Interp.hits;
+          misses = acc.misses + s.Interp.misses;
+          evictions = acc.evictions + s.Interp.evictions;
+          entries = acc.entries + s.Interp.entries;
+          capacity = acc.capacity + s.Interp.capacity;
+        })
+    { hits = 0; misses = 0; evictions = 0; entries = 0; capacity = 0 }
+    t.registry

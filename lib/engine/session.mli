@@ -1,0 +1,43 @@
+(** Engine session state.
+
+    A session is what makes the engine better than one-shot CLI calls: the
+    specification library is parsed and turned into rewrite systems {e
+    once}, and each specification owns a memoized interpreter whose
+    bounded LRU normal-form cache ({!Adt.Rewrite.Memo}) is shared across
+    every subsequent request — the warm-path payoff measured by benchmark
+    E9. The session also carries the per-request limits and the metrics
+    counters. *)
+
+type entry = { spec : Adt.Spec.t; interp : Adt.Interp.t }
+
+type t
+
+val create :
+  ?fuel:int ->
+  ?timeout:float ->
+  ?cache_capacity:int ->
+  Adt.Spec.t list ->
+  t
+(** [fuel] is the per-request step ceiling (default
+    {!Adt.Rewrite.default_fuel}); [timeout] the per-request wall-clock
+    budget (default none); [cache_capacity] the per-specification LRU
+    capacity (default {!Adt.Rewrite.Memo.default_capacity}). A later
+    specification with the name of an earlier one replaces it. *)
+
+val find : t -> string -> entry option
+val spec_names : t -> string list
+(** In registration order. *)
+
+val limits : t -> Limits.t
+val metrics : t -> Metrics.t
+
+type cache_totals = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  entries : int;
+  capacity : int;
+}
+
+val cache_totals : t -> cache_totals
+(** Summed over every specification's cache. *)

@@ -1,0 +1,141 @@
+(* The bounded LRU cache (Adt.Lru) behind Rewrite.Memo and the engine's
+   shared normal-form cache: deterministic unit tests plus qcheck
+   model-based properties against a reference implementation (an
+   MRU-first association list). *)
+
+open Adt
+open Helpers
+
+module Cache = Lru.Make (struct
+  type t = int
+
+  let equal = Int.equal
+  let hash = Hashtbl.hash
+end)
+
+(* {1 Unit tests} *)
+
+let test_hit_after_put () =
+  let c = Cache.create ~capacity:4 () in
+  Cache.add c 1 "one";
+  Cache.add c 2 "two";
+  Alcotest.(check (option string)) "hit" (Some "one") (Cache.find c 1);
+  Alcotest.(check (option string)) "hit" (Some "two") (Cache.find c 2);
+  Alcotest.(check (option string)) "miss" None (Cache.find c 3);
+  Cache.add c 1 "uno";
+  Alcotest.(check (option string)) "replaced" (Some "uno") (Cache.find c 1);
+  Alcotest.(check int) "replace keeps one entry" 2 (Cache.length c)
+
+let test_eviction_order () =
+  let c = Cache.create ~capacity:3 () in
+  Cache.add c 1 "a";
+  Cache.add c 2 "b";
+  Cache.add c 3 "c";
+  (* touch 1: now 2 is the least recently used *)
+  ignore (Cache.find c 1);
+  Cache.add c 4 "d";
+  Alcotest.(check (option string)) "2 evicted" None (Cache.peek c 2);
+  Alcotest.(check (option string)) "1 survived (was touched)" (Some "a")
+    (Cache.peek c 1);
+  Alcotest.(check (option string)) "3 survived" (Some "c") (Cache.peek c 3);
+  Alcotest.(check (option string)) "4 present" (Some "d") (Cache.peek c 4);
+  Alcotest.(check int) "one eviction" 1 (Cache.evictions c);
+  Alcotest.(check (list (pair int string)))
+    "recency order (MRU first)"
+    [ (4, "d"); (1, "a"); (3, "c") ]
+    (Cache.to_list c)
+
+let test_peek_is_recency_neutral () =
+  let c = Cache.create ~capacity:2 () in
+  Cache.add c 1 "a";
+  Cache.add c 2 "b";
+  ignore (Cache.peek c 1);
+  (* peek must not have promoted 1 *)
+  Cache.add c 3 "c";
+  Alcotest.(check (option string)) "1 evicted despite peek" None (Cache.peek c 1)
+
+let test_capacity_one () =
+  let c = Cache.create ~capacity:1 () in
+  Cache.add c 1 "a";
+  Cache.add c 2 "b";
+  Alcotest.(check int) "length 1" 1 (Cache.length c);
+  Alcotest.(check (option string)) "latest wins" (Some "b") (Cache.peek c 2);
+  Alcotest.(check int) "evicted" 1 (Cache.evictions c)
+
+let test_clear () =
+  let c = Cache.create ~capacity:2 () in
+  Cache.add c 1 "a";
+  Cache.add c 2 "b";
+  Cache.add c 3 "c";
+  Cache.clear c;
+  Alcotest.(check int) "empty" 0 (Cache.length c);
+  Alcotest.(check int) "evictions reset" 0 (Cache.evictions c);
+  Alcotest.(check (option string)) "gone" None (Cache.find c 2)
+
+(* {1 Model-based qcheck properties}
+
+   Reference model: an MRU-first association list with the same
+   interface. After an arbitrary operation sequence the real cache must
+   agree with the model on contents, recency order, and eviction count. *)
+
+type op = Add of int * int | Find of int
+
+let model_add capacity (entries, evictions) k v =
+  let entries = (k, v) :: List.remove_assoc k entries in
+  if List.length entries > capacity then
+    (List.filteri (fun i _ -> i < capacity) entries, evictions + 1)
+  else (entries, evictions)
+
+let model_find (entries, evictions) k =
+  match List.assoc_opt k entries with
+  | None -> (entries, evictions)
+  | Some v -> ((k, v) :: List.remove_assoc k entries, evictions)
+
+let op_gen =
+  QCheck2.Gen.(
+    oneof
+      [
+        map2 (fun k v -> Add (k, v)) (int_range 0 9) (int_range 0 99);
+        map (fun k -> Find k) (int_range 0 9);
+      ])
+
+let scenario_gen =
+  QCheck2.Gen.(pair (int_range 1 6) (list_size (int_range 0 80) op_gen))
+
+let run_scenario (capacity, ops) =
+  let cache = Cache.create ~capacity () in
+  let model =
+    List.fold_left
+      (fun model op ->
+        match op with
+        | Add (k, v) ->
+          Cache.add cache k v;
+          model_add capacity model k v
+        | Find k ->
+          let real = Cache.find cache k in
+          let model = model_find model k in
+          assert (real = List.assoc_opt k (fst model));
+          model)
+      ([], 0) ops
+  in
+  (cache, model)
+
+let prop_capacity_never_exceeded (capacity, ops) =
+  let cache, _ = run_scenario (capacity, ops) in
+  Cache.length cache <= capacity
+
+let prop_matches_model (capacity, ops) =
+  let cache, (entries, evictions) = run_scenario (capacity, ops) in
+  Cache.to_list cache = entries && Cache.evictions cache = evictions
+
+let suite =
+  [
+    case "hit after put" test_hit_after_put;
+    case "least recently used is evicted first" test_eviction_order;
+    case "peek does not refresh recency" test_peek_is_recency_neutral;
+    case "capacity one" test_capacity_one;
+    case "clear resets everything" test_clear;
+    qcheck "capacity never exceeded" scenario_gen prop_capacity_never_exceeded;
+    qcheck "contents, recency order and evictions match the model"
+      scenario_gen prop_matches_model;
+  ]

@@ -13,8 +13,10 @@ let () =
       ("completion", Test_completion.suite);
       ("parser", Test_parser.suite);
       ("library", Test_library.suite);
+      ("lru", Test_lru.suite);
       ("memo", Test_memo.suite);
       ("interp", Test_interp.suite);
+      ("engine", Test_engine.suite);
       ("model", Test_model.suite);
       ("proof", Test_proof.suite);
       ("queue", Test_queue.suite);

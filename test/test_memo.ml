@@ -47,8 +47,12 @@ let test_memo_interp () =
       Queue_spec.front Queue_spec.new_;
     ];
   match Interp.memo_stats memoized with
-  | Some (_, misses, entries) ->
-    Alcotest.(check bool) "worked" true (misses > 0 && entries > 0)
+  | Some s ->
+    Alcotest.(check bool) "worked" true
+      (s.Interp.misses > 0 && s.Interp.entries > 0);
+    Alcotest.(check int) "no evictions yet" 0 s.Interp.evictions;
+    Alcotest.(check int) "default capacity" Rewrite.Memo.default_capacity
+      s.Interp.capacity
   | None -> Alcotest.fail "memoized session lost its memo"
 
 let test_memo_error_propagation () =
@@ -79,6 +83,44 @@ let test_memo_fuel () =
   | exception Rewrite.Out_of_fuel _ -> ()
   | t -> Alcotest.failf "terminated at %a" Term.pp t
 
+(* the memo is now a bounded LRU: a tiny capacity forces evictions, and
+   eviction must never change any answer *)
+let test_memo_bounded_agrees () =
+  let memo = Rewrite.Memo.create ~capacity:8 () in
+  let u = Enum.universe Queue_spec.spec in
+  let sys = Rewrite.of_spec Queue_spec.spec in
+  List.iter
+    (fun q ->
+      List.iter
+        (fun t ->
+          check_term
+            (Fmt.str "agree under eviction on %a" Term.pp t)
+            (Rewrite.normalize sys t)
+            (Rewrite.normalize_memo ~memo sys t);
+          Alcotest.(check bool) "size bounded" true (Rewrite.Memo.size memo <= 8))
+        [ Queue_spec.front q; Queue_spec.remove q; Queue_spec.is_empty q ])
+    (Enum.terms_up_to u Queue_spec.sort ~size:9);
+  Alcotest.(check bool) "evictions happened" true
+    (Rewrite.Memo.evictions memo > 0);
+  Alcotest.(check int) "capacity reported" 8 (Rewrite.Memo.capacity memo);
+  Rewrite.Memo.clear memo;
+  Alcotest.(check int) "clear resets evictions" 0 (Rewrite.Memo.evictions memo)
+
+let test_memo_count () =
+  let memo = Rewrite.Memo.create () in
+  let sys = Rewrite.of_spec Queue_spec.spec in
+  let q = Queue_spec.of_items [ Builtins.item 1; Builtins.item 2 ] in
+  let nf1, steps1 = Rewrite.normalize_memo_count ~memo sys (Queue_spec.front q) in
+  Alcotest.(check bool) "first run rewrites" true (steps1 > 0);
+  let nf2, steps2 = Rewrite.normalize_memo_count ~memo sys (Queue_spec.front q) in
+  check_term "same normal form" nf1 nf2;
+  Alcotest.(check int) "cached run is free" 0 steps2
+
+let test_memo_invalid_capacity () =
+  match Rewrite.Memo.create ~capacity:0 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "capacity 0 accepted"
+
 let suite =
   [
     case "memoized normalization agrees with plain" test_memo_agrees_with_plain;
@@ -87,4 +129,7 @@ let suite =
     case "error propagation through the cache" test_memo_error_propagation;
     case "open terms are cached correctly" test_memo_open_terms;
     case "fuel still bounds memoized runs" test_memo_fuel;
+    case "eviction never changes answers" test_memo_bounded_agrees;
+    case "normalize_memo_count counts applications" test_memo_count;
+    case "non-positive capacity rejected" test_memo_invalid_capacity;
   ]
