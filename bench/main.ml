@@ -518,6 +518,85 @@ let e9 () =
     totals.Engine.Session.hits totals.Engine.Session.misses
     totals.Engine.Session.entries
 
+(* {1 E10 - engine: multi-client serving over the socket} *)
+
+let e10_connect path =
+  let deadline = Unix.gettimeofday () +. 10. in
+  let rec go () =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_UNIX path) with
+    | () -> fd
+    | exception Unix.Unix_error ((Unix.ENOENT | Unix.ECONNREFUSED), _, _) ->
+      Unix.close fd;
+      if Unix.gettimeofday () > deadline then failwith "e10: no server";
+      Thread.delay 0.01;
+      go ()
+  in
+  go ()
+
+let e10_client path requests =
+  let fd = e10_connect path in
+  let ic = Unix.in_channel_of_descr fd and oc = Unix.out_channel_of_descr fd in
+  List.iter
+    (fun line ->
+      output_string oc line;
+      output_char oc '\n';
+      flush oc;
+      ignore (input_line ic))
+    requests;
+  Unix.close fd
+
+let e10 () =
+  Fmt.pr "@.=== E10: multi-client serving over the socket ===@.";
+  Fmt.pr
+    "(the same warm request mix split over k connections; OCaml systhreads \
+     interleave@.";
+  Fmt.pr
+    " rather than parallelize, so this measures per-connection overhead and \
+     locking cost)@.";
+  let path =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Fmt.str "adtc-bench-%d.sock" (Unix.getpid ()))
+  in
+  let session = Engine.Session.create [ Queue_spec.spec ] in
+  let stop = ref false in
+  let server =
+    Thread.create
+      (fun () ->
+        Engine.Server.serve_socket ~handle_signals:false ~stop session ~path)
+      ()
+  in
+  let total = 400 in
+  let n_mix = List.length e9_requests in
+  let script n = List.init n (fun i -> List.nth e9_requests (i mod n_mix)) in
+  let run_clients k =
+    let per = total / k in
+    let clients =
+      List.init k (fun _ -> Thread.create (fun () -> e10_client path (script per)) ())
+    in
+    List.iter Thread.join clients
+  in
+  (* one warm-up pass so every shape replays against the same warm cache *)
+  run_clients 1;
+  let rows =
+    List.map
+      (fun k ->
+        let (), elapsed = seconds (fun () -> run_clients k) in
+        (Fmt.str "e10/serve/clients=%d" k, elapsed *. 1e9 /. float_of_int total))
+      [ 1; 2; 4; 8 ]
+  in
+  stop := true;
+  Thread.join server;
+  json_rows := !json_rows @ rows;
+  List.iter
+    (fun (name, ns) -> Fmt.pr "  %-46s %s/op@." name (pretty_ns ns))
+    rows;
+  let totals = Engine.Session.cache_totals session in
+  Fmt.pr "  shared session after run: hits=%d misses=%d entries=%d@."
+    totals.Engine.Session.hits totals.Engine.Session.misses
+    totals.Engine.Session.entries
+
 let () =
   Fmt.pr "Reproduction benches for Guttag, 'Abstract Data Types and the Development of Data Structures' (CACM 1977)@.";
   let json_path = ref None in
@@ -539,5 +618,6 @@ let () =
   e7 ();
   e8 ();
   e9 ();
+  e10 ();
   Option.iter write_json !json_path;
   Fmt.pr "@.done.@."

@@ -372,25 +372,42 @@ let serve_cmd =
       & info [ "socket" ] ~docv:"PATH"
           ~doc:
             "Listen on a Unix domain socket instead of serving the \
-             stdio pipe; connections share one session (one cache, one \
-             set of metrics).")
+             stdio pipe; each connection is served by its own thread and \
+             all connections share one session (one cache, one set of \
+             metrics).")
   in
-  let run libs files fuel timeout cache_capacity socket =
+  let max_clients_arg =
+    Arg.(
+      value
+      & opt int Engine.Server.default_max_clients
+      & info [ "max-clients" ] ~docv:"N"
+          ~doc:
+            "Maximum concurrent socket connections; a connection beyond \
+             the cap is answered $(b,error busy) and closed (only \
+             meaningful with $(b,--socket)).")
+  in
+  let run libs files fuel timeout cache_capacity socket max_clients =
     let session = make_session libs files ~fuel ~timeout ~cache_capacity in
     match socket with
-    | Some path -> Engine.Server.serve_socket session ~path
+    | Some path -> (
+      try Engine.Server.serve_socket ~max_clients session ~path
+      with Failure message | Invalid_argument message ->
+        Fmt.epr "adtc serve: %s@." message;
+        exit 2)
     | None -> Engine.Server.serve session stdin stdout
   in
   let doc =
     "Serve normalize/check/skeletons/prove/stats requests over a \
-     line-oriented protocol, with a shared bounded normal-form cache and \
-     per-request limits."
+     line-oriented protocol, with a shared bounded normal-form cache, \
+     per-request limits, and (over a socket) one thread per connection, \
+     graceful SIGINT/SIGTERM drain, and busy backpressure beyond \
+     $(b,--max-clients)."
   in
   Cmd.v
     (Cmd.info "serve" ~doc)
     Term.(
       const run $ lib_arg $ spec_files_arg $ engine_fuel_arg $ timeout_arg
-      $ cache_capacity_arg $ socket_arg)
+      $ cache_capacity_arg $ socket_arg $ max_clients_arg)
 
 let batch_cmd =
   let requests_arg =

@@ -8,11 +8,14 @@ type config = {
   max_induction_depth : int;
   case_candidates : int;
   max_goals : int;
+  poll : (unit -> unit) option;
 }
 
+let default_fuel = 50_000
+
 let config ?(extra_rules = []) ?(generators = []) ?(invariants = [])
-    ?(fuel = 50_000) ?(max_case_depth = 8) ?(max_induction_depth = 1)
-    ?(case_candidates = 4) ?(max_goals = 2_000) spec =
+    ?(fuel = default_fuel) ?(max_case_depth = 8) ?(max_induction_depth = 1)
+    ?(case_candidates = 4) ?(max_goals = 2_000) ?poll spec =
   {
     spec;
     extra_rules;
@@ -23,6 +26,7 @@ let config ?(extra_rules = []) ?(generators = []) ?(invariants = [])
     max_induction_depth;
     case_candidates;
     max_goals;
+    poll;
   }
 
 type proof =
@@ -173,7 +177,7 @@ let rec prove_goal cfg sys ~minted ~budget ~case_depth ~ind_depth (lhs, rhs) =
   if !budget <= 0 then raise Search_exhausted;
   decr budget;
   let normalize t =
-    match Rewrite.normalize_opt ~fuel:cfg.fuel sys t with
+    match Rewrite.normalize_opt ~fuel:cfg.fuel ?poll:cfg.poll sys t with
     | Some nf -> nf
     | None -> t
   in
@@ -335,8 +339,8 @@ let disprove cfg ~universe ~size (lhs, rhs) =
     (fun sub ->
       let l = Subst.apply sub lhs and r = Subst.apply sub rhs in
       match
-        ( Rewrite.normalize_opt ~fuel:cfg.fuel sys l,
-          Rewrite.normalize_opt ~fuel:cfg.fuel sys r )
+        ( Rewrite.normalize_opt ~fuel:cfg.fuel ?poll:cfg.poll sys l,
+          Rewrite.normalize_opt ~fuel:cfg.fuel ?poll:cfg.poll sys r )
       with
       | Some ln, Some rn
         when (not (Term.equal ln rn))

@@ -45,7 +45,14 @@ type config = {
       (** Total subgoals the search may visit before giving up with
           [Unknown] — the guarantee that the prover terminates even on
           unprovable goals whose case analysis would otherwise explode. *)
+  poll : (unit -> unit) option;
+      (** Cooperative deadline hook, threaded into every normalization the
+          search performs ({!Rewrite}); whatever it raises aborts the whole
+          proof attempt and propagates to the caller. *)
 }
+
+val default_fuel : int
+(** Per-normalization step budget of {!config} when [fuel] is omitted. *)
 
 val config :
   ?extra_rules:Rewrite.rule list ->
@@ -56,6 +63,7 @@ val config :
   ?max_induction_depth:int ->
   ?case_candidates:int ->
   ?max_goals:int ->
+  ?poll:(unit -> unit) ->
   Spec.t ->
   config
 

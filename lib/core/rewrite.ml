@@ -160,7 +160,10 @@ let outermost ~on_apply sys term =
 
 exception Fuel_exhausted
 
-let run ?(strategy = Innermost) ?(fuel = default_fuel) ~on_apply sys term =
+let no_poll () = ()
+
+let run ?(strategy = Innermost) ?(fuel = default_fuel) ?(poll = no_poll)
+    ~on_apply sys term =
   let remaining = ref fuel in
   let counted r =
     (* a dedicated exception: a caller-supplied [on_apply] may raise its
@@ -168,6 +171,7 @@ let run ?(strategy = Innermost) ?(fuel = default_fuel) ~on_apply sys term =
        misreported as fuel exhaustion *)
     if !remaining <= 0 then raise Fuel_exhausted;
     decr remaining;
+    poll ();
     on_apply r
   in
   try
@@ -176,17 +180,17 @@ let run ?(strategy = Innermost) ?(fuel = default_fuel) ~on_apply sys term =
     | Outermost -> outermost ~on_apply:counted sys term
   with Fuel_exhausted -> raise (Out_of_fuel term)
 
-let normalize ?strategy ?fuel sys term =
-  run ?strategy ?fuel ~on_apply:(fun _ -> ()) sys term
+let normalize ?strategy ?fuel ?poll sys term =
+  run ?strategy ?fuel ?poll ~on_apply:(fun _ -> ()) sys term
 
-let normalize_opt ?strategy ?fuel sys term =
-  match normalize ?strategy ?fuel sys term with
+let normalize_opt ?strategy ?fuel ?poll sys term =
+  match normalize ?strategy ?fuel ?poll sys term with
   | t -> Some t
   | exception Out_of_fuel _ -> None
 
-let normalize_count ?strategy ?fuel sys term =
+let normalize_count ?strategy ?fuel ?poll sys term =
   let n = ref 0 in
-  let t = run ?strategy ?fuel ~on_apply:(fun _ -> incr n) sys term in
+  let t = run ?strategy ?fuel ?poll ~on_apply:(fun _ -> incr n) sys term in
   (t, !n)
 
 let joinable ?strategy ?fuel sys a b =
@@ -230,7 +234,8 @@ module Memo = struct
   let evictions m = Term_lru.evictions m.cache
 end
 
-let normalize_memo_count ?(fuel = default_fuel) ~memo sys term =
+let normalize_memo_count ?(fuel = default_fuel) ?(poll = no_poll) ~memo sys
+    term =
   let remaining = ref fuel in
   let rec norm t =
     match t with
@@ -260,6 +265,7 @@ let normalize_memo_count ?(fuel = default_fuel) ~memo sys term =
             | Some (r, s) ->
               if !remaining <= 0 then raise (Out_of_fuel t);
               decr remaining;
+              poll ();
               norm (Subst.apply s r.rhs)
         in
         Term_lru.add memo.Memo.cache t nf;
@@ -268,8 +274,8 @@ let normalize_memo_count ?(fuel = default_fuel) ~memo sys term =
   let nf = norm term in
   (nf, fuel - !remaining)
 
-let normalize_memo ?fuel ~memo sys term =
-  fst (normalize_memo_count ?fuel ~memo sys term)
+let normalize_memo ?fuel ?poll ~memo sys term =
+  fst (normalize_memo_count ?fuel ?poll ~memo sys term)
 
 type event = {
   position : Term.position;

@@ -48,16 +48,44 @@ exception Out_of_fuel of Term.t
 
 val default_fuel : int
 
+(** {2 The deadline hook}
+
+    Every fuel-metered normalization entry point accepts an optional
+    [poll] callback, invoked once per rule application (at the same
+    site where fuel is charged). A caller enforcing a wall-clock budget
+    — the evaluation engine's per-request deadline — passes a closure
+    that checks a monotonic deadline and raises to abort; the exception
+    propagates out of the normalization untouched. Signal-based
+    interruption is unsound once the engine serves requests from
+    multiple threads, so interruption is cooperative: the rewriting
+    loop reaches a poll point constantly, bounded computations between
+    polls stay bounded. Omitting [poll] costs nothing. *)
+
 val normalize :
-  ?strategy:strategy -> ?fuel:int -> system -> Term.t -> Term.t
+  ?strategy:strategy ->
+  ?fuel:int ->
+  ?poll:(unit -> unit) ->
+  system ->
+  Term.t ->
+  Term.t
 (** Raises {!Out_of_fuel}. *)
 
 val normalize_opt :
-  ?strategy:strategy -> ?fuel:int -> system -> Term.t -> Term.t option
+  ?strategy:strategy ->
+  ?fuel:int ->
+  ?poll:(unit -> unit) ->
+  system ->
+  Term.t ->
+  Term.t option
 (** [None] when the fuel runs out. *)
 
 val normalize_count :
-  ?strategy:strategy -> ?fuel:int -> system -> Term.t -> Term.t * int
+  ?strategy:strategy ->
+  ?fuel:int ->
+  ?poll:(unit -> unit) ->
+  system ->
+  Term.t ->
+  Term.t * int
 (** Also returns the number of rule applications performed (builtin
     error/ite steps are not counted). *)
 
@@ -123,12 +151,23 @@ module Memo : sig
 end
 
 val normalize_memo :
-  ?fuel:int -> memo:Memo.t -> system -> Term.t -> Term.t
+  ?fuel:int ->
+  ?poll:(unit -> unit) ->
+  memo:Memo.t ->
+  system ->
+  Term.t ->
+  Term.t
 (** Leftmost-innermost normalization through the cache. Raises
-    {!Out_of_fuel}. *)
+    {!Out_of_fuel}. An abort raised by [poll] leaves the cache sound:
+    every entry added so far is a true normal form. *)
 
 val normalize_memo_count :
-  ?fuel:int -> memo:Memo.t -> system -> Term.t -> Term.t * int
+  ?fuel:int ->
+  ?poll:(unit -> unit) ->
+  memo:Memo.t ->
+  system ->
+  Term.t ->
+  Term.t * int
 (** {!normalize_memo}, also returning the number of rule applications
     performed (a fully cached term reports 0). *)
 

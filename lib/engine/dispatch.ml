@@ -17,12 +17,22 @@ let parse_term ?vars spec src k =
   | Ok term -> k term
   | Error e -> error "parse" "%s" (Protocol.sanitize (Fmt.str "%a" Parser.pp_error e))
 
-let do_normalize session entry term_src req_fuel =
+let charge_fuel session steps =
+  let metrics = Session.metrics session in
+  Metrics.locked metrics (fun () ->
+      metrics.Metrics.fuel_spent <- metrics.Metrics.fuel_spent + steps)
+
+let do_normalize session entry term_src req_fuel poll =
   parse_term entry.Session.spec term_src @@ fun term ->
   let fuel = Limits.effective_fuel (Session.limits session) req_fuel in
-  let value, steps = Interp.eval_count ~fuel entry.Session.interp term in
-  let metrics = Session.metrics session in
-  metrics.Metrics.fuel_spent <- metrics.Metrics.fuel_spent + steps;
+  (* the entry lock serializes evaluations on this specification: the
+     shared memo cache is mutated throughout the rewrite, and a poll abort
+     (deadline) must release the lock, which [Mutex.protect] guarantees *)
+  let value, steps =
+    Mutex.protect entry.Session.lock (fun () ->
+        Interp.eval_count ~fuel ?poll entry.Session.interp term)
+  in
+  charge_fuel session steps;
   match value with
   | Interp.Diverged -> error "fuel" "normalization exceeded %d rewrite steps" fuel
   | value ->
@@ -51,13 +61,29 @@ let do_skeletons entry =
               Protocol.sanitize (Fmt.str "%a" Term.pp p.Heuristics.missing_lhs))
             prompts))
 
-let do_prove entry vars lhs_src rhs_src fuel =
+let do_prove session entry vars lhs_src rhs_src req_fuel poll =
   let vars = List.map (fun (name, sort) -> (name, Sort.v sort)) vars in
   parse_term ~vars entry.Session.spec lhs_src @@ fun lhs ->
   parse_term ~vars entry.Session.spec rhs_src @@ fun rhs ->
-  let config = Proof.config ?fuel entry.Session.spec in
+  (* the Limits contract: a request's fuel=N may lower the session ceiling,
+     never raise it — the prover's own default applies when nothing is
+     requested, itself capped by the ceiling *)
+  let fuel =
+    Limits.effective_fuel (Session.limits session)
+      (Some (Option.value ~default:Proof.default_fuel req_fuel))
+  in
+  (* every rule application inside the proof search reaches the poll hook,
+     so it both enforces the deadline and meters the fuel actually spent *)
+  let steps = ref 0 in
+  let counting () =
+    incr steps;
+    match poll with Some p -> p () | None -> ()
+  in
+  let config = Proof.config ~fuel ~poll:counting entry.Session.spec in
   let name = Spec.name entry.Session.spec in
-  match Proof.prove config (lhs, rhs) with
+  let outcome = Proof.prove config (lhs, rhs) in
+  charge_fuel session !steps;
+  match outcome with
   | Proof.Proved proof ->
     ok "prove %s proved size=%d depth=%d" name (Proof.proof_size proof)
       (Proof.proof_depth proof)
@@ -65,33 +91,42 @@ let do_prove entry vars lhs_src rhs_src fuel =
 
 let do_stats session verbose =
   let m = Session.metrics session in
+  let snapshot =
+    Metrics.locked m (fun () ->
+        Fmt.str
+          "stats requests=%d normalize=%d check=%d skeletons=%d prove=%d \
+           stats=%d errors=%d fuel=%d"
+          m.Metrics.requests m.Metrics.normalize m.Metrics.check
+          m.Metrics.skeletons m.Metrics.prove m.Metrics.stats m.Metrics.errors
+          m.Metrics.fuel_spent)
+  in
   let c = Session.cache_totals session in
   let base =
     Fmt.str
-      "stats requests=%d normalize=%d check=%d skeletons=%d prove=%d \
-       stats=%d errors=%d fuel=%d cache.hits=%d cache.misses=%d \
-       cache.evictions=%d cache.entries=%d cache.capacity=%d"
-      m.Metrics.requests m.Metrics.normalize m.Metrics.check
-      m.Metrics.skeletons m.Metrics.prove m.Metrics.stats m.Metrics.errors
-      m.Metrics.fuel_spent c.Session.hits c.Session.misses c.Session.evictions
+      "%s cache.hits=%d cache.misses=%d cache.evictions=%d cache.entries=%d \
+       cache.capacity=%d"
+      snapshot c.Session.hits c.Session.misses c.Session.evictions
       c.Session.entries c.Session.capacity
   in
   (* latency is real time: only printed on demand, so that batch replays
      stay deterministic *)
   if verbose then
     Protocol.Ok_response
-      (Fmt.str "%s latency.total_ms=%.3f latency.max_ms=%.3f" base
-         (m.Metrics.latency_total *. 1000.)
-         (m.Metrics.latency_max *. 1000.))
+      (Metrics.locked m (fun () ->
+           Fmt.str "%s latency.total_ms=%.3f latency.max_ms=%.3f" base
+             (m.Metrics.latency_total *. 1000.)
+             (m.Metrics.latency_max *. 1000.)))
   else Protocol.Ok_response base
 
-let handle_request session = function
+let handle_request ?poll session = function
   | Protocol.Normalize { spec; term; fuel } ->
-    with_spec session spec @@ fun entry -> do_normalize session entry term fuel
+    with_spec session spec @@ fun entry ->
+    do_normalize session entry term fuel poll
   | Protocol.Check { spec } -> with_spec session spec do_check
   | Protocol.Skeletons { spec } -> with_spec session spec do_skeletons
   | Protocol.Prove { spec; vars; lhs; rhs; fuel } ->
-    with_spec session spec @@ fun entry -> do_prove entry vars lhs rhs fuel
+    with_spec session spec @@ fun entry ->
+    do_prove session entry vars lhs rhs fuel poll
   | Protocol.Stats { verbose } -> do_stats session verbose
   | Protocol.Quit -> Protocol.Ok_response "bye"
 
@@ -100,20 +135,23 @@ let handle_line session line =
   match Protocol.parse line with
   | Ok None -> Silent
   | Error message ->
-    metrics.Metrics.requests <- metrics.Metrics.requests + 1;
-    metrics.Metrics.errors <- metrics.Metrics.errors + 1;
+    Metrics.locked metrics (fun () ->
+        metrics.Metrics.requests <- metrics.Metrics.requests + 1;
+        metrics.Metrics.errors <- metrics.Metrics.errors + 1);
     Reply (Protocol.render (Protocol.Error_response { code = "protocol"; message }))
   | Ok (Some Protocol.Quit) ->
-    metrics.Metrics.requests <- metrics.Metrics.requests + 1;
+    Metrics.locked metrics (fun () ->
+        metrics.Metrics.requests <- metrics.Metrics.requests + 1);
     Closed
   | Ok (Some request) ->
-    metrics.Metrics.requests <- metrics.Metrics.requests + 1;
-    Metrics.record_kind metrics (Protocol.kind_name request);
+    Metrics.locked metrics (fun () ->
+        metrics.Metrics.requests <- metrics.Metrics.requests + 1;
+        Metrics.record_kind metrics (Protocol.kind_name request));
     let started = Unix.gettimeofday () in
     let response =
       match
-        Limits.with_timeout (Session.limits session).Limits.timeout (fun () ->
-            handle_request session request)
+        Limits.with_deadline (Session.limits session).Limits.timeout
+          (fun poll -> handle_request ?poll session request)
       with
       | Ok response -> response
       | Error `Timeout ->
@@ -124,9 +162,11 @@ let handle_line session line =
            only this request *)
         error "internal" "%s" (Protocol.sanitize (Printexc.to_string e))
     in
-    Metrics.observe_latency metrics (Unix.gettimeofday () -. started);
-    (match response with
-    | Protocol.Error_response _ ->
-      metrics.Metrics.errors <- metrics.Metrics.errors + 1
-    | Protocol.Ok_response _ -> ());
+    let elapsed = Unix.gettimeofday () -. started in
+    Metrics.locked metrics (fun () ->
+        Metrics.observe_latency metrics elapsed;
+        match response with
+        | Protocol.Error_response _ ->
+          metrics.Metrics.errors <- metrics.Metrics.errors + 1
+        | Protocol.Ok_response _ -> ());
     Reply (Protocol.render response)

@@ -13,9 +13,13 @@ type outcome =
 
 val handle_line : Session.t -> string -> outcome
 (** Parse, enforce limits, evaluate, record metrics, render. Never
-    raises. *)
+    raises. Safe to call concurrently from many threads on one session:
+    evaluations on the same specification serialize on the entry lock,
+    metrics updates on the metrics lock. *)
 
-val handle_request : Session.t -> Protocol.request -> Protocol.response
+val handle_request :
+  ?poll:(unit -> unit) -> Session.t -> Protocol.request -> Protocol.response
 (** The evaluation step alone — fuel accounting included, but no
-    request/error/latency counters and no wall-clock enforcement (exposed
-    for unit tests). *)
+    request/error/latency counters (exposed for unit tests). [poll] is
+    the deadline hook handed to every metered loop the request runs;
+    {!handle_line} obtains it from {!Limits.with_deadline}. *)

@@ -13,31 +13,19 @@ let effective_fuel t = function
 
 exception Timed_out
 
-let with_timeout timeout f =
+(* The stdlib offers no monotonic clock; [Unix.gettimeofday] is what the
+   deadline is measured against. A wall-clock step (NTP slew) can lengthen
+   or shorten one request's budget, which is acceptable for a coarse
+   per-request limit — unlike the SIGALRM scheme this replaces, it can
+   never corrupt another thread's request. *)
+let now = Unix.gettimeofday
+
+let with_deadline timeout f =
   match timeout with
-  | None -> Ok (f ())
-  | Some seconds ->
-    let old_handler =
-      Sys.signal Sys.sigalrm (Sys.Signal_handle (fun _ -> raise Timed_out))
-    in
-    let disarm () =
-      ignore
-        (Unix.setitimer Unix.ITIMER_REAL
-           { Unix.it_value = 0.; it_interval = 0. });
-      Sys.set_signal Sys.sigalrm old_handler
-    in
-    ignore
-      (Unix.setitimer Unix.ITIMER_REAL
-         { Unix.it_value = seconds; it_interval = 0. });
-    (* the handler raises at the next allocation/poll point, which the
-       rewriting loop reaches constantly *)
-    match f () with
-    | result ->
-      disarm ();
-      Ok result
-    | exception Timed_out ->
-      disarm ();
-      Error `Timeout
-    | exception e ->
-      disarm ();
-      raise e
+  | None -> Ok (f None)
+  | Some seconds -> (
+    let deadline = now () +. seconds in
+    let poll () = if now () >= deadline then raise Timed_out in
+    match f (Some poll) with
+    | result -> Ok result
+    | exception Timed_out -> Error `Timeout)

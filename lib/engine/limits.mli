@@ -8,11 +8,18 @@
     - a {b fuel} budget — a rewrite-step count enforced inside the
       normalization loop (a request may lower but never raise the
       session's ceiling);
-    - a {b wall-clock} budget — a real-time alarm that interrupts work the
-      fuel metric prices badly (pathological matching, huge terms).
+    - a {b wall-clock} budget — a deadline checked cooperatively at every
+      rewrite step (the {!Adt.Rewrite} poll hook), which interrupts work
+      the fuel metric prices badly (pathological matching, huge terms).
 
     Either exhaustion yields a structured error response; the session and
-    its cache survive. *)
+    its cache survive. The deadline is cooperative rather than
+    signal-based on purpose: a [SIGALRM] handler is process-global, so
+    under the threaded server one request's alarm could fire inside
+    another request — and even single-threaded it could fire between the
+    work finishing and the alarm being disarmed, escaping as a stray
+    exception. A closure checking the clock has neither race and is
+    per-request by construction. *)
 
 type t = {
   fuel : int;  (** Per-request rewrite-step ceiling. *)
@@ -29,8 +36,13 @@ val effective_fuel : t -> int option -> int
 
 exception Timed_out
 
-val with_timeout : float option -> (unit -> 'a) -> ('a, [ `Timeout ]) result
-(** Runs the thunk under a real-time alarm ([Unix.setitimer]); restores
-    the previous signal handler and timer state afterwards. [None] means
-    no limit. Not reentrant (the engine dispatches one request at a
-    time). *)
+val with_deadline :
+  float option -> ((unit -> unit) option -> 'a) -> ('a, [ `Timeout ]) result
+(** [with_deadline timeout f] calls [f poll] where [poll] (to be invoked
+    from inside the metered loop — pass it to {!Adt.Interp.eval_count} or
+    {!Adt.Proof.config}) raises {!Timed_out} once [timeout] seconds have
+    elapsed; the escape is caught here and reported as [Error `Timeout].
+    [f None] is called when [timeout] is [None] — no limit. Work that
+    completes without ever polling always returns [Ok]: a deadline can
+    only interrupt a poll point, never misclassify a finished result.
+    Thread-safe and reentrant. *)

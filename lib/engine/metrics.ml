@@ -1,4 +1,5 @@
 type t = {
+  lock : Mutex.t;
   mutable requests : int;
   mutable normalize : int;
   mutable check : int;
@@ -13,6 +14,7 @@ type t = {
 
 let create () =
   {
+    lock = Mutex.create ();
     requests = 0;
     normalize = 0;
     check = 0;
@@ -24,6 +26,8 @@ let create () =
     latency_total = 0.;
     latency_max = 0.;
   }
+
+let locked t f = Mutex.protect t.lock f
 
 let record_kind t = function
   | "normalize" -> t.normalize <- t.normalize + 1

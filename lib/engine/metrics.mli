@@ -2,11 +2,14 @@
 
     A long-lived evaluation service must be observable: the dispatcher
     counts requests by kind, error responses, rewrite steps spent, and
-    wall-clock latency. Counters are plain mutable fields — the engine is
-    single-threaded per session — and are queryable over the wire through
+    wall-clock latency. Counters are plain mutable fields shared by every
+    connection thread of the server, so all reads and writes must go
+    through {!locked}; the counter updates are tiny, so one mutex for the
+    whole record costs nothing. They are queryable over the wire through
     the [stats] request ({!Dispatch}). *)
 
 type t = {
+  lock : Mutex.t;  (** Guards every mutable field below. *)
   mutable requests : int;  (** Every request line, malformed ones included. *)
   mutable normalize : int;
   mutable check : int;
@@ -15,15 +18,21 @@ type t = {
   mutable stats : int;
   mutable errors : int;  (** Error responses sent. *)
   mutable fuel_spent : int;
-      (** Total rewrite-rule applications across all requests. *)
+      (** Total rewrite-rule applications across all requests — [prove]
+          requests included, each rule application inside the proof search
+          counting once. *)
   mutable latency_total : float;  (** Seconds, summed over requests. *)
   mutable latency_max : float;
 }
 
 val create : unit -> t
 
+val locked : t -> (unit -> 'a) -> 'a
+(** Runs the thunk holding [lock]; released on exception. *)
+
 val record_kind : t -> string -> unit
 (** Bumps the counter named by {!Protocol.kind_name}; unknown names only
-    count towards [requests]. *)
+    count towards [requests]. Call under {!locked}. *)
 
 val observe_latency : t -> float -> unit
+(** Call under {!locked}. *)

@@ -18,8 +18,104 @@ let serve ?(echo = false) session ic oc =
   in
   loop ()
 
-let serve_socket session ~path =
-  (try Unix.unlink path with Unix.Unix_error _ -> ());
+(* {1 The concurrent socket server} *)
+
+let default_max_clients = 64
+
+(* Active connections, so shutdown can drain them: [shutdown SHUTDOWN_RECEIVE]
+   forces end-of-file on a worker blocked reading its next request, while a
+   worker mid-request finishes and answers before it notices — in-flight work
+   drains, idle connections close. *)
+type registry = {
+  lock : Mutex.t;
+  done_ : Condition.t;  (** Signalled whenever a worker retires. *)
+  active : (int, Unix.file_descr) Hashtbl.t;
+  mutable next_id : int;
+}
+
+let admit reg ~max_clients client =
+  Mutex.protect reg.lock (fun () ->
+      if Hashtbl.length reg.active >= max_clients then None
+      else begin
+        let id = reg.next_id in
+        reg.next_id <- id + 1;
+        Hashtbl.replace reg.active id client;
+        Some id
+      end)
+
+let retire reg id =
+  Mutex.protect reg.lock (fun () ->
+      Hashtbl.remove reg.active id;
+      Condition.broadcast reg.done_)
+
+let drain reg =
+  Mutex.protect reg.lock (fun () ->
+      Hashtbl.iter
+        (fun _ fd ->
+          try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE
+          with Unix.Unix_error _ -> ())
+        reg.active;
+      while Hashtbl.length reg.active > 0 do
+        Condition.wait reg.done_ reg.lock
+      done)
+
+let send_line fd line =
+  let bytes = Bytes.of_string (line ^ "\n") in
+  let n = Bytes.length bytes in
+  let rec go off =
+    if off < n then
+      match Unix.write fd bytes off (n - off) with
+      | written -> go (off + written)
+      | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> ()
+  in
+  go 0
+
+let busy_line max_clients =
+  Protocol.render
+    (Protocol.Error_response
+       {
+         code = "busy";
+         message =
+           Fmt.str "server is at capacity (max-clients=%d); retry later"
+             max_clients;
+       })
+
+(* One client, one thread. A disconnect — mid-response included — must drop
+   this client only: SIGPIPE is ignored process-wide ([serve_socket]), so a
+   write into a closed connection surfaces as an exception caught here. *)
+let handle_client session client =
+  let ic = Unix.in_channel_of_descr client in
+  let oc = Unix.out_channel_of_descr client in
+  (try serve session ic oc with
+  | Sys_error _ | End_of_file
+  | Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _)
+    -> ()
+  | e ->
+    Fmt.epr "adtc engine: client handler died: %s@." (Printexc.to_string e));
+  (try flush oc with Sys_error _ -> ());
+  try Unix.close client with Unix.Unix_error _ -> ()
+
+let refuse_non_socket path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_SOCK; _ } -> Unix.unlink path
+  | _ ->
+    failwith
+      (Fmt.str "%s exists and is not a socket; refusing to replace it" path)
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+
+let serve_socket ?(max_clients = default_max_clients) ?(handle_signals = true)
+    ?(stop = ref false) session ~path =
+  if max_clients < 1 then
+    invalid_arg "Server.serve_socket: max_clients must be positive";
+  refuse_non_socket path;
+  (* without this, a client disconnecting mid-response kills the whole
+     engine with SIGPIPE before any exception can be raised *)
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  if handle_signals then
+    List.iter
+      (fun signal ->
+        Sys.set_signal signal (Sys.Signal_handle (fun _ -> stop := true)))
+      [ Sys.sigint; Sys.sigterm ];
   let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   let cleanup () =
     (try Unix.close sock with Unix.Unix_error _ -> ());
@@ -27,16 +123,43 @@ let serve_socket session ~path =
   in
   Fun.protect ~finally:cleanup @@ fun () ->
   Unix.bind sock (Unix.ADDR_UNIX path);
-  Unix.listen sock 8;
-  Fmt.epr "adtc engine: listening on %s@." path;
-  let rec accept_loop () =
-    let client, _ = Unix.accept sock in
-    let ic = Unix.in_channel_of_descr client in
-    let oc = Unix.out_channel_of_descr client in
-    (* a broken client connection must not take the engine down *)
-    (try serve session ic oc with Sys_error _ | End_of_file -> ());
-    (try flush oc with Sys_error _ -> ());
-    (try Unix.close client with Unix.Unix_error _ -> ());
-    accept_loop ()
+  Unix.listen sock (max 8 max_clients);
+  Fmt.epr "adtc engine: listening on %s (max %d clients)@." path max_clients;
+  let reg =
+    {
+      lock = Mutex.create ();
+      done_ = Condition.create ();
+      active = Hashtbl.create 16;
+      next_id = 0;
+    }
   in
-  accept_loop ()
+  (* the accept loop wakes at least every 100ms to observe [stop] — signal
+     handlers only set the flag, so no syscall restarts race with shutdown *)
+  while not !stop do
+    match Unix.select [ sock ] [] [] 0.1 with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | [], _, _ -> ()
+    | _ :: _, _, _ -> (
+      match Unix.accept sock with
+      | exception
+          Unix.Unix_error
+            ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.ECONNABORTED), _, _)
+        -> ()
+      | client, _ -> (
+        match admit reg ~max_clients client with
+        | None ->
+          (* backpressure: refuse beyond capacity with a protocol error the
+             client can parse, rather than queueing unboundedly *)
+          send_line client (busy_line max_clients);
+          (try Unix.close client with Unix.Unix_error _ -> ())
+        | Some id ->
+          ignore
+            (Thread.create
+               (fun () ->
+                 handle_client session client;
+                 retire reg id)
+               ())))
+  done;
+  Fmt.epr "adtc engine: shutting down, draining %d client(s)@."
+    (Mutex.protect reg.lock (fun () -> Hashtbl.length reg.active));
+  drain reg

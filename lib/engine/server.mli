@@ -3,16 +3,42 @@
     [serve] reads one request line at a time, answers, and flushes —
     suitable for stdio pipelines ([adtc serve]) and for expect-testable
     batch replays ([adtc batch], which echoes each input line prefixed
-    with [> ] so the transcript documents itself). [serve_socket] accepts
-    connections sequentially on a Unix domain socket; the session — its
-    caches and metrics — is shared across connections, which is the point
-    of running a long-lived engine. *)
+    with [> ] so the transcript documents itself).
+
+    [serve_socket] is the concurrent front end: every accepted connection
+    gets its own thread, all threads sharing one {!Session} — one cache,
+    one set of metrics, which is the point of running a long-lived engine.
+    The session API is the abstraction boundary (Liskov & Zilles):
+    nothing in the protocol changed when the server under it became
+    concurrent. Admission is capped; a client beyond the cap is answered
+    [error busy ...] and closed immediately — bounded backpressure
+    instead of an unbounded queue. SIGPIPE is ignored and client I/O
+    failures are contained per-connection, so a client disconnecting
+    mid-response drops that client only, never the engine. *)
 
 val serve : ?echo:bool -> Session.t -> in_channel -> out_channel -> unit
 (** Loops until end of input or a [quit] request. [echo] (default false)
     copies every input line to the output prefixed with [> ]. *)
 
-val serve_socket : Session.t -> path:string -> unit
-(** Binds [path] (unlinking a stale socket first), then accepts and
-    serves connections one at a time, forever; a client I/O failure
-    closes that connection only. The socket is unlinked on exit. *)
+val default_max_clients : int
+(** 64. *)
+
+val serve_socket :
+  ?max_clients:int ->
+  ?handle_signals:bool ->
+  ?stop:bool ref ->
+  Session.t ->
+  path:string ->
+  unit
+(** Binds [path] and serves until told to stop. A stale socket file at
+    [path] is unlinked first; anything else already there raises
+    [Failure] — the server never deletes a file it cannot have created.
+
+    [max_clients] (default {!default_max_clients}) bounds concurrent
+    connections; excess connections receive one [error busy] line and are
+    closed. [handle_signals] (default true) installs SIGINT/SIGTERM
+    handlers that set [stop]; tests pass [false] and flip [stop]
+    themselves. Once [stop] is observed (within ~100ms), the server stops
+    accepting, forces end-of-file on idle connections, waits for every
+    in-flight request to finish and be answered, and removes the socket
+    — graceful drain, not abort. *)

@@ -1,6 +1,6 @@
 open Adt
 
-type entry = { spec : Spec.t; interp : Interp.t }
+type entry = { spec : Spec.t; interp : Interp.t; lock : Mutex.t }
 
 type t = {
   registry : (string * entry) list;  (* registration order, names unique *)
@@ -20,6 +20,7 @@ let create ?fuel ?timeout ?cache_capacity specs =
             interp =
               Interp.create ~fuel:limits.Limits.fuel ~memo:true
                 ?memo_capacity:cache_capacity spec;
+            lock = Mutex.create ();
           }
         in
         (* replace an earlier registration of the same name in place *)
@@ -48,7 +49,9 @@ type cache_totals = {
 let cache_totals t =
   List.fold_left
     (fun acc (_, entry) ->
-      match Interp.memo_stats entry.interp with
+      match
+        Mutex.protect entry.lock (fun () -> Interp.memo_stats entry.interp)
+      with
       | None -> acc
       | Some s ->
         {

@@ -6,9 +6,20 @@
     bounded LRU normal-form cache ({!Adt.Rewrite.Memo}) is shared across
     every subsequent request — the warm-path payoff measured by benchmark
     E9. The session also carries the per-request limits and the metrics
-    counters. *)
+    counters.
 
-type entry = { spec : Adt.Spec.t; interp : Adt.Interp.t }
+    A session is shared by every connection thread of the socket server,
+    so its mutable state is mutex-protected: each entry's [lock] guards
+    that specification's memo cache (hold it across any evaluation that
+    reads or fills the cache — {!Dispatch} does), and {!Metrics} carries
+    its own lock. Entries for different specifications evaluate
+    concurrently; the registry itself is immutable after {!create}. *)
+
+type entry = {
+  spec : Adt.Spec.t;
+  interp : Adt.Interp.t;
+  lock : Mutex.t;  (** Guards [interp]'s shared memo cache. *)
+}
 
 type t
 

@@ -165,21 +165,91 @@ let test_bounded_session_cache () =
 
 (* {1 Limits} *)
 
-let test_with_timeout () =
-  (match Limits.with_timeout None (fun () -> 42) with
+let test_with_deadline () =
+  (match
+     Limits.with_deadline None (fun poll ->
+         Alcotest.(check bool) "no deadline, no poll" true (Option.is_none poll);
+         42)
+   with
   | Ok 42 -> ()
   | _ -> Alcotest.fail "no-limit run changed its answer");
-  (match Limits.with_timeout (Some 5.0) (fun () -> "fast") with
+  (match Limits.with_deadline (Some 5.0) (fun _ -> "fast") with
   | Ok "fast" -> ()
   | _ -> Alcotest.fail "fast run within budget failed");
+  (* the old SIGALRM disarm race, pinned as semantics: work that finishes
+     without polling is returned as its result even when it overran the
+     deadline — a timeout can only ever interrupt a poll point, so no stray
+     exception escapes after the fact to be misreported as error internal *)
+  (match
+     Limits.with_deadline (Some 0.005) (fun _ ->
+         Unix.sleepf 0.02;
+         "late but done")
+   with
+  | Ok "late but done" -> ()
+  | _ -> Alcotest.fail "finished work was misclassified");
   match
-    Limits.with_timeout (Some 0.05) (fun () ->
+    Limits.with_deadline (Some 0.02) (fun poll ->
+        let poll = Option.get poll in
         while true do
-          ignore (Sys.opaque_identity (ref 0))
+          poll ()
         done)
   with
   | Error `Timeout -> ()
-  | Ok _ -> Alcotest.fail "endless loop terminated"
+  | Ok _ -> Alcotest.fail "endless polling loop terminated"
+
+(* a queue term expensive enough to normalize that a millisecond deadline
+   fires long before fuel or completion: a modest ADD chain wrapped in a
+   stack of REMOVEs multiplies the rewrite work (every REMOVE walks the
+   whole chain) while the source term itself stays small and cheap to
+   parse *)
+let expensive_queue_term ~adds ~removes =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "FRONT(";
+  for _ = 1 to removes do
+    Buffer.add_string buf "REMOVE("
+  done;
+  for _ = 1 to adds do
+    Buffer.add_string buf "ADD("
+  done;
+  Buffer.add_string buf "NEW";
+  for i = 1 to adds do
+    Buffer.add_string buf (Fmt.str ", ITEM%d)" ((i mod 3) + 1))
+  done;
+  for _ = 1 to removes do
+    Buffer.add_char buf ')'
+  done;
+  Buffer.add_char buf ')';
+  Buffer.contents buf
+
+let test_timeout_classification () =
+  let session = queue_session ~timeout:0.001 () in
+  let term = expensive_queue_term ~adds:300 ~removes:250 in
+  let r = reply session ("normalize Queue " ^ term) in
+  check_prefix "deadline answers error timeout, never internal" "error timeout" r;
+  (* the session and its cache survive the interrupted request *)
+  Alcotest.(check string) "still serving" "ok normalize steps=1 true"
+    (reply session "normalize Queue IS_EMPTY?(NEW)")
+
+let test_prove_fuel_clamp () =
+  let goal =
+    "prove fuel=1000000 Queue q:Queue,i:Item IS_EMPTY?(REMOVE(ADD(q, i))) == \
+     IS_EMPTY?(q)"
+  in
+  (* with room the goal is provable... *)
+  let roomy = queue_session () in
+  check_prefix "provable with room" "ok prove Queue proved" (reply roomy goal);
+  (* ...but fuel=1000000 must not raise a tiny session ceiling: clamped to
+     1 step per normalization, the proof search comes back empty-handed *)
+  let tight = queue_session ~fuel:1 () in
+  check_prefix "request fuel clamped to the ceiling" "ok prove Queue unknown"
+    (reply tight goal);
+  (* prove charges its rewrite steps to the session metrics like normalize *)
+  let spent session =
+    let m = Session.metrics session in
+    Metrics.locked m (fun () -> m.Metrics.fuel_spent)
+  in
+  Alcotest.(check bool) "prove charges fuel" true (spent roomy > 0);
+  Alcotest.(check bool) "clamped prove still meters" true (spent tight > 0)
 
 let test_effective_fuel () =
   let limits = Limits.v ~fuel:100 () in
@@ -202,6 +272,9 @@ let suite =
     Helpers.case "prove requests" test_prove_request;
     Helpers.case "quit closes, comments are silent" test_quit_and_silent;
     Helpers.case "session cache stays bounded" test_bounded_session_cache;
-    Helpers.case "wall-clock timeouts interrupt runaway work" test_with_timeout;
+    Helpers.case "deadlines interrupt polling work, never finished work"
+      test_with_deadline;
+    Helpers.case "timeouts answer error timeout" test_timeout_classification;
+    Helpers.case "prove fuel is clamped and metered" test_prove_fuel_clamp;
     Helpers.case "effective fuel caps at the session ceiling" test_effective_fuel;
   ]

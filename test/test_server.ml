@@ -1,0 +1,174 @@
+(* The concurrent socket server: simultaneous clients with interleaved
+   requests each get their own correct responses; a client disconnecting
+   mid-response drops that client only; connections beyond the cap are
+   refused with [error busy]; shutdown drains gracefully; and the server
+   refuses to unlink a non-socket at its path. *)
+
+open Adt_specs
+open Engine
+
+let socket_counter = ref 0
+
+let socket_path () =
+  incr socket_counter;
+  Filename.concat
+    (Filename.get_temp_dir_name ())
+    (Fmt.str "adtc-test-%d-%d.sock" (Unix.getpid ()) !socket_counter)
+
+let start_server ?(max_clients = 8) session =
+  let path = socket_path () in
+  let stop = ref false in
+  let thread =
+    Thread.create
+      (fun () ->
+        Server.serve_socket ~max_clients ~handle_signals:false ~stop session
+          ~path)
+      ()
+  in
+  (path, stop, thread)
+
+type client = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
+
+let connect path =
+  let deadline = Unix.gettimeofday () +. 10. in
+  let rec go () =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_UNIX path) with
+    | () ->
+      (* a stuck server must fail the test, not hang the suite *)
+      Unix.setsockopt_float fd Unix.SO_RCVTIMEO 10.;
+      { fd; ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
+    | exception Unix.Unix_error ((Unix.ENOENT | Unix.ECONNREFUSED), _, _) ->
+      Unix.close fd;
+      if Unix.gettimeofday () > deadline then
+        Alcotest.fail "server socket never came up";
+      Thread.delay 0.01;
+      go ()
+  in
+  go ()
+
+let send c line =
+  output_string c.oc line;
+  output_char c.oc '\n';
+  flush c.oc
+
+let recv c =
+  match input_line c.ic with
+  | line -> line
+  | exception End_of_file -> "<eof>"
+
+let close c = try Unix.close c.fd with Unix.Unix_error _ -> ()
+
+let check_prefix what prefix got =
+  Alcotest.(check bool)
+    (Fmt.str "%s: %S starts with %S" what got prefix)
+    true
+    (String.length got >= String.length prefix
+    && String.equal (String.sub got 0 (String.length prefix)) prefix)
+
+let queue_session () = Session.create [ Queue_spec.spec ]
+
+let test_concurrent_clients () =
+  let session = queue_session () in
+  let path, stop, server = start_server session in
+  let n = 5 in
+  let clients = List.init n (fun _ -> connect path) in
+  let item_of i = (i mod 3) + 1 in
+  let round () =
+    (* every client sends before any reads: the requests are in flight
+       together, and each answer must come back on its own connection *)
+    List.iteri
+      (fun i c ->
+        send c (Fmt.str "normalize Queue FRONT(ADD(NEW, ITEM%d))" (item_of i)))
+      clients;
+    List.iteri
+      (fun i c ->
+        let r = recv c in
+        check_prefix (Fmt.str "client %d" i) "ok normalize" r;
+        Alcotest.(check bool)
+          (Fmt.str "client %d got its own answer: %S" i r)
+          true
+          (Astring_contains.contains r (Fmt.str "ITEM%d" (item_of i))))
+      clients
+  in
+  round ();
+  (* a client that pipelines a pile of requests and vanishes without
+     reading: the server's writes into the dead connection must drop this
+     client only *)
+  let rude = connect path in
+  for _ = 1 to 100 do
+    send rude "normalize Queue FRONT(REMOVE(ADD(ADD(NEW, ITEM1), ITEM2)))"
+  done;
+  close rude;
+  (* everyone else is still being served, repeatedly *)
+  round ();
+  round ();
+  (* graceful shutdown: drains the still-connected idle clients *)
+  stop := true;
+  Thread.join server;
+  List.iter close clients;
+  Alcotest.(check bool) "socket removed on exit" false (Sys.file_exists path)
+
+let test_busy_backpressure () =
+  let session = queue_session () in
+  let path, stop, server = start_server ~max_clients:1 session in
+  let a = connect path in
+  send a "normalize Queue IS_EMPTY?(NEW)";
+  check_prefix "first client is served" "ok normalize" (recv a);
+  (* the slot is taken: the next connection is refused, not queued *)
+  let b = connect path in
+  Alcotest.(check string) "busy reply"
+    "error busy server is at capacity (max-clients=1); retry later" (recv b);
+  Alcotest.(check string) "refused connection is closed" "<eof>" (recv b);
+  close b;
+  (* the first client releases its slot; a later client gets served, and
+     the session it sees is the same one (its cache is already warm) *)
+  send a "quit";
+  Alcotest.(check string) "quit" "ok bye" (recv a);
+  close a;
+  let deadline = Unix.gettimeofday () +. 10. in
+  let rec served () =
+    let c = connect path in
+    send c "normalize Queue IS_EMPTY?(NEW)";
+    let r = recv c in
+    close c;
+    if String.length r >= 10 && String.sub r 0 10 = "error busy" then begin
+      if Unix.gettimeofday () > deadline then
+        Alcotest.fail "slot never freed after quit";
+      Thread.delay 0.01;
+      served ()
+    end
+    else r
+  in
+  Alcotest.(check string) "warm cache across connections"
+    "ok normalize steps=0 true" (served ());
+  stop := true;
+  Thread.join server
+
+let test_refuses_non_socket () =
+  let path = Filename.temp_file "adtc-not-a-socket" ".txt" in
+  let oc = open_out path in
+  output_string oc "precious data\n";
+  close_out oc;
+  let session = queue_session () in
+  (match Server.serve_socket ~handle_signals:false session ~path with
+  | () -> Alcotest.fail "serve_socket bound over a regular file"
+  | exception Failure message ->
+    Alcotest.(check bool)
+      (Fmt.str "refusal names the problem: %S" message)
+      true
+      (Astring_contains.contains message "refusing"));
+  (* and the file is untouched *)
+  let ic = open_in path in
+  let line = input_line ic in
+  close_in ic;
+  Sys.remove path;
+  Alcotest.(check string) "file survived" "precious data" line
+
+let suite =
+  [
+    Helpers.case "concurrent clients get isolated responses, disconnects survive"
+      test_concurrent_clients;
+    Helpers.case "busy backpressure beyond max-clients" test_busy_backpressure;
+    Helpers.case "refuses to unlink a non-socket path" test_refuses_non_socket;
+  ]
