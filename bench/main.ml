@@ -597,6 +597,33 @@ let e10 () =
     totals.Engine.Session.hits totals.Engine.Session.misses
     totals.Engine.Session.entries
 
+(* {1 E11 - observability: the cost of tracing, off and on} *)
+
+let e11 () =
+  Fmt.pr "@.=== E11: tracing overhead on the normalize hot path ===@.";
+  Fmt.pr
+    "(tracing=off is the default dispatcher path — the [?on_rule] hook is \
+     [None], so the@.";
+  Fmt.pr
+    " per-step cost is one option test; tracing=on builds a span tree and \
+     counts per rule;@.";
+  Fmt.pr " +slowlog also records every request into the ring log)@.";
+  let plain = Engine.Session.create [ Queue_spec.spec ] in
+  let traced = Engine.Session.create ~tracing:true [ Queue_spec.spec ] in
+  let logged =
+    (* threshold 0: every request enters the ring, the worst case *)
+    Engine.Session.create ~slowlog_ms:0. [ Queue_spec.spec ]
+  in
+  e9_replay plain;
+  e9_replay traced;
+  e9_replay logged;
+  report_group "warm normalize batch of 8 requests, by observability level"
+    [
+      t "e11/tracing=off/batch" (fun () -> e9_replay plain);
+      t "e11/tracing=on/batch" (fun () -> e9_replay traced);
+      t "e11/tracing=on+slowlog/batch" (fun () -> e9_replay logged);
+    ]
+
 let () =
   Fmt.pr "Reproduction benches for Guttag, 'Abstract Data Types and the Development of Data Structures' (CACM 1977)@.";
   let json_path = ref None in
@@ -619,5 +646,6 @@ let () =
   e8 ();
   e9 ();
   e10 ();
+  e11 ();
   Option.iter write_json !json_path;
   Fmt.pr "@.done.@."

@@ -13,7 +13,9 @@
      verify-symboltable
                  replay the paper's representation-correctness proof
      serve       long-lived evaluation engine over stdio or a Unix socket
-     batch       replay an engine request script deterministically *)
+     batch       replay an engine request script deterministically
+     trace       run one engine request and print its JSON span tree
+     stats       engine metrics as a stats line or Prometheus exposition *)
 
 let read_file path =
   let ic = open_in_bin path in
@@ -359,9 +361,31 @@ let cache_capacity_arg =
           "Capacity of each specification's shared LRU normal-form cache \
            (least recently used normal forms are evicted).")
 
-let make_session libs files ~fuel ~timeout ~cache_capacity =
+let slowlog_ms_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "slowlog-ms" ] ~docv:"MS"
+        ~doc:
+          "Record requests at least $(docv) milliseconds slow into a \
+           bounded ring log (query it with the $(b,slowlog) verb); also \
+           switches request tracing on, so entries carry a span \
+           breakdown. 0 records everything.")
+
+let slowlog_capacity_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "slowlog-capacity" ] ~docv:"N"
+        ~doc:
+          "Ring capacity of the slow-request log; the oldest entry is \
+           overwritten first.")
+
+let make_session ?tracing ?slowlog_ms ?slowlog_capacity libs files ~fuel
+    ~timeout ~cache_capacity =
   let lib = load_library (libs @ files) in
-  Engine.Session.create ?fuel ?timeout ?cache_capacity
+  Engine.Session.create ?fuel ?timeout ?cache_capacity ?slowlog_ms
+    ?slowlog_capacity ?tracing
     (Adt.Library.specs lib)
 
 let serve_cmd =
@@ -386,8 +410,12 @@ let serve_cmd =
              the cap is answered $(b,error busy) and closed (only \
              meaningful with $(b,--socket)).")
   in
-  let run libs files fuel timeout cache_capacity socket max_clients =
-    let session = make_session libs files ~fuel ~timeout ~cache_capacity in
+  let run libs files fuel timeout cache_capacity slowlog_ms slowlog_capacity
+      socket max_clients =
+    let session =
+      make_session ?slowlog_ms ?slowlog_capacity libs files ~fuel ~timeout
+        ~cache_capacity
+    in
     match socket with
     | Some path -> (
       try Engine.Server.serve_socket ~max_clients session ~path
@@ -397,17 +425,19 @@ let serve_cmd =
     | None -> Engine.Server.serve session stdin stdout
   in
   let doc =
-    "Serve normalize/check/skeletons/prove/stats requests over a \
-     line-oriented protocol, with a shared bounded normal-form cache, \
-     per-request limits, and (over a socket) one thread per connection, \
-     graceful SIGINT/SIGTERM drain, and busy backpressure beyond \
-     $(b,--max-clients)."
+    "Serve normalize/check/skeletons/prove/stats/metrics/slowlog requests \
+     over a line-oriented protocol, with a shared bounded normal-form \
+     cache, per-request limits, optional tracing and slow-request \
+     logging ($(b,--slowlog-ms)), and (over a socket) one thread per \
+     connection, graceful SIGINT/SIGTERM drain, and busy backpressure \
+     beyond $(b,--max-clients)."
   in
   Cmd.v
     (Cmd.info "serve" ~doc)
     Term.(
       const run $ lib_arg $ spec_files_arg $ engine_fuel_arg $ timeout_arg
-      $ cache_capacity_arg $ socket_arg $ max_clients_arg)
+      $ cache_capacity_arg $ slowlog_ms_arg $ slowlog_capacity_arg
+      $ socket_arg $ max_clients_arg)
 
 let batch_cmd =
   let requests_arg =
@@ -416,8 +446,12 @@ let batch_cmd =
       & info [ "requests" ] ~docv:"FILE"
           ~doc:"Request script to replay; $(b,-) (the default) is stdin.")
   in
-  let run libs files fuel timeout cache_capacity requests =
-    let session = make_session libs files ~fuel ~timeout ~cache_capacity in
+  let run libs files fuel timeout cache_capacity slowlog_ms slowlog_capacity
+      requests =
+    let session =
+      make_session ?slowlog_ms ?slowlog_capacity libs files ~fuel ~timeout
+        ~cache_capacity
+    in
     let ic = if String.equal requests "-" then stdin else open_in requests in
     Fun.protect
       ~finally:(fun () -> if not (String.equal requests "-") then close_in_noerr ic)
@@ -431,7 +465,107 @@ let batch_cmd =
     (Cmd.info "batch" ~doc)
     Term.(
       const run $ lib_arg $ spec_files_arg $ engine_fuel_arg $ timeout_arg
-      $ cache_capacity_arg $ requests_arg)
+      $ cache_capacity_arg $ slowlog_ms_arg $ slowlog_capacity_arg
+      $ requests_arg)
+
+let replay_requests session path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      try
+        while true do
+          ignore (Engine.Dispatch.handle_line session (input_line ic))
+        done
+      with End_of_file -> ())
+
+let engine_trace_cmd =
+  let request_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "request" ] ~docv:"LINE"
+          ~doc:
+            "The protocol request line to trace, e.g. $(b,normalize Queue \
+             FRONT(ADDQ(NEWQ,A))).")
+  in
+  let run libs files fuel timeout cache_capacity request =
+    let session =
+      make_session ~tracing:true libs files ~fuel ~timeout ~cache_capacity
+    in
+    let outcome, result = Engine.Dispatch.handle_line_obs session request in
+    (match outcome with
+    | Engine.Dispatch.Reply line -> print_endline line
+    | Engine.Dispatch.Closed -> print_endline "ok bye"
+    | Engine.Dispatch.Silent ->
+      Fmt.epr "adtc trace: nothing to trace in a blank or comment line@.";
+      exit 2);
+    match result with
+    | Some r ->
+      print_endline
+        (Obs.Trace.result_to_json ~meta:[ ("request", request) ] r)
+    | None -> ()
+  in
+  let doc =
+    "Trace one engine request: print its response line, then a JSON span \
+     tree (parse/dispatch/rewrite/respond timings, per-rule rewrite-step \
+     attribution). The tree's step total equals the fuel the request \
+     charged."
+  in
+  Cmd.v
+    (Cmd.info "trace" ~doc)
+    Term.(
+      const run $ lib_arg $ spec_files_arg $ engine_fuel_arg $ timeout_arg
+      $ cache_capacity_arg $ request_arg)
+
+let engine_stats_cmd =
+  let prometheus_flag =
+    Arg.(
+      value & flag
+      & info [ "prometheus" ]
+          ~doc:
+            "Print the full Prometheus text exposition (counters, latency \
+             and fuel histograms, cache gauges) instead of the one-line \
+             stats payload.")
+  in
+  let requests_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "requests" ] ~docv:"FILE"
+          ~doc:
+            "Replay this request script first (responses discarded), so \
+             the report covers real traffic rather than an idle session.")
+  in
+  let run libs files fuel timeout cache_capacity slowlog_ms slowlog_capacity
+      requests prometheus =
+    let session =
+      make_session ?slowlog_ms ?slowlog_capacity libs files ~fuel ~timeout
+        ~cache_capacity
+    in
+    Option.iter (replay_requests session) requests;
+    if prometheus then print_string (Engine.Session.prometheus session)
+    else
+      match
+        Engine.Dispatch.handle_request session
+          (Engine.Protocol.Stats { verbose = false })
+      with
+      | Engine.Protocol.Ok_response payload -> print_endline payload
+      | Engine.Protocol.Error_response { code; message } ->
+        Fmt.epr "adtc stats: %s %s@." code message;
+        exit 1
+  in
+  let doc =
+    "Report an engine session's metrics — optionally after replaying a \
+     request script — as the stats payload or a Prometheus text \
+     exposition ($(b,--prometheus))."
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc)
+    Term.(
+      const run $ lib_arg $ spec_files_arg $ engine_fuel_arg $ timeout_arg
+      $ cache_capacity_arg $ slowlog_ms_arg $ slowlog_capacity_arg
+      $ requests_arg $ prometheus_flag)
 
 let main =
   let doc = "algebraic specification of abstract data types (Guttag, CACM 1977)" in
@@ -448,6 +582,8 @@ let main =
       verify_cmd;
       serve_cmd;
       batch_cmd;
+      engine_trace_cmd;
+      engine_stats_cmd;
     ]
 
 let () = exit (Cmd.eval main)

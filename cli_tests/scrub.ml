@@ -1,0 +1,34 @@
+(* Normalizes the nondeterministic pieces of engine output so the
+   observability transcripts can be pinned by expect tests: wall-clock
+   numbers (span durations, latency sums, latency bucket counts) become
+   [*]; every structural field — counters, fuel, trace IDs, span names,
+   bucket bounds — passes through untouched. *)
+
+let latency_bucket =
+  Str.regexp {|^\(adtc_request_latency_seconds_bucket{le="[^"]*"}\) .*$|}
+
+let latency_sum = Str.regexp {|^\(adtc_request_latency_seconds_sum\) .*$|}
+let dur_ms = Str.regexp {|"dur_ms":[0-9.]+|}
+let slow_ms = Str.regexp {| ms=[0-9.]+|}
+let span_pair = Str.regexp {|:[0-9.]+|}
+let latency_field = Str.regexp {|latency\.\(total\|max\)_ms=[0-9.]+|}
+
+let scrub line =
+  if String.length line >= 5 && String.equal (String.sub line 0 5) "slow " then
+    (* a slow-log entry: latency and every span duration are wall-clock *)
+    line
+    |> Str.global_replace slow_ms " ms=*"
+    |> Str.global_replace span_pair ":*"
+  else
+    line
+    |> Str.replace_first latency_bucket {|\1 *|}
+    |> Str.replace_first latency_sum {|\1 *|}
+    |> Str.global_replace dur_ms {|"dur_ms":*|}
+    |> Str.global_replace latency_field {|latency.\1_ms=*|}
+
+let () =
+  try
+    while true do
+      print_endline (scrub (input_line stdin))
+    done
+  with End_of_file -> ()

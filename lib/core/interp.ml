@@ -32,7 +32,7 @@ let classify spec term =
     if Spec.is_constructor_ground_term spec term then Value term
     else Stuck term
 
-let eval_count ?fuel ?poll t term =
+let eval_count ?fuel ?poll ?on_rule t term =
   if not (Term.is_ground term) then
     invalid_arg
       (Fmt.str "Interp.eval: term %a has free variables" Term.pp term);
@@ -40,11 +40,13 @@ let eval_count ?fuel ?poll t term =
   let outcome =
     match t.memo with
     | None -> (
-      match Rewrite.normalize_count ~fuel ?poll t.system term with
+      match Rewrite.normalize_count ~fuel ?poll ?on_rule t.system term with
       | nf, steps -> Some (nf, steps)
       | exception Rewrite.Out_of_fuel _ -> None)
     | Some memo -> (
-      match Rewrite.normalize_memo_count ~fuel ?poll ~memo t.system term with
+      match
+        Rewrite.normalize_memo_count ~fuel ?poll ?on_rule ~memo t.system term
+      with
       | nf, steps -> Some (nf, steps)
       | exception Rewrite.Out_of_fuel _ -> None)
   in
@@ -66,11 +68,11 @@ let apply t name args =
 
 let call t name args = eval t (apply t name args)
 
-let reduce ?fuel ?poll t term =
+let reduce ?fuel ?poll ?on_rule t term =
   let fuel = Option.value ~default:t.fuel fuel in
   match t.memo with
-  | None -> Rewrite.normalize ~fuel ?poll t.system term
-  | Some memo -> Rewrite.normalize_memo ~fuel ?poll ~memo t.system term
+  | None -> Rewrite.normalize ~fuel ?poll ?on_rule t.system term
+  | Some memo -> Rewrite.normalize_memo ~fuel ?poll ?on_rule ~memo t.system term
 
 type memo_stats = {
   hits : int;

@@ -51,12 +51,20 @@ val eval : ?fuel:int -> t -> Term.t -> value
     session's step budget for this call only (per-request limits in the
     evaluation engine). *)
 
-val eval_count : ?fuel:int -> ?poll:(unit -> unit) -> t -> Term.t -> value * int
+val eval_count :
+  ?fuel:int ->
+  ?poll:(unit -> unit) ->
+  ?on_rule:(string -> unit) ->
+  t ->
+  Term.t ->
+  value * int
 (** {!eval}, also returning the number of rule applications performed; a
     [Diverged] result reports the whole budget as spent. Cache hits in a
     memoized session cost no steps — a fully cached term reports 0.
     [poll] is the cooperative deadline hook of {!Rewrite}: called once
-    per rule application, and whatever it raises propagates out. *)
+    per rule application, and whatever it raises propagates out.
+    [on_rule] is the per-rule attribution hook ({!Rewrite}), fired at
+    the same site with the applied rule's name. *)
 
 val eval_bool : t -> Term.t -> bool option
 (** [Some b] when evaluation yields the Boolean constant [b]. *)
@@ -69,7 +77,13 @@ val apply : t -> string -> Term.t list -> Term.t
 val call : t -> string -> Term.t list -> value
 (** [apply] then [eval]. *)
 
-val reduce : ?fuel:int -> ?poll:(unit -> unit) -> t -> Term.t -> Term.t
+val reduce :
+  ?fuel:int ->
+  ?poll:(unit -> unit) ->
+  ?on_rule:(string -> unit) ->
+  t ->
+  Term.t ->
+  Term.t
 (** Normalization without classification (also accepts open terms). *)
 
 val steps : t -> Term.t -> int

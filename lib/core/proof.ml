@@ -9,13 +9,14 @@ type config = {
   case_candidates : int;
   max_goals : int;
   poll : (unit -> unit) option;
+  on_rule : (string -> unit) option;
 }
 
 let default_fuel = 50_000
 
 let config ?(extra_rules = []) ?(generators = []) ?(invariants = [])
     ?(fuel = default_fuel) ?(max_case_depth = 8) ?(max_induction_depth = 1)
-    ?(case_candidates = 4) ?(max_goals = 2_000) ?poll spec =
+    ?(case_candidates = 4) ?(max_goals = 2_000) ?poll ?on_rule spec =
   {
     spec;
     extra_rules;
@@ -27,6 +28,7 @@ let config ?(extra_rules = []) ?(generators = []) ?(invariants = [])
     case_candidates;
     max_goals;
     poll;
+    on_rule;
   }
 
 type proof =
@@ -177,7 +179,7 @@ let rec prove_goal cfg sys ~minted ~budget ~case_depth ~ind_depth (lhs, rhs) =
   if !budget <= 0 then raise Search_exhausted;
   decr budget;
   let normalize t =
-    match Rewrite.normalize_opt ~fuel:cfg.fuel ?poll:cfg.poll sys t with
+    match Rewrite.normalize_opt ~fuel:cfg.fuel ?poll:cfg.poll ?on_rule:cfg.on_rule sys t with
     | Some nf -> nf
     | None -> t
   in
@@ -339,8 +341,8 @@ let disprove cfg ~universe ~size (lhs, rhs) =
     (fun sub ->
       let l = Subst.apply sub lhs and r = Subst.apply sub rhs in
       match
-        ( Rewrite.normalize_opt ~fuel:cfg.fuel ?poll:cfg.poll sys l,
-          Rewrite.normalize_opt ~fuel:cfg.fuel ?poll:cfg.poll sys r )
+        ( Rewrite.normalize_opt ~fuel:cfg.fuel ?poll:cfg.poll ?on_rule:cfg.on_rule sys l,
+          Rewrite.normalize_opt ~fuel:cfg.fuel ?poll:cfg.poll ?on_rule:cfg.on_rule sys r )
       with
       | Some ln, Some rn
         when (not (Term.equal ln rn))

@@ -49,6 +49,9 @@ type config = {
       (** Cooperative deadline hook, threaded into every normalization the
           search performs ({!Rewrite}); whatever it raises aborts the whole
           proof attempt and propagates to the caller. *)
+  on_rule : (string -> unit) option;
+      (** Per-rule attribution hook ({!Rewrite}), threaded the same way;
+          must not raise. *)
 }
 
 val default_fuel : int
@@ -64,6 +67,7 @@ val config :
   ?case_candidates:int ->
   ?max_goals:int ->
   ?poll:(unit -> unit) ->
+  ?on_rule:(string -> unit) ->
   Spec.t ->
   config
 

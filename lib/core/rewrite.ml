@@ -162,8 +162,16 @@ exception Fuel_exhausted
 
 let no_poll () = ()
 
+(* [on_rule] is the observability sibling of [poll]: called with the
+   rule's name at every application, it feeds per-rule firing attribution
+   (the tracer of lib/obs) through the same site that charges fuel and
+   checks the deadline. [None] by default, so uninstrumented callers pay
+   only one option test per application. *)
+let fire on_rule r =
+  match on_rule with None -> () | Some f -> f r.rule_name
+
 let run ?(strategy = Innermost) ?(fuel = default_fuel) ?(poll = no_poll)
-    ~on_apply sys term =
+    ?on_rule ~on_apply sys term =
   let remaining = ref fuel in
   let counted r =
     (* a dedicated exception: a caller-supplied [on_apply] may raise its
@@ -172,6 +180,7 @@ let run ?(strategy = Innermost) ?(fuel = default_fuel) ?(poll = no_poll)
     if !remaining <= 0 then raise Fuel_exhausted;
     decr remaining;
     poll ();
+    fire on_rule r;
     on_apply r
   in
   try
@@ -180,17 +189,19 @@ let run ?(strategy = Innermost) ?(fuel = default_fuel) ?(poll = no_poll)
     | Outermost -> outermost ~on_apply:counted sys term
   with Fuel_exhausted -> raise (Out_of_fuel term)
 
-let normalize ?strategy ?fuel ?poll sys term =
-  run ?strategy ?fuel ?poll ~on_apply:(fun _ -> ()) sys term
+let normalize ?strategy ?fuel ?poll ?on_rule sys term =
+  run ?strategy ?fuel ?poll ?on_rule ~on_apply:(fun _ -> ()) sys term
 
-let normalize_opt ?strategy ?fuel ?poll sys term =
-  match normalize ?strategy ?fuel ?poll sys term with
+let normalize_opt ?strategy ?fuel ?poll ?on_rule sys term =
+  match normalize ?strategy ?fuel ?poll ?on_rule sys term with
   | t -> Some t
   | exception Out_of_fuel _ -> None
 
-let normalize_count ?strategy ?fuel ?poll sys term =
+let normalize_count ?strategy ?fuel ?poll ?on_rule sys term =
   let n = ref 0 in
-  let t = run ?strategy ?fuel ?poll ~on_apply:(fun _ -> incr n) sys term in
+  let t =
+    run ?strategy ?fuel ?poll ?on_rule ~on_apply:(fun _ -> incr n) sys term
+  in
   (t, !n)
 
 let joinable ?strategy ?fuel sys a b =
@@ -234,8 +245,8 @@ module Memo = struct
   let evictions m = Term_lru.evictions m.cache
 end
 
-let normalize_memo_count ?(fuel = default_fuel) ?(poll = no_poll) ~memo sys
-    term =
+let normalize_memo_count ?(fuel = default_fuel) ?(poll = no_poll) ?on_rule
+    ~memo sys term =
   let remaining = ref fuel in
   let rec norm t =
     match t with
@@ -266,6 +277,7 @@ let normalize_memo_count ?(fuel = default_fuel) ?(poll = no_poll) ~memo sys
               if !remaining <= 0 then raise (Out_of_fuel t);
               decr remaining;
               poll ();
+              fire on_rule r;
               norm (Subst.apply s r.rhs)
         in
         Term_lru.add memo.Memo.cache t nf;
@@ -274,8 +286,8 @@ let normalize_memo_count ?(fuel = default_fuel) ?(poll = no_poll) ~memo sys
   let nf = norm term in
   (nf, fuel - !remaining)
 
-let normalize_memo ?fuel ?poll ~memo sys term =
-  fst (normalize_memo_count ?fuel ?poll ~memo sys term)
+let normalize_memo ?fuel ?poll ?on_rule ~memo sys term =
+  fst (normalize_memo_count ?fuel ?poll ?on_rule ~memo sys term)
 
 type event = {
   position : Term.position;

@@ -59,12 +59,18 @@ val default_fuel : int
     interruption is unsound once the engine serves requests from
     multiple threads, so interruption is cooperative: the rewriting
     loop reaches a poll point constantly, bounded computations between
-    polls stay bounded. Omitting [poll] costs nothing. *)
+    polls stay bounded. Omitting [poll] costs nothing.
+
+    [on_rule] is [poll]'s observability sibling, invoked at the same
+    site with the name of the rule being applied — per-rule firing
+    attribution for the tracing layer ([Obs.Trace]). Omitting it costs
+    one option test per application; it must not raise. *)
 
 val normalize :
   ?strategy:strategy ->
   ?fuel:int ->
   ?poll:(unit -> unit) ->
+  ?on_rule:(string -> unit) ->
   system ->
   Term.t ->
   Term.t
@@ -74,6 +80,7 @@ val normalize_opt :
   ?strategy:strategy ->
   ?fuel:int ->
   ?poll:(unit -> unit) ->
+  ?on_rule:(string -> unit) ->
   system ->
   Term.t ->
   Term.t option
@@ -83,6 +90,7 @@ val normalize_count :
   ?strategy:strategy ->
   ?fuel:int ->
   ?poll:(unit -> unit) ->
+  ?on_rule:(string -> unit) ->
   system ->
   Term.t ->
   Term.t * int
@@ -153,6 +161,7 @@ end
 val normalize_memo :
   ?fuel:int ->
   ?poll:(unit -> unit) ->
+  ?on_rule:(string -> unit) ->
   memo:Memo.t ->
   system ->
   Term.t ->
@@ -164,12 +173,14 @@ val normalize_memo :
 val normalize_memo_count :
   ?fuel:int ->
   ?poll:(unit -> unit) ->
+  ?on_rule:(string -> unit) ->
   memo:Memo.t ->
   system ->
   Term.t ->
   Term.t * int
 (** {!normalize_memo}, also returning the number of rule applications
-    performed (a fully cached term reports 0). *)
+    performed (a fully cached term reports 0 — and fires [on_rule] not
+    at all: attribution counts real work, not cache hits). *)
 
 (** {1 Statistics} *)
 

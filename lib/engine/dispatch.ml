@@ -5,6 +5,15 @@ type outcome = Silent | Reply of string | Closed
 let error code fmt = Fmt.kstr (fun message -> Protocol.Error_response { code; message }) fmt
 let ok fmt = Fmt.kstr (fun payload -> Protocol.Ok_response payload) fmt
 
+(* Everything observed about one request in flight: the span tree being
+   built (a no-op tracer when tracing is off) and the rewrite steps the
+   request has charged so far — per-request, unlike the session-wide
+   [Metrics.fuel_spent], so the slow log and the fuel histogram can
+   attribute work to the request that did it. *)
+type ctx = { trace : Obs.Trace.t; mutable fuel : int }
+
+let null_ctx () = { trace = Obs.Trace.disabled; fuel = 0 }
+
 let with_spec session name k =
   match Session.find session name with
   | Some entry -> k entry
@@ -17,29 +26,34 @@ let parse_term ?vars spec src k =
   | Ok term -> k term
   | Error e -> error "parse" "%s" (Protocol.sanitize (Fmt.str "%a" Parser.pp_error e))
 
-let charge_fuel session steps =
+let charge_fuel ctx session steps =
+  ctx.fuel <- ctx.fuel + steps;
   let metrics = Session.metrics session in
   Metrics.locked metrics (fun () ->
       metrics.Metrics.fuel_spent <- metrics.Metrics.fuel_spent + steps)
 
-let do_normalize session entry term_src req_fuel poll =
+let do_normalize ctx session entry term_src req_fuel poll =
   parse_term entry.Session.spec term_src @@ fun term ->
   let fuel = Limits.effective_fuel (Session.limits session) req_fuel in
   (* the entry lock serializes evaluations on this specification: the
      shared memo cache is mutated throughout the rewrite, and a poll abort
      (deadline) must release the lock, which [Mutex.protect] guarantees *)
   let value, steps =
+    Obs.Trace.with_span ctx.trace "rewrite" @@ fun () ->
     Mutex.protect entry.Session.lock (fun () ->
-        Interp.eval_count ~fuel ?poll entry.Session.interp term)
+        Interp.eval_count ~fuel ?poll
+          ?on_rule:(Obs.Trace.hook ctx.trace)
+          entry.Session.interp term)
   in
-  charge_fuel session steps;
+  charge_fuel ctx session steps;
   match value with
   | Interp.Diverged -> error "fuel" "normalization exceeded %d rewrite steps" fuel
   | value ->
     ok "normalize steps=%d %s" steps
       (Protocol.sanitize (Fmt.str "%a" Interp.pp_value value))
 
-let do_check entry =
+let do_check ctx entry =
+  Obs.Trace.with_span ctx.trace "rewrite" @@ fun () ->
   let comp = Completeness.check entry.Session.spec in
   let cons = Consistency.check entry.Session.spec in
   ok "check %s complete=%b consistent=%b missing=%d critical_pairs=%d"
@@ -49,7 +63,8 @@ let do_check entry =
     (List.length (Completeness.missing comp))
     (List.length cons.Consistency.pairs)
 
-let do_skeletons entry =
+let do_skeletons ctx entry =
+  Obs.Trace.with_span ctx.trace "rewrite" @@ fun () ->
   let name = Spec.name entry.Session.spec in
   match Heuristics.prompts entry.Session.spec with
   | [] -> ok "skeletons %s missing=0" name
@@ -61,7 +76,7 @@ let do_skeletons entry =
               Protocol.sanitize (Fmt.str "%a" Term.pp p.Heuristics.missing_lhs))
             prompts))
 
-let do_prove session entry vars lhs_src rhs_src req_fuel poll =
+let do_prove ctx session entry vars lhs_src rhs_src req_fuel poll =
   let vars = List.map (fun (name, sort) -> (name, Sort.v sort)) vars in
   parse_term ~vars entry.Session.spec lhs_src @@ fun lhs ->
   parse_term ~vars entry.Session.spec rhs_src @@ fun rhs ->
@@ -79,10 +94,17 @@ let do_prove session entry vars lhs_src rhs_src req_fuel poll =
     incr steps;
     match poll with Some p -> p () | None -> ()
   in
-  let config = Proof.config ~fuel ~poll:counting entry.Session.spec in
+  let config =
+    Proof.config ~fuel ~poll:counting
+      ?on_rule:(Obs.Trace.hook ctx.trace)
+      entry.Session.spec
+  in
   let name = Spec.name entry.Session.spec in
-  let outcome = Proof.prove config (lhs, rhs) in
-  charge_fuel session !steps;
+  let outcome =
+    Obs.Trace.with_span ctx.trace "rewrite" @@ fun () ->
+    Proof.prove config (lhs, rhs)
+  in
+  charge_fuel ctx session !steps;
   match outcome with
   | Proof.Proved proof ->
     ok "prove %s proved size=%d depth=%d" name (Proof.proof_size proof)
@@ -95,10 +117,11 @@ let do_stats session verbose =
     Metrics.locked m (fun () ->
         Fmt.str
           "stats requests=%d normalize=%d check=%d skeletons=%d prove=%d \
-           stats=%d errors=%d fuel=%d"
+           stats=%d metrics=%d slowlog=%d malformed=%d errors=%d fuel=%d"
           m.Metrics.requests m.Metrics.normalize m.Metrics.check
-          m.Metrics.skeletons m.Metrics.prove m.Metrics.stats m.Metrics.errors
-          m.Metrics.fuel_spent)
+          m.Metrics.skeletons m.Metrics.prove m.Metrics.stats
+          m.Metrics.metrics m.Metrics.slowlog m.Metrics.malformed
+          m.Metrics.errors m.Metrics.fuel_spent)
   in
   let c = Session.cache_totals session in
   let base =
@@ -114,44 +137,125 @@ let do_stats session verbose =
     Protocol.Ok_response
       (Metrics.locked m (fun () ->
            Fmt.str "%s latency.total_ms=%.3f latency.max_ms=%.3f" base
-             (m.Metrics.latency_total *. 1000.)
-             (m.Metrics.latency_max *. 1000.)))
+             (Metrics.latency_total m *. 1000.)
+             (Metrics.latency_max m *. 1000.)))
   else Protocol.Ok_response base
 
-let handle_request ?poll session = function
+(* the body is announced by line count on the first line, so line-oriented
+   clients can frame the multi-line exposition *)
+let do_metrics session =
+  let body = Session.prometheus session in
+  let lines = String.split_on_char '\n' body in
+  (* the exposition is newline-terminated: drop the final empty piece *)
+  let lines =
+    match List.rev lines with "" :: rest -> List.rev rest | _ -> lines
+  in
+  ok "metrics lines=%d\n%s" (List.length lines) (String.concat "\n" lines)
+
+let render_slow_entry e =
+  let spans =
+    String.concat ";"
+      (List.map
+         (fun (name, dur_s) -> Fmt.str "%s:%.3f" name (dur_s *. 1000.))
+         e.Obs.Slowlog.spans)
+  in
+  Fmt.str "slow trace=%s kind=%s spec=%s ms=%.3f fuel=%d spans=%s"
+    e.Obs.Slowlog.trace_id e.Obs.Slowlog.kind e.Obs.Slowlog.spec
+    (e.Obs.Slowlog.latency_s *. 1000.)
+    e.Obs.Slowlog.fuel
+    (if String.equal spans "" then "-" else spans)
+
+let do_slowlog session =
+  match Session.slowlog session with
+  | None ->
+    error "slowlog"
+      "the slow-request log is disabled; start the engine with --slowlog-ms"
+  | Some sl ->
+    let entries = Obs.Slowlog.entries sl in
+    let header =
+      Fmt.str "slowlog entries=%d threshold_ms=%g capacity=%d"
+        (List.length entries)
+        (Obs.Slowlog.threshold_s sl *. 1000.)
+        (Obs.Slowlog.capacity sl)
+    in
+    ok "%s"
+      (String.concat "\n" (header :: List.map render_slow_entry entries))
+
+let handle_request ?poll ?ctx session request =
+  let ctx = match ctx with Some c -> c | None -> null_ctx () in
+  match request with
   | Protocol.Normalize { spec; term; fuel } ->
     with_spec session spec @@ fun entry ->
-    do_normalize session entry term fuel poll
-  | Protocol.Check { spec } -> with_spec session spec do_check
-  | Protocol.Skeletons { spec } -> with_spec session spec do_skeletons
+    do_normalize ctx session entry term fuel poll
+  | Protocol.Check { spec } -> with_spec session spec (do_check ctx)
+  | Protocol.Skeletons { spec } -> with_spec session spec (do_skeletons ctx)
   | Protocol.Prove { spec; vars; lhs; rhs; fuel } ->
     with_spec session spec @@ fun entry ->
-    do_prove session entry vars lhs rhs fuel poll
+    do_prove ctx session entry vars lhs rhs fuel poll
   | Protocol.Stats { verbose } -> do_stats session verbose
+  | Protocol.Metrics -> do_metrics session
+  | Protocol.Slowlog -> do_slowlog session
   | Protocol.Quit -> Protocol.Ok_response "bye"
 
-let handle_line session line =
+let feed_slowlog session request ctx elapsed result =
+  match (Session.slowlog session, result) with
+  | Some sl, Some r ->
+    ignore
+      (Obs.Slowlog.observe sl
+         {
+           Obs.Slowlog.trace_id = r.Obs.Trace.id;
+           kind = Protocol.kind_name request;
+           spec = Option.value ~default:"-" (Protocol.spec_name request);
+           latency_s = elapsed;
+           fuel = ctx.fuel;
+           spans = Obs.Trace.breakdown r.Obs.Trace.root;
+         })
+  | _ -> ()
+
+let handle_line_obs session line =
   let metrics = Session.metrics session in
-  match Protocol.parse line with
-  | Ok None -> Silent
+  let tracing = Session.tracing session in
+  (* parse before allocating a tracer, so blank and comment lines consume
+     no trace ID; the parse time becomes a pre-measured leaf span *)
+  let parse_started = if tracing then Unix.gettimeofday () else 0. in
+  let parsed = Protocol.parse line in
+  let trace_for_line () =
+    if tracing then begin
+      let t = Obs.Trace.create "request" in
+      Obs.Trace.record_span t "parse"
+        (Float.max 0. (Unix.gettimeofday () -. parse_started));
+      t
+    end
+    else Obs.Trace.disabled
+  in
+  match parsed with
+  | Ok None -> (Silent, None)
   | Error message ->
+    let trace = trace_for_line () in
     Metrics.locked metrics (fun () ->
         metrics.Metrics.requests <- metrics.Metrics.requests + 1;
+        Metrics.record_malformed metrics;
         metrics.Metrics.errors <- metrics.Metrics.errors + 1);
-    Reply (Protocol.render (Protocol.Error_response { code = "protocol"; message }))
+    ( Reply (Protocol.render (Protocol.Error_response { code = "protocol"; message })),
+      Obs.Trace.finish trace )
   | Ok (Some Protocol.Quit) ->
+    let trace = trace_for_line () in
     Metrics.locked metrics (fun () ->
-        metrics.Metrics.requests <- metrics.Metrics.requests + 1);
-    Closed
+        metrics.Metrics.requests <- metrics.Metrics.requests + 1;
+        Metrics.record_kind metrics "quit");
+    (Closed, Obs.Trace.finish trace)
   | Ok (Some request) ->
+    let trace = trace_for_line () in
     Metrics.locked metrics (fun () ->
         metrics.Metrics.requests <- metrics.Metrics.requests + 1;
         Metrics.record_kind metrics (Protocol.kind_name request));
+    let ctx = { trace; fuel = 0 } in
     let started = Unix.gettimeofday () in
     let response =
+      Obs.Trace.with_span trace "dispatch" @@ fun () ->
       match
         Limits.with_deadline (Session.limits session).Limits.timeout
-          (fun poll -> handle_request ?poll session request)
+          (fun poll -> handle_request ?poll ~ctx session request)
       with
       | Ok response -> response
       | Error `Timeout ->
@@ -162,11 +266,24 @@ let handle_line session line =
            only this request *)
         error "internal" "%s" (Protocol.sanitize (Printexc.to_string e))
     in
+    let rendered =
+      Obs.Trace.with_span trace "respond" (fun () -> Protocol.render response)
+    in
     let elapsed = Unix.gettimeofday () -. started in
+    let fuel_metered =
+      match request with
+      | Protocol.Normalize _ | Protocol.Prove _ -> true
+      | _ -> false
+    in
     Metrics.locked metrics (fun () ->
         Metrics.observe_latency metrics elapsed;
+        if fuel_metered then Metrics.observe_fuel metrics ctx.fuel;
         match response with
         | Protocol.Error_response _ ->
           metrics.Metrics.errors <- metrics.Metrics.errors + 1
         | Protocol.Ok_response _ -> ());
-    Reply (Protocol.render response)
+    let result = Obs.Trace.finish trace in
+    feed_slowlog session request ctx elapsed result;
+    (Reply rendered, result)
+
+let handle_line session line = fst (handle_line_obs session line)

@@ -4,12 +4,25 @@
     unloaded specification, fail to parse, exhaust its fuel or wall-clock
     budget, or trip an internal exception — the dispatcher answers with a
     structured [error] line and leaves the session intact for the next
-    request. Every request updates the session's {!Metrics}. *)
+    request. Every request updates the session's {!Metrics}.
+
+    When the session has tracing on ({!Session.tracing}), each request is
+    wrapped in an {!Obs.Trace} span tree — [parse], [dispatch] (with a
+    [rewrite] child around the evaluation proper), [respond] — with
+    per-rule step attribution fed by the core's [?on_rule] hooks; requests
+    at or above the session's slow-log threshold are recorded into
+    {!Session.slowlog}. With tracing off, the cost is one option test per
+    rule application. *)
 
 type outcome =
   | Silent  (** Blank or comment line: no response. *)
   | Reply of string  (** The rendered response line. *)
   | Closed  (** A [quit] request: the server loop should stop. *)
+
+(** Per-request observation: the span tree under construction and the
+    rewrite steps this request has charged (the session-wide
+    [fuel_spent] cannot attribute work to a request). *)
+type ctx = { trace : Obs.Trace.t; mutable fuel : int }
 
 val handle_line : Session.t -> string -> outcome
 (** Parse, enforce limits, evaluate, record metrics, render. Never
@@ -17,9 +30,20 @@ val handle_line : Session.t -> string -> outcome
     evaluations on the same specification serialize on the entry lock,
     metrics updates on the metrics lock. *)
 
+val handle_line_obs : Session.t -> string -> outcome * Obs.Trace.result option
+(** {!handle_line} plus the finished trace, when the session traces —
+    what [adtc trace] prints as a JSON span tree. The trace's
+    [total_steps] equals the fuel the request charged, by construction:
+    both are fed from the same rule applications. *)
+
 val handle_request :
-  ?poll:(unit -> unit) -> Session.t -> Protocol.request -> Protocol.response
+  ?poll:(unit -> unit) ->
+  ?ctx:ctx ->
+  Session.t ->
+  Protocol.request ->
+  Protocol.response
 (** The evaluation step alone — fuel accounting included, but no
     request/error/latency counters (exposed for unit tests). [poll] is
     the deadline hook handed to every metered loop the request runs;
-    {!handle_line} obtains it from {!Limits.with_deadline}. *)
+    {!handle_line} obtains it from {!Limits.with_deadline}. [ctx]
+    defaults to a fresh untraced context. *)

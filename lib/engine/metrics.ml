@@ -6,10 +6,14 @@ type t = {
   mutable skeletons : int;
   mutable prove : int;
   mutable stats : int;
+  mutable metrics : int;
+  mutable slowlog : int;
+  mutable quit : int;
+  mutable malformed : int;
   mutable errors : int;
   mutable fuel_spent : int;
-  mutable latency_total : float;
-  mutable latency_max : float;
+  latency : Obs.Hist.t;
+  fuel_hist : Obs.Hist.t;
 }
 
 let create () =
@@ -21,22 +25,47 @@ let create () =
     skeletons = 0;
     prove = 0;
     stats = 0;
+    metrics = 0;
+    slowlog = 0;
+    quit = 0;
+    malformed = 0;
     errors = 0;
     fuel_spent = 0;
-    latency_total = 0.;
-    latency_max = 0.;
+    latency = Obs.Hist.create ~bounds:Obs.Hist.default_latency_bounds;
+    fuel_hist = Obs.Hist.create ~bounds:Obs.Hist.default_fuel_bounds;
   }
 
 let locked t f = Mutex.protect t.lock f
 
+(* total over Protocol.kind_name by construction: a new request kind that
+   reaches the fallback is a bug, not a statistic to fold away silently
+   (malformed lines have their own counter, recorded by the dispatcher) *)
 let record_kind t = function
   | "normalize" -> t.normalize <- t.normalize + 1
   | "check" -> t.check <- t.check + 1
   | "skeletons" -> t.skeletons <- t.skeletons + 1
   | "prove" -> t.prove <- t.prove + 1
   | "stats" -> t.stats <- t.stats + 1
-  | _ -> ()
+  | "metrics" -> t.metrics <- t.metrics + 1
+  | "slowlog" -> t.slowlog <- t.slowlog + 1
+  | "quit" -> t.quit <- t.quit + 1
+  | other -> invalid_arg (Fmt.str "Metrics.record_kind: unknown kind %s" other)
 
-let observe_latency t seconds =
-  t.latency_total <- t.latency_total +. seconds;
-  if seconds > t.latency_max then t.latency_max <- seconds
+let record_malformed t = t.malformed <- t.malformed + 1
+
+let by_kind t =
+  [
+    ("normalize", t.normalize);
+    ("check", t.check);
+    ("skeletons", t.skeletons);
+    ("prove", t.prove);
+    ("stats", t.stats);
+    ("metrics", t.metrics);
+    ("slowlog", t.slowlog);
+    ("quit", t.quit);
+  ]
+
+let observe_latency t seconds = Obs.Hist.observe t.latency seconds
+let observe_fuel t steps = Obs.Hist.observe t.fuel_hist (float_of_int steps)
+let latency_total t = Obs.Hist.sum t.latency
+let latency_max t = Obs.Hist.max_value t.latency

@@ -1,12 +1,14 @@
 (** Engine metrics.
 
     A long-lived evaluation service must be observable: the dispatcher
-    counts requests by kind, error responses, rewrite steps spent, and
-    wall-clock latency. Counters are plain mutable fields shared by every
+    counts requests by kind, malformed lines, error responses, rewrite
+    steps spent, and summarizes wall-clock latency and per-request fuel
+    as fixed-bucket histograms ({!Obs.Hist}) ready for Prometheus
+    exposition. Counters are plain mutable fields shared by every
     connection thread of the server, so all reads and writes must go
     through {!locked}; the counter updates are tiny, so one mutex for the
     whole record costs nothing. They are queryable over the wire through
-    the [stats] request ({!Dispatch}). *)
+    the [stats] and [metrics] requests ({!Dispatch}). *)
 
 type t = {
   lock : Mutex.t;  (** Guards every mutable field below. *)
@@ -16,13 +18,21 @@ type t = {
   mutable skeletons : int;
   mutable prove : int;
   mutable stats : int;
+  mutable metrics : int;
+  mutable slowlog : int;
+  mutable quit : int;
+  mutable malformed : int;
+      (** Lines that failed protocol parsing (they also count towards
+          [requests] and [errors]). *)
   mutable errors : int;  (** Error responses sent. *)
   mutable fuel_spent : int;
       (** Total rewrite-rule applications across all requests — [prove]
           requests included, each rule application inside the proof search
           counting once. *)
-  mutable latency_total : float;  (** Seconds, summed over requests. *)
-  mutable latency_max : float;
+  latency : Obs.Hist.t;  (** Per-request wall-clock seconds. *)
+  fuel_hist : Obs.Hist.t;
+      (** Per-request rewrite steps, observed once per fuel-metered
+          request (normalize and prove). *)
 }
 
 val create : unit -> t
@@ -31,8 +41,27 @@ val locked : t -> (unit -> 'a) -> 'a
 (** Runs the thunk holding [lock]; released on exception. *)
 
 val record_kind : t -> string -> unit
-(** Bumps the counter named by {!Protocol.kind_name}; unknown names only
-    count towards [requests]. Call under {!locked}. *)
+(** Bumps the counter named by {!Protocol.kind_name}. Total over the
+    kinds that function can return; raises [Invalid_argument] on any
+    other name — adding a protocol verb without its counter is a bug
+    caught immediately, not a silently mis-binned statistic. Call under
+    {!locked}. *)
+
+val record_malformed : t -> unit
+(** Call under {!locked}. *)
+
+val by_kind : t -> (string * int) list
+(** [(kind, count)] for every kind {!record_kind} accepts, in protocol
+    order. Call under {!locked}. *)
 
 val observe_latency : t -> float -> unit
+(** Call under {!locked}. *)
+
+val observe_fuel : t -> int -> unit
+(** Call under {!locked}. *)
+
+val latency_total : t -> float
+(** Seconds, summed over requests. Call under {!locked}. *)
+
+val latency_max : t -> float
 (** Call under {!locked}. *)

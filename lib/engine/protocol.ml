@@ -10,6 +10,8 @@ type request =
       fuel : int option;
     }
   | Stats of { verbose : bool }
+  | Metrics
+  | Slowlog
   | Quit
 
 type response =
@@ -156,6 +158,16 @@ let parse line =
             match args with
             | [] -> Ok (Some (Stats { verbose }))
             | _ -> Error "stats takes no positional arguments")
+      | "metrics" ->
+        with_options [] (fun _ args ->
+            match args with
+            | [] -> Ok (Some Metrics)
+            | _ -> Error "metrics takes no arguments")
+      | "slowlog" ->
+        with_options [] (fun _ args ->
+            match args with
+            | [] -> Ok (Some Slowlog)
+            | _ -> Error "slowlog takes no arguments")
       | "quit" ->
         with_options [] (fun _ args ->
             match args with
@@ -165,7 +177,7 @@ let parse line =
         Error
           (Fmt.str
              "unknown request %s (expected normalize, check, skeletons, \
-              prove, stats or quit)"
+              prove, stats, metrics, slowlog or quit)"
              other))
 
 let render = function
@@ -178,4 +190,12 @@ let kind_name = function
   | Skeletons _ -> "skeletons"
   | Prove _ -> "prove"
   | Stats _ -> "stats"
+  | Metrics -> "metrics"
+  | Slowlog -> "slowlog"
   | Quit -> "quit"
+
+let spec_name = function
+  | Normalize { spec; _ } | Check { spec } | Skeletons { spec }
+  | Prove { spec; _ } ->
+    Some spec
+  | Stats _ | Metrics | Slowlog | Quit -> None

@@ -8,7 +8,7 @@
     request    := kind option* arg*
     option     := KEY '=' VALUE            (before the positional args)
     kind       := 'normalize' | 'check' | 'skeletons' | 'prove'
-                | 'stats'     | 'quit'
+                | 'stats'     | 'metrics' | 'slowlog' | 'quit'
 
     normalize [fuel=N] SPEC TERM           evaluate TERM against SPEC
     check     SPEC                         completeness + consistency
@@ -17,6 +17,8 @@
                                            or 'q:Queue,i:Item'
     stats [verbose=true]                   metrics counters; verbose adds
                                            wall-clock latency
+    metrics                                Prometheus text exposition
+    slowlog                                slow-request ring log entries
     quit                                   close the session
     v}
 
@@ -29,8 +31,12 @@
     v}
 
     Payloads are single-line (term renderings are whitespace-squashed by
-    {!sanitize}); an error response never kills the session — the next
-    request is served normally. *)
+    {!sanitize}), with two exceptions: [metrics] and [slowlog] answer a
+    first line announcing how many raw lines follow ([ok metrics
+    lines=N] / [ok slowlog entries=N ...]) and then exactly that many
+    further lines, so line-oriented clients can frame the body. An error
+    response never kills the session — the next request is served
+    normally. *)
 
 type request =
   | Normalize of { spec : string; term : string; fuel : int option }
@@ -44,6 +50,8 @@ type request =
       fuel : int option;
     }
   | Stats of { verbose : bool }
+  | Metrics  (** Prometheus text-format exposition of the session. *)
+  | Slowlog  (** Dump the slow-request ring log. *)
   | Quit
 
 type response =
@@ -58,7 +66,12 @@ val render : response -> string
 (** The response line, newline not included. *)
 
 val kind_name : request -> string
-(** The request's kind keyword, for metrics. *)
+(** The request's kind keyword, for metrics. {!Metrics.record_kind} is
+    total over this function's range, by construction and by test. *)
+
+val spec_name : request -> string option
+(** The specification the request names, when its kind has one — what a
+    slow-request log entry records. *)
 
 val sanitize : string -> string
 (** Collapses all whitespace runs (newlines included) to single spaces —

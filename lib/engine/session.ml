@@ -6,10 +6,25 @@ type t = {
   registry : (string * entry) list;  (* registration order, names unique *)
   limits : Limits.t;
   metrics : Metrics.t;
+  slowlog : Obs.Slowlog.t option;
+  tracing : bool;
 }
 
-let create ?fuel ?timeout ?cache_capacity specs =
+let create ?fuel ?timeout ?cache_capacity ?slowlog_ms ?slowlog_capacity
+    ?tracing specs =
   let limits = Limits.v ?fuel ?timeout () in
+  let slowlog =
+    Option.map
+      (fun ms ->
+        Obs.Slowlog.create ?capacity:slowlog_capacity
+          ~threshold_s:(ms /. 1000.) ())
+      slowlog_ms
+  in
+  (* the slow-request log needs span breakdowns and trace IDs, so it
+     implies tracing; tracing alone (adtc trace) needs no log *)
+  let tracing =
+    match tracing with Some b -> b | None -> Option.is_some slowlog
+  in
   let registry =
     List.fold_left
       (fun registry spec ->
@@ -31,12 +46,14 @@ let create ?fuel ?timeout ?cache_capacity specs =
         else registry @ [ (name, entry) ])
       [] specs
   in
-  { registry; limits; metrics = Metrics.create () }
+  { registry; limits; metrics = Metrics.create (); slowlog; tracing }
 
 let find t name = List.assoc_opt name t.registry
 let spec_names t = List.map fst t.registry
 let limits t = t.limits
 let metrics t = t.metrics
+let slowlog t = t.slowlog
+let tracing t = t.tracing
 
 type cache_totals = {
   hits : int;
@@ -63,3 +80,57 @@ let cache_totals t =
         })
     { hits = 0; misses = 0; evictions = 0; entries = 0; capacity = 0 }
     t.registry
+
+(* {1 Prometheus exposition} *)
+
+let prometheus t =
+  let buf = Buffer.create 2048 in
+  let m = t.metrics in
+  let f = float_of_int in
+  Metrics.locked m (fun () ->
+      Obs.Export.counter buf ~name:"adtc_requests_total"
+        ~help:"Requests received, malformed lines included." (f m.requests);
+      Obs.Export.counter buf ~name:"adtc_requests_kind_total"
+        ~help:"Requests by protocol kind."
+        ~labelled:
+          (List.map
+             (fun (kind, n) -> ([ ("kind", kind) ], f n))
+             (Metrics.by_kind m))
+        0.;
+      Obs.Export.counter buf ~name:"adtc_malformed_requests_total"
+        ~help:"Lines that failed protocol parsing." (f m.malformed);
+      Obs.Export.counter buf ~name:"adtc_errors_total"
+        ~help:"Error responses sent." (f m.errors);
+      Obs.Export.counter buf ~name:"adtc_fuel_steps_total"
+        ~help:"Rewrite-rule applications across all requests."
+        (f m.fuel_spent);
+      Obs.Export.histogram buf ~name:"adtc_request_latency_seconds"
+        ~help:"Per-request wall-clock latency." m.latency;
+      Obs.Export.histogram buf ~name:"adtc_request_fuel_steps"
+        ~help:"Rewrite steps per fuel-metered request (normalize, prove)."
+        m.fuel_hist);
+  let c = cache_totals t in
+  Obs.Export.counter buf ~name:"adtc_cache_hits_total"
+    ~help:"Normal-form cache hits, summed over specifications." (f c.hits);
+  Obs.Export.counter buf ~name:"adtc_cache_misses_total"
+    ~help:"Normal-form cache misses, summed over specifications." (f c.misses);
+  Obs.Export.counter buf ~name:"adtc_cache_evictions_total"
+    ~help:"LRU evictions, summed over specifications." (f c.evictions);
+  Obs.Export.gauge buf ~name:"adtc_cache_entries"
+    ~help:"Live normal-form cache entries." (f c.entries);
+  Obs.Export.gauge buf ~name:"adtc_cache_capacity"
+    ~help:"Normal-form cache capacity, summed over specifications."
+    (f c.capacity);
+  Obs.Export.gauge buf ~name:"adtc_specs_loaded"
+    ~help:"Specifications served by this session."
+    (f (List.length t.registry));
+  (match t.slowlog with
+  | None -> ()
+  | Some sl ->
+    Obs.Export.gauge buf ~name:"adtc_slowlog_threshold_seconds"
+      ~help:"Latency at or above which a request enters the slow log."
+      (Obs.Slowlog.threshold_s sl);
+    Obs.Export.gauge buf ~name:"adtc_slowlog_entries"
+      ~help:"Entries currently held by the slow-request ring log."
+      (f (Obs.Slowlog.length sl)));
+  Buffer.contents buf

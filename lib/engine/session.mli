@@ -27,13 +27,25 @@ val create :
   ?fuel:int ->
   ?timeout:float ->
   ?cache_capacity:int ->
+  ?slowlog_ms:float ->
+  ?slowlog_capacity:int ->
+  ?tracing:bool ->
   Adt.Spec.t list ->
   t
 (** [fuel] is the per-request step ceiling (default
     {!Adt.Rewrite.default_fuel}); [timeout] the per-request wall-clock
     budget (default none); [cache_capacity] the per-specification LRU
     capacity (default {!Adt.Rewrite.Memo.default_capacity}). A later
-    specification with the name of an earlier one replaces it. *)
+    specification with the name of an earlier one replaces it.
+
+    [slowlog_ms] switches on the slow-request ring log: requests whose
+    latency is at least the threshold are recorded (trace ID, kind,
+    spec, fuel, span breakdown) into a ring of [slowlog_capacity]
+    entries (default {!Obs.Slowlog.default_capacity}), queryable via the
+    [slowlog] verb. [tracing] controls whether the dispatcher builds a
+    span tree per request; it defaults to whether the slow log is on
+    (the log needs span breakdowns), and disabled tracing costs ~nothing
+    (benchmark E11). *)
 
 val find : t -> string -> entry option
 val spec_names : t -> string list
@@ -41,6 +53,12 @@ val spec_names : t -> string list
 
 val limits : t -> Limits.t
 val metrics : t -> Metrics.t
+
+val slowlog : t -> Obs.Slowlog.t option
+(** The shared slow-request log, when enabled. *)
+
+val tracing : t -> bool
+(** Whether the dispatcher should trace requests. *)
 
 type cache_totals = {
   hits : int;
@@ -52,3 +70,10 @@ type cache_totals = {
 
 val cache_totals : t -> cache_totals
 (** Summed over every specification's cache. *)
+
+val prometheus : t -> string
+(** The session's full Prometheus text exposition: request counters (by
+    kind), malformed/error totals, latency and fuel histograms
+    ([_bucket]/[_sum]/[_count] series), cache hit/miss/eviction and
+    occupancy, and — when enabled — slow-log gauges. Newline-terminated
+    lines; served by the [metrics] verb and [adtc stats --prometheus]. *)

@@ -1,0 +1,83 @@
+type kind = Counter | Gauge | Histogram
+
+let kind_name = function
+  | Counter -> "counter"
+  | Gauge -> "gauge"
+  | Histogram -> "histogram"
+
+(* HELP text: the exposition format escapes backslash and newline *)
+let escape_help s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* label values additionally escape the double quote *)
+let escape_label s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let number v =
+  if Float.is_nan v then "NaN"
+  else if Float.is_integer v && Float.abs v < 1e15 then
+    Fmt.str "%.0f" v
+  else
+    match Float.classify_float v with
+    | Float.FP_infinite -> if v > 0. then "+Inf" else "-Inf"
+    | _ -> Fmt.str "%.9g" v
+
+let header buf ~name ~help kind =
+  Buffer.add_string buf (Fmt.str "# HELP %s %s\n" name (escape_help help));
+  Buffer.add_string buf (Fmt.str "# TYPE %s %s\n" name (kind_name kind))
+
+let sample buf ?(labels = []) name v =
+  Buffer.add_string buf name;
+  (match labels with
+  | [] -> ()
+  | labels ->
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (k, value) ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_string buf (Fmt.str "%s=\"%s\"" k (escape_label value)))
+      labels;
+    Buffer.add_char buf '}');
+  Buffer.add_char buf ' ';
+  Buffer.add_string buf (number v);
+  Buffer.add_char buf '\n'
+
+let counter buf ~name ~help ?labelled v =
+  header buf ~name ~help Counter;
+  match labelled with
+  | None -> sample buf name v
+  | Some rows -> List.iter (fun (labels, v) -> sample buf ~labels name v) rows
+
+let gauge buf ~name ~help v =
+  header buf ~name ~help Gauge;
+  sample buf name v
+
+let histogram buf ~name ~help h =
+  header buf ~name ~help Histogram;
+  List.iter
+    (fun (le, n) ->
+      sample buf
+        ~labels:[ ("le", number le) ]
+        (name ^ "_bucket") (float_of_int n))
+    (Hist.cumulative h);
+  sample buf ~labels:[ ("le", "+Inf") ] (name ^ "_bucket")
+    (float_of_int (Hist.count h));
+  sample buf (name ^ "_sum") (Hist.sum h);
+  sample buf (name ^ "_count") (float_of_int (Hist.count h))

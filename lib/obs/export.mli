@@ -1,0 +1,40 @@
+(** Prometheus text-format exposition (version 0.0.4).
+
+    Building blocks for rendering counters, gauges, and {!Hist}
+    histograms as the plain-text format every Prometheus-compatible
+    scraper ingests: a [# HELP]/[# TYPE] header per metric family, one
+    sample per line, label values escaped, histograms expanded into the
+    cumulative [_bucket{le="..."}] series plus [_sum] and [_count]. The
+    engine assembles its full exposition in {!Engine.Session}; this
+    module knows nothing about what is being measured. *)
+
+type kind = Counter | Gauge | Histogram
+
+val header : Buffer.t -> name:string -> help:string -> kind -> unit
+(** The [# HELP name help] and [# TYPE name kind] lines. Newlines in
+    [help] are escaped. *)
+
+val sample :
+  Buffer.t -> ?labels:(string * string) list -> string -> float -> unit
+(** One sample line: [name{labels} value]. Label values are escaped;
+    the value renders in Prometheus syntax ([+Inf], [-Inf], [NaN]
+    included). *)
+
+val counter :
+  Buffer.t ->
+  name:string ->
+  help:string ->
+  ?labelled:((string * string) list * float) list ->
+  float ->
+  unit
+(** Header plus the unlabelled sample; with [labelled], header plus one
+    sample per labelled value instead. *)
+
+val gauge : Buffer.t -> name:string -> help:string -> float -> unit
+
+val histogram : Buffer.t -> name:string -> help:string -> Hist.t -> unit
+(** The full family: one [name_bucket{le="b"}] line per bound, the
+    [le="+Inf"] line, then [name_sum] and [name_count]. *)
+
+val number : float -> string
+(** A float in Prometheus sample syntax. *)

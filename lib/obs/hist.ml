@@ -1,0 +1,68 @@
+type t = {
+  bounds : float array; (* strictly increasing inclusive upper bounds *)
+  counts : int array; (* length bounds + 1; last is the overflow bucket *)
+  mutable count : int;
+  mutable sum : float;
+  mutable max : float;
+}
+
+let create ~bounds =
+  let n = Array.length bounds in
+  if n = 0 then invalid_arg "Hist.create: bounds must be nonempty";
+  for i = 1 to n - 1 do
+    if bounds.(i - 1) >= bounds.(i) then
+      invalid_arg "Hist.create: bounds must be strictly increasing"
+  done;
+  {
+    bounds = Array.copy bounds;
+    counts = Array.make (n + 1) 0;
+    count = 0;
+    sum = 0.;
+    max = 0.;
+  }
+
+let observe t v =
+  let n = Array.length t.bounds in
+  (* bounds arrays are small (~16); a linear scan beats the constant of a
+     binary search and never allocates *)
+  let rec bucket i = if i >= n || v <= t.bounds.(i) then i else bucket (i + 1) in
+  let i = bucket 0 in
+  t.counts.(i) <- t.counts.(i) + 1;
+  t.count <- t.count + 1;
+  t.sum <- t.sum +. v;
+  if v > t.max then t.max <- v
+
+let count t = t.count
+let sum t = t.sum
+let max_value t = t.max
+let bounds t = Array.copy t.bounds
+let bucket_counts t = Array.copy t.counts
+
+let cumulative t =
+  let acc = ref 0 in
+  Array.to_list
+    (Array.mapi
+       (fun i b ->
+         acc := !acc + t.counts.(i);
+         (b, !acc))
+       t.bounds)
+
+let merge a b =
+  if Array.length a.bounds <> Array.length b.bounds
+     || not (Array.for_all2 Float.equal a.bounds b.bounds)
+  then invalid_arg "Hist.merge: histograms have different bounds";
+  let m = create ~bounds:a.bounds in
+  Array.iteri (fun i c -> m.counts.(i) <- c + b.counts.(i)) a.counts;
+  m.count <- a.count + b.count;
+  m.sum <- a.sum +. b.sum;
+  m.max <- Float.max a.max b.max;
+  m
+
+let default_latency_bounds =
+  [|
+    0.0001; 0.00025; 0.0005; 0.001; 0.0025; 0.005; 0.01; 0.025; 0.05; 0.1;
+    0.25; 0.5; 1.; 2.5; 5.; 10.;
+  |]
+
+let default_fuel_bounds =
+  [| 1.; 2.; 5.; 10.; 25.; 50.; 100.; 250.; 500.; 1000.; 5000.; 25000.; 100000. |]

@@ -1,0 +1,54 @@
+(** Fixed-bucket histograms.
+
+    The engine's latency and fuel distributions are summarized as
+    Prometheus-style cumulative histograms: a fixed, strictly increasing
+    array of upper bounds chosen at creation time, one counter per bucket
+    plus an overflow bucket, and running [count]/[sum]/[max]. Fixed
+    buckets make observation O(buckets) with no allocation, make
+    histograms mergeable exactly (bucket counts add), and render directly
+    as the [_bucket{le="..."}] series of the text exposition
+    ({!Export.histogram}).
+
+    A histogram is a plain mutable value with no internal lock: the
+    engine updates it under {!Engine.Metrics.locked}, single-threaded
+    users need nothing. *)
+
+type t
+
+val create : bounds:float array -> t
+(** [bounds] are the buckets' inclusive upper bounds ([v <= b], the
+    Prometheus [le] convention); an implicit overflow bucket catches
+    everything above the last bound. Raises [Invalid_argument] unless
+    the bounds are nonempty and strictly increasing. *)
+
+val observe : t -> float -> unit
+
+val count : t -> int
+(** Observations so far. *)
+
+val sum : t -> float
+val max_value : t -> float
+(** Largest observation; [0.] before any observation. *)
+
+val bounds : t -> float array
+(** A copy of the creation bounds. *)
+
+val bucket_counts : t -> int array
+(** Per-bucket (non-cumulative) counts; the extra final entry is the
+    overflow bucket. A copy. *)
+
+val cumulative : t -> (float * int) list
+(** [(upper_bound, observations <= upper_bound)] per bound, in order —
+    the [_bucket] series without the trailing [+Inf] entry (which is
+    {!count}). *)
+
+val merge : t -> t -> t
+(** A fresh histogram combining both operands' observations exactly
+    (counts and sums add, max is the larger). Raises [Invalid_argument]
+    when the bounds differ. *)
+
+val default_latency_bounds : float array
+(** Request latency buckets, in seconds: 100µs … 10s. *)
+
+val default_fuel_bounds : float array
+(** Per-request rewrite-step buckets: 1 … 100_000. *)

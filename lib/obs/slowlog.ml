@@ -1,0 +1,54 @@
+type entry = {
+  trace_id : string;
+  kind : string;
+  spec : string;
+  latency_s : float;
+  fuel : int;
+  spans : (string * float) list;
+}
+
+type t = {
+  lock : Mutex.t;
+  threshold_s : float;
+  ring : entry option array;
+  mutable next : int; (* write cursor *)
+  mutable length : int;
+}
+
+let default_capacity = 64
+
+let create ?(capacity = default_capacity) ~threshold_s () =
+  if capacity < 1 then invalid_arg "Slowlog.create: capacity must be positive";
+  if threshold_s < 0. then
+    invalid_arg "Slowlog.create: threshold must be non-negative";
+  {
+    lock = Mutex.create ();
+    threshold_s;
+    ring = Array.make capacity None;
+    next = 0;
+    length = 0;
+  }
+
+let threshold_s t = t.threshold_s
+let capacity t = Array.length t.ring
+let length t = Mutex.protect t.lock (fun () -> t.length)
+
+let observe t e =
+  if e.latency_s < t.threshold_s then false
+  else begin
+    Mutex.protect t.lock (fun () ->
+        t.ring.(t.next) <- Some e;
+        t.next <- (t.next + 1) mod Array.length t.ring;
+        if t.length < Array.length t.ring then t.length <- t.length + 1);
+    true
+  end
+
+let entries t =
+  Mutex.protect t.lock (fun () ->
+      let cap = Array.length t.ring in
+      (* oldest first: when full the write cursor points at the oldest *)
+      let start = if t.length < cap then 0 else t.next in
+      List.init t.length (fun i ->
+          match t.ring.((start + i) mod cap) with
+          | Some e -> e
+          | None -> assert false))

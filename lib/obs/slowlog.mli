@@ -1,0 +1,41 @@
+(** The slow-request ring log.
+
+    A bounded ring of the most recent requests whose wall-clock latency
+    met a threshold, each entry carrying its trace ID, request kind,
+    specification, fuel spent, and per-phase span breakdown — enough to
+    answer "where did the time go" for a production incident without
+    replaying anything. The ring overwrites oldest-first and the log is
+    mutex-protected: every connection thread of the engine feeds one
+    shared log, and the [slowlog] protocol verb reads it. *)
+
+type entry = {
+  trace_id : string;
+  kind : string;  (** Request kind ({!Engine.Protocol.kind_name}). *)
+  spec : string;  (** Specification name, ["-"] when the kind has none. *)
+  latency_s : float;
+  fuel : int;  (** Rewrite steps this request spent. *)
+  spans : (string * float) list;
+      (** Per-phase breakdown [(name, seconds)] ({!Trace.breakdown}). *)
+}
+
+type t
+
+val default_capacity : int
+(** 64. *)
+
+val create : ?capacity:int -> threshold_s:float -> unit -> t
+(** Raises [Invalid_argument] when [capacity < 1] or [threshold_s] is
+    negative. *)
+
+val threshold_s : t -> float
+val capacity : t -> int
+
+val length : t -> int
+(** Entries currently held; at most [capacity]. *)
+
+val observe : t -> entry -> bool
+(** Records the entry iff [entry.latency_s >= threshold_s t], evicting
+    the oldest entry when full; returns whether it was recorded. *)
+
+val entries : t -> entry list
+(** Oldest first. *)

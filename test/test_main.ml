@@ -17,6 +17,7 @@ let () =
       ("memo", Test_memo.suite);
       ("interp", Test_interp.suite);
       ("engine", Test_engine.suite);
+      ("obs", Test_obs.suite);
       ("server", Test_server.suite);
       ("model", Test_model.suite);
       ("proof", Test_proof.suite);

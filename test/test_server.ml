@@ -145,6 +145,53 @@ let test_busy_backpressure () =
   stop := true;
   Thread.join server
 
+let test_concurrent_tracing () =
+  (* threshold 0: every request enters the slow-request ring, so the log
+     is a complete record of what the concurrent clients did *)
+  let session = Session.create ~slowlog_ms:0. [ Queue_spec.spec ] in
+  let path, stop, server = start_server session in
+  let n_clients = 4 and rounds = 5 in
+  let clients = List.init n_clients (fun _ -> connect path) in
+  for _ = 1 to rounds do
+    List.iter
+      (fun c -> send c "normalize Queue FRONT(REMOVE(ADD(ADD(NEW, ITEM1), ITEM2)))")
+      clients;
+    List.iter (fun c -> check_prefix "answered" "ok normalize" (recv c)) clients
+  done;
+  (* read the ring over the wire: a first line announcing the entry
+     count, then one line per entry *)
+  let reader = List.hd clients in
+  send reader "slowlog";
+  let header = recv reader in
+  let announced =
+    try Scanf.sscanf header "ok slowlog entries=%d" Fun.id
+    with Scanf.Scan_failure _ | End_of_file ->
+      Alcotest.failf "unexpected slowlog header %S" header
+  in
+  Alcotest.(check int) "every request was logged" (n_clients * rounds) announced;
+  let entries = List.init announced (fun _ -> recv reader) in
+  stop := true;
+  List.iter close clients;
+  Thread.join server;
+  let trace_ids =
+    List.map
+      (fun line ->
+        check_prefix "entry" "slow trace=" line;
+        (* trace IDs are process-unique even under concurrency, and every
+           entry carries the nested per-phase span breakdown *)
+        List.iter
+          (fun fragment ->
+            Alcotest.(check bool)
+              (Fmt.str "%S has %S" line fragment)
+              true
+              (Astring_contains.contains line fragment))
+          [ "kind=normalize"; "spec=Queue"; "spans=parse:"; "dispatch:"; "respond:" ];
+        Scanf.sscanf line "slow trace=%s@ " Fun.id)
+      entries
+  in
+  Alcotest.(check int) "concurrent trace ids are distinct" announced
+    (List.length (List.sort_uniq String.compare trace_ids))
+
 let test_refuses_non_socket () =
   let path = Filename.temp_file "adtc-not-a-socket" ".txt" in
   let oc = open_out path in
@@ -170,5 +217,7 @@ let suite =
     Helpers.case "concurrent clients get isolated responses, disconnects survive"
       test_concurrent_clients;
     Helpers.case "busy backpressure beyond max-clients" test_busy_backpressure;
+    Helpers.case "concurrent tracing: distinct ids, nested spans in the slowlog"
+      test_concurrent_tracing;
     Helpers.case "refuses to unlink a non-socket path" test_refuses_non_socket;
   ]
