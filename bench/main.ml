@@ -1,7 +1,7 @@
 (* Benchmark harness: one section per experiment of DESIGN.md / EXPERIMENTS.md.
 
    The paper (Guttag, CACM 1977) has no quantitative tables; its measurable
-   claims and exhibited artifacts are reproduced here as experiments E1-E9.
+   claims and exhibited artifacts are reproduced here as experiments E1-E12.
    Sections print the artifact reproductions (the ring-buffer figures, the
    mechanical proof, the prompting transcript, the axiom diff) and time the
    claims that are about cost (symbolic interpretation overhead,
@@ -624,6 +624,34 @@ let e11 () =
       t "e11/tracing=on+slowlog/batch" (fun () -> e9_replay logged);
     ]
 
+(* {1 E12 - lint wall-clock over the builtin library and a seeded fault} *)
+
+let e12 () =
+  Fmt.pr "@.=== E12: lint cost ===@.";
+  let specs = Corpus.all in
+  Fmt.pr
+    "(full lint = ADT001 completeness prompts + ADT002 critical pairs + the \
+     static ADT01x@.";
+  Fmt.pr
+    " passes; static-only is what `adtc check` adds on top of its own \
+     reports)@.";
+  let findings =
+    List.fold_left
+      (fun n spec -> n + List.length (Analysis.Lint.run spec))
+      0 specs
+  in
+  Fmt.pr "  builtin library: %d specification(s), %d finding(s)@."
+    (List.length specs) findings;
+  report_group "lint wall-clock"
+    [
+      t "e12/lint/builtin-library" (fun () ->
+          List.iter (fun spec -> ignore (Analysis.Lint.run spec)) specs);
+      t "e12/lint-static/builtin-library" (fun () ->
+          List.iter (fun spec -> ignore (Analysis.Lint.static spec)) specs);
+      t "e12/lint/queue" (fun () ->
+          ignore (Analysis.Lint.run Queue_spec.spec));
+    ]
+
 let () =
   Fmt.pr "Reproduction benches for Guttag, 'Abstract Data Types and the Development of Data Structures' (CACM 1977)@.";
   let json_path = ref None in
@@ -647,5 +675,6 @@ let () =
   e9 ();
   e10 ();
   e11 ();
+  e12 ();
   Option.iter write_json !json_path;
   Fmt.pr "@.done.@."

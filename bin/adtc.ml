@@ -3,6 +3,7 @@
    Subcommands:
      check       parse a .adt file, report sufficient-completeness and
                  consistency
+     lint        run every ADTxxx lint rule; text, JSON-lines or SARIF
      skeletons   print the missing-axiom prompts (the paper's interactive
                  system)
      normalize   evaluate a term symbolically against a specification
@@ -62,6 +63,28 @@ let file_arg =
     & pos 0 (some file) None
     & info [] ~docv:"FILE" ~doc:"Specification file (.adt).")
 
+let fuel_opt =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "fuel" ] ~docv:"N" ~doc:"Rewrite-step budget for this run.")
+
+(* exit-code contract shared by check and lint, documented in both man
+   pages: 0 clean, 1 findings, 2 parse error, plus cmdliner's defaults
+   (124 command-line error, 125 internal error) *)
+let analysis_exits =
+  [
+    Cmd.Exit.info 0
+      ~doc:
+        "on a clean specification: sufficiently complete, consistent, and \
+         free of findings at or above the failure threshold.";
+    Cmd.Exit.info 1 ~doc:"when findings were reported.";
+    Cmd.Exit.info 2 ~doc:"on a parse error in a specification file.";
+    Cmd.Exit.info Cmd.Exit.cli_error ~doc:"on command-line parsing errors.";
+    Cmd.Exit.info Cmd.Exit.internal_error
+      ~doc:"on unexpected internal errors (bugs).";
+  ]
+
 let check_cmd =
   let run libs file =
     let specs = load_specs ~lib:(load_library libs) file in
@@ -73,18 +96,157 @@ let check_cmd =
           Fmt.pr "%a@." Adt.Completeness.pp_report comp;
           let cons = Adt.Consistency.check spec in
           Fmt.pr "%a@." Adt.Consistency.pp_report cons;
+          (* the static lint rules (ADT010..ADT014) catch defects the two
+             semantic reports above cannot: a full lint run is `adtc lint` *)
+          let static = Analysis.Lint.static spec in
+          List.iter
+            (fun d -> Fmt.pr "%s@." (Analysis.Diagnostic.to_line d))
+            static;
+          let lint_ok =
+            not
+              (List.exists
+                 (fun d ->
+                   d.Analysis.Diagnostic.severity = Analysis.Diagnostic.Error)
+                 static)
+          in
           let ok =
             Adt.Completeness.is_complete comp
             && Adt.Consistency.is_consistent spec cons
+            && lint_ok
           in
           Fmt.pr "@.";
           if ok then failures else failures + 1)
         0 specs
     in
-    if failures > 0 then exit 1
+    if failures > 0 then 1 else 0
   in
-  let doc = "Check sufficient-completeness and consistency of specifications." in
-  Cmd.v (Cmd.info "check" ~doc) Term.(const run $ lib_arg $ file_arg)
+  let doc =
+    "Check sufficient-completeness and consistency of specifications (plus \
+     the static ADTxxx lint rules; error-severity findings fail the check)."
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc ~exits:analysis_exits)
+    Term.(const run $ lib_arg $ file_arg)
+
+let lint_cmd =
+  let all_flag =
+    Arg.(
+      value & flag
+      & info [ "all" ]
+          ~doc:
+            "Lint every specification of the builtin library (the paper's \
+             corpus) instead of files.")
+  in
+  let files_arg =
+    Arg.(
+      value & pos_all file []
+      & info [] ~docv:"FILE" ~doc:"Specification files (.adt) to lint.")
+  in
+  let format_arg =
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("json", `Json); ("sarif", `Sarif) ]) `Text
+      & info [ "format" ] ~docv:"FORMAT"
+          ~doc:
+            "Output format: $(b,text) (one human-readable line per finding \
+             plus a summary), $(b,json) (one JSON object per finding per \
+             line), or $(b,sarif) (a SARIF 2.1.0 log).")
+  in
+  let deny_arg =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("error", Analysis.Diagnostic.Error);
+               ("warning", Analysis.Diagnostic.Warning);
+               ("info", Analysis.Diagnostic.Info);
+             ])
+          Analysis.Diagnostic.Error
+      & info [ "deny" ] ~docv:"SEVERITY"
+          ~doc:
+            "Fail (exit 1) when a finding of at least this severity is \
+             reported; $(b,error) by default, so warnings are advisory \
+             unless $(b,--deny warning) is given.")
+  in
+  let rule_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "rule" ] ~docv:"CODE[,CODE]"
+          ~doc:
+            "Run only these comma-separated rule codes (e.g. \
+             $(b,ADT001,ADT010)); all rules by default.")
+  in
+  let run libs all files format deny rules fuel =
+    let only = Option.map (String.split_on_char ',') rules in
+    let bad_codes =
+      match only with
+      | None -> []
+      | Some codes ->
+        List.filter
+          (fun c -> not (List.mem c Analysis.Diagnostic.codes))
+          codes
+    in
+    if bad_codes <> [] then begin
+      Fmt.epr "adtc lint: unknown rule code%s %s (published: %s)@."
+        (if List.length bad_codes > 1 then "s" else "")
+        (String.concat ", " bad_codes)
+        (String.concat ", " Analysis.Diagnostic.codes);
+      Cmd.Exit.cli_error
+    end
+    else if (not all) && files = [] then begin
+      Fmt.epr "adtc lint: expected --all or at least one FILE@.";
+      Cmd.Exit.cli_error
+    end
+    else begin
+      let config = { Analysis.Lint.only; fuel } in
+      let groups =
+        if all then
+          List.map
+            (fun spec ->
+              ( "builtin/" ^ Adt.Spec.name spec,
+                Analysis.Lint.run ~config spec ))
+            Adt_specs.Corpus.all
+        else
+          let lib = load_library libs in
+          List.concat_map
+            (fun file ->
+              List.map
+                (fun spec -> (file, Analysis.Lint.run ~config spec))
+                (load_specs ~lib file))
+            files
+      in
+      (match format with
+      | `Text -> print_endline (Analysis.Render.text groups)
+      | `Json ->
+        let body = Analysis.Render.json_lines groups in
+        if not (String.equal body "") then print_endline body
+      | `Sarif -> print_endline (Analysis.Render.sarif groups));
+      let failing =
+        List.exists
+          (fun (_, diags) ->
+            List.exists
+              (fun d ->
+                Analysis.Diagnostic.severity_at_least
+                  d.Analysis.Diagnostic.severity ~threshold:deny)
+              diags)
+          groups
+      in
+      if failing then 1 else 0
+    end
+  in
+  let doc =
+    "Run every ADTxxx lint rule over specifications: the sufficient-\
+     completeness and critical-pair analyses (ADT001, ADT002) plus the \
+     static rules (non-left-linear axioms, free right-hand-side variables, \
+     dead axioms, unreachable sorts, error-matching axioms)."
+  in
+  Cmd.v
+    (Cmd.info "lint" ~doc ~exits:analysis_exits)
+    Term.(
+      const run $ lib_arg $ all_flag $ files_arg $ format_arg $ deny_arg
+      $ rule_arg $ fuel_opt)
 
 let skeletons_cmd =
   let run libs file =
@@ -99,7 +261,8 @@ let skeletons_cmd =
           Fmt.pr "=== %s: %d missing case(s) ===@." (Adt.Spec.name spec)
             (List.length prompts);
           List.iter (fun p -> Fmt.pr "%a@." Adt.Heuristics.pp_prompt p) prompts)
-      specs
+      specs;
+    0
   in
   let doc = "Prompt for the axioms a sufficiently complete specification still needs." in
   Cmd.v (Cmd.info "skeletons" ~doc) Term.(const run $ lib_arg $ file_arg)
@@ -127,19 +290,13 @@ let memo_flag =
     & info [ "memo" ]
         ~doc:"Normalize through a bounded LRU normal-form cache.")
 
-let fuel_opt =
-  Arg.(
-    value
-    & opt (some int) None
-    & info [ "fuel" ] ~docv:"N" ~doc:"Rewrite-step budget for this run.")
-
 let normalize_cmd =
   let run libs file term_src trace stats memo fuel =
     let spec = last_spec ~lib:(load_library libs) file in
     match Adt.Parser.parse_term spec term_src with
     | Error e ->
       Fmt.epr "term:%a@." Adt.Parser.pp_error e;
-      exit 2
+      2
     | Ok term -> (
       let interp = Adt.Interp.create ?fuel ~memo spec in
       let print_stats steps =
@@ -164,10 +321,11 @@ let normalize_cmd =
           Fmt.pr "%a@." Adt.Interp.pp_value value;
           if stats then print_stats steps
         end
-        else Fmt.pr "%a@." Adt.Term.pp (Adt.Interp.reduce interp term)
+        else Fmt.pr "%a@." Adt.Term.pp (Adt.Interp.reduce interp term);
+        0
       with Adt.Rewrite.Out_of_fuel partial ->
         Fmt.epr "diverged (out of fuel); last term: %a@." Adt.Term.pp partial;
-        exit 1)
+        1)
   in
   let doc = "Evaluate a ground term symbolically (the paper's section-5 interpreter)." in
   Cmd.v
@@ -182,10 +340,13 @@ let complete_cmd =
     let outcome, stats = Adt.Completion.complete_spec spec in
     Fmt.pr "%a@.%a@." Adt.Completion.pp_outcome outcome Adt.Completion.pp_stats
       stats;
-    (match outcome with
+    match outcome with
     | Adt.Completion.Completed sys ->
-      List.iter (fun r -> Fmt.pr "  %a@." Adt.Rewrite.pp_rule r) (Adt.Rewrite.rules sys)
-    | Adt.Completion.Failed _ -> exit 1)
+      List.iter
+        (fun r -> Fmt.pr "  %a@." Adt.Rewrite.pp_rule r)
+        (Adt.Rewrite.rules sys);
+      0
+    | Adt.Completion.Failed _ -> 1
   in
   let doc = "Run Knuth-Bendix completion on a specification's axioms." in
   Cmd.v (Cmd.info "complete" ~doc) Term.(const run $ lib_arg $ file_arg)
@@ -234,7 +395,8 @@ let prove_cmd =
     let cfg = Adt.Proof.config spec in
     match Adt.Proof.prove cfg (lhs, rhs) with
     | Adt.Proof.Proved p ->
-      Fmt.pr "PROVED:@.%a@." Adt.Proof.pp_proof p
+      Fmt.pr "PROVED:@.%a@." Adt.Proof.pp_proof p;
+      0
     | Adt.Proof.Unknown _ as outcome ->
       Fmt.pr "%a@." Adt.Proof.pp_outcome outcome;
       (* try to settle it the other way: a small counterexample search *)
@@ -244,7 +406,7 @@ let prove_cmd =
         Fmt.pr "REFUTED at %a:@.  left ~> %a, right ~> %a@." Adt.Subst.pp sub
           Adt.Term.pp got Adt.Term.pp expected
       | None -> Fmt.pr "(no small counterexample found either)@.");
-      exit 1
+      1
   in
   let doc =
     "Prove an equation from a specification (normalization, case analysis, \
@@ -278,10 +440,9 @@ let program_arg =
 let report_outcome outcome =
   Fmt.pr "%a@." Blocklang.Driver.pp_outcome outcome;
   match outcome with
-  | Blocklang.Driver.Ran _ -> ()
-  | Blocklang.Driver.Parse_error _ -> exit 2
-  | Blocklang.Driver.Check_errors _ | Blocklang.Driver.Runtime_error _ ->
-    exit 1
+  | Blocklang.Driver.Ran _ -> 0
+  | Blocklang.Driver.Parse_error _ -> 2
+  | Blocklang.Driver.Check_errors _ | Blocklang.Driver.Runtime_error _ -> 1
 
 let compile_cmd =
   let run backend file =
@@ -318,7 +479,7 @@ let verify_cmd =
             Adt.Term.pp lhs Adt.Term.pp rhs Adt.Proof.pp_outcome
             r.Adt_specs.Refinement.outcome)
         details;
-    if not (Adt_specs.Refinement.all_proved results) then exit 1
+    if Adt_specs.Refinement.all_proved results then 0 else 1
   in
   let doc =
     "Mechanically verify the stack-of-arrays representation of Symboltable \
@@ -418,11 +579,15 @@ let serve_cmd =
     in
     match socket with
     | Some path -> (
-      try Engine.Server.serve_socket ~max_clients session ~path
+      try
+        Engine.Server.serve_socket ~max_clients session ~path;
+        0
       with Failure message | Invalid_argument message ->
         Fmt.epr "adtc serve: %s@." message;
-        exit 2)
-    | None -> Engine.Server.serve session stdin stdout
+        2)
+    | None ->
+      Engine.Server.serve session stdin stdout;
+      0
   in
   let doc =
     "Serve normalize/check/skeletons/prove/stats/metrics/slowlog requests \
@@ -455,7 +620,8 @@ let batch_cmd =
     let ic = if String.equal requests "-" then stdin else open_in requests in
     Fun.protect
       ~finally:(fun () -> if not (String.equal requests "-") then close_in_noerr ic)
-      (fun () -> Engine.Server.serve ~echo:true session ic stdout)
+      (fun () -> Engine.Server.serve ~echo:true session ic stdout);
+    0
   in
   let doc =
     "Replay an engine request script deterministically, echoing each \
@@ -494,17 +660,20 @@ let engine_trace_cmd =
       make_session ~tracing:true libs files ~fuel ~timeout ~cache_capacity
     in
     let outcome, result = Engine.Dispatch.handle_line_obs session request in
-    (match outcome with
-    | Engine.Dispatch.Reply line -> print_endline line
-    | Engine.Dispatch.Closed -> print_endline "ok bye"
+    match outcome with
     | Engine.Dispatch.Silent ->
       Fmt.epr "adtc trace: nothing to trace in a blank or comment line@.";
-      exit 2);
-    match result with
-    | Some r ->
-      print_endline
-        (Obs.Trace.result_to_json ~meta:[ ("request", request) ] r)
-    | None -> ()
+      2
+    | Engine.Dispatch.Reply _ | Engine.Dispatch.Closed ->
+      (match outcome with
+      | Engine.Dispatch.Reply line -> print_endline line
+      | _ -> print_endline "ok bye");
+      (match result with
+      | Some r ->
+        print_endline
+          (Obs.Trace.result_to_json ~meta:[ ("request", request) ] r)
+      | None -> ());
+      0
   in
   let doc =
     "Trace one engine request: print its response line, then a JSON span \
@@ -544,16 +713,21 @@ let engine_stats_cmd =
         ~cache_capacity
     in
     Option.iter (replay_requests session) requests;
-    if prometheus then print_string (Engine.Session.prometheus session)
+    if prometheus then begin
+      print_string (Engine.Session.prometheus session);
+      0
+    end
     else
       match
         Engine.Dispatch.handle_request session
           (Engine.Protocol.Stats { verbose = false })
       with
-      | Engine.Protocol.Ok_response payload -> print_endline payload
+      | Engine.Protocol.Ok_response payload ->
+        print_endline payload;
+        0
       | Engine.Protocol.Error_response { code; message } ->
         Fmt.epr "adtc stats: %s %s@." code message;
-        exit 1
+        1
   in
   let doc =
     "Report an engine session's metrics — optionally after replaying a \
@@ -573,6 +747,7 @@ let main =
     (Cmd.info "adtc" ~version:"1.0.0" ~doc)
     [
       check_cmd;
+      lint_cmd;
       skeletons_cmd;
       normalize_cmd;
       complete_cmd;
@@ -586,4 +761,4 @@ let main =
       engine_stats_cmd;
     ]
 
-let () = exit (Cmd.eval main)
+let () = exit (Cmd.eval' main)

@@ -1,0 +1,40 @@
+open Adt
+
+let axiom_label ax = if Axiom.name ax = "" then None else Some (Axiom.name ax)
+
+let subsumes earlier ax =
+  Op.equal (Axiom.head earlier) (Axiom.head ax)
+  && Subst.match_term ~pattern:(Axiom.lhs earlier) (Axiom.lhs ax) <> None
+
+let check spec =
+  let rec walk seen = function
+    | [] -> []
+    | ax :: rest ->
+      let here =
+        match List.find_opt (fun earlier -> subsumes earlier ax) seen with
+        | None -> []
+        | Some earlier ->
+          let earlier_ref =
+            if Axiom.name earlier = "" then
+              Fmt.str "an earlier axiom (%a = ...)" Term.pp (Axiom.lhs earlier)
+            else Fmt.str "axiom [%s]" (Axiom.name earlier)
+          in
+          [
+            Diagnostic.v ~code:"ADT012" ~severity:Diagnostic.Warning
+              ~spec:(Spec.name spec)
+              ~op:(Op.name (Axiom.head ax))
+              ?axiom:(axiom_label ax)
+              ~suggestion:
+                (Fmt.str
+                   "delete the axiom or reorder it before %s if it is meant \
+                    to be a special case"
+                   earlier_ref)
+              (Fmt.str
+                 "left-hand side %a is an instance of %s, which matches \
+                  first; this axiom can never fire"
+                 Term.pp (Axiom.lhs ax) earlier_ref);
+          ]
+      in
+      here @ walk (seen @ [ ax ]) rest
+  in
+  walk [] (Spec.axioms spec)

@@ -1,0 +1,7 @@
+(** ADT012 [dead-axiom]: an axiom whose left-hand side is an instance of an
+    earlier axiom's left-hand side for the same operation. The innermost
+    strategy tries axioms in declaration order, so the later axiom can never
+    fire — usually a sign of an accidental overlap or a refactoring
+    leftover. *)
+
+val check : Adt.Spec.t -> Diagnostic.t list

@@ -1,0 +1,115 @@
+type severity = Error | Warning | Info
+
+let severity_name = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let severity_of_string = function
+  | "error" -> Some Error
+  | "warning" -> Some Warning
+  | "info" -> Some Info
+  | _ -> None
+
+let rank = function Error -> 2 | Warning -> 1 | Info -> 0
+let severity_at_least s ~threshold = rank s >= rank threshold
+
+type locus = { spec : string; op : string option; axiom : string option }
+
+type t = {
+  code : string;
+  severity : severity;
+  locus : locus;
+  message : string;
+  suggestion : string option;
+}
+
+type rule_info = {
+  rule_code : string;
+  slug : string;
+  default_severity : severity;
+  summary : string;
+}
+
+let rules =
+  [
+    {
+      rule_code = "ADT001";
+      slug = "missing-case";
+      default_severity = Error;
+      summary =
+        "An observer applied to a constructor case no axiom covers: the \
+         specification is not sufficiently complete (boundary conditions \
+         are particularly likely to be overlooked).";
+    };
+    {
+      rule_code = "ADT002";
+      slug = "critical-pair-divergence";
+      default_severity = Error;
+      summary =
+        "Two axioms rewrite a common instance to different normal forms; \
+         distinct value normal forms prove the axiomatisation inconsistent.";
+    };
+    {
+      rule_code = "ADT010";
+      slug = "non-left-linear";
+      default_severity = Warning;
+      summary =
+        "A variable occurs twice in an axiom's left-hand side; non-left-\
+         linear rules weaken confluence analysis and match by syntactic \
+         equality only.";
+    };
+    {
+      rule_code = "ADT011";
+      slug = "free-rhs-variable";
+      default_severity = Error;
+      summary =
+        "The right-hand side uses a variable the left-hand side does not \
+         bind: the axiom is not executable as a rewrite rule and is \
+         ignored by the symbolic interpreter.";
+    };
+    {
+      rule_code = "ADT012";
+      slug = "dead-axiom";
+      default_severity = Warning;
+      summary =
+        "An earlier axiom of the same operation subsumes this one's \
+         left-hand side, so this axiom can never fire.";
+    };
+    {
+      rule_code = "ADT013";
+      slug = "unreachable-sort";
+      default_severity = Error;
+      summary =
+        "A sort with declared constructors admits no ground constructor \
+         term: the type of interest is uninhabited.";
+    };
+    {
+      rule_code = "ADT014";
+      slug = "non-strict-error";
+      default_severity = Warning;
+      summary =
+        "An axiom pattern-matches on the error value; strict error \
+         propagation is builtin and rewrites the argument first, so the \
+         axiom can never fire.";
+    };
+  ]
+
+let codes = List.map (fun r -> r.rule_code) rules
+let info code = List.find (fun r -> String.equal r.rule_code code) rules
+let slug_of_code code = (info code).slug
+
+let v ~code ~severity ~spec ?op ?axiom ?suggestion message =
+  if not (List.mem code codes) then
+    invalid_arg (Fmt.str "Diagnostic.v: unpublished rule code %s" code);
+  { code; severity; locus = { spec; op; axiom }; message; suggestion }
+
+let pp ppf d =
+  Fmt.pf ppf "%s %s %s %s" d.code (slug_of_code d.code)
+    (severity_name d.severity) d.locus.spec;
+  Option.iter (Fmt.pf ppf ", op %s") d.locus.op;
+  Option.iter (Fmt.pf ppf ", axiom [%s]") d.locus.axiom;
+  Fmt.pf ppf ": %s" d.message;
+  Option.iter (Fmt.pf ppf " (suggest: %s)") d.suggestion
+
+let to_line d = Fmt.str "%a" pp d

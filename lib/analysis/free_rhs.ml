@@ -1,0 +1,30 @@
+open Adt
+
+let axiom_label ax = if Axiom.name ax = "" then None else Some (Axiom.name ax)
+
+let check spec =
+  List.concat_map
+    (fun ax ->
+      match Axiom.free_rhs_vars ax with
+      | [] -> []
+      | free ->
+        let names = String.concat ", " (List.map fst free) in
+        [
+          Diagnostic.v ~code:"ADT011" ~severity:Diagnostic.Error
+            ~spec:(Spec.name spec)
+            ~op:(Op.name (Axiom.head ax))
+            ?axiom:(axiom_label ax)
+            ~suggestion:
+              (Fmt.str
+                 "bind %s on the left-hand side or replace it with a ground \
+                  term"
+                 names)
+            (Fmt.str
+               "right-hand side %a uses variable%s %s not bound by the \
+                left-hand side %a; the axiom is not executable and the \
+                interpreter ignores it"
+               Term.pp (Axiom.rhs ax)
+               (if List.length free > 1 then "s" else "")
+               names Term.pp (Axiom.lhs ax));
+        ])
+    (Spec.axioms spec)

@@ -1,0 +1,8 @@
+(** ADT011 [free-rhs-variable]: axioms whose right-hand side uses a
+    variable the left-hand side does not bind. Such an equation cannot be
+    read as a rewrite rule (Guttag's restriction that makes specifications
+    executable, section 5); the loader accepts it leniently and
+    {!Adt.Rewrite.of_spec} skips it, so without this diagnostic the axiom
+    would be silently ignored. *)
+
+val check : Adt.Spec.t -> Diagnostic.t list

@@ -1,0 +1,41 @@
+open Adt
+
+let axiom_label ax = if Axiom.name ax = "" then None else Some (Axiom.name ax)
+
+let repeated_vars ax =
+  let lhs = Axiom.lhs ax in
+  let count x =
+    Term.fold
+      (fun n t ->
+        match t with
+        | Term.Var (y, _) when String.equal x y -> n + 1
+        | _ -> n)
+      0 lhs
+  in
+  List.filter (fun (x, _) -> count x > 1) (Term.vars lhs)
+
+let check spec =
+  List.concat_map
+    (fun ax ->
+      match repeated_vars ax with
+      | [] -> []
+      | repeated ->
+        let names = String.concat ", " (List.map fst repeated) in
+        [
+          Diagnostic.v ~code:"ADT010" ~severity:Diagnostic.Warning
+            ~spec:(Spec.name spec)
+            ~op:(Op.name (Axiom.head ax))
+            ?axiom:(axiom_label ax)
+            ~suggestion:
+              (Fmt.str
+                 "split the repeated variable into distinct variables and \
+                  discriminate with an equality observer")
+            (Fmt.str
+               "left-hand side %a is not left-linear (variable%s %s occur%s \
+                more than once)"
+               Term.pp (Axiom.lhs ax)
+               (if List.length repeated > 1 then "s" else "")
+               names
+               (if List.length repeated > 1 then "" else "s"));
+        ])
+    (Spec.axioms spec)

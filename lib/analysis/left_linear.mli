@@ -1,0 +1,6 @@
+(** ADT010 [non-left-linear]: axioms whose left-hand side repeats a
+    variable. All of the paper's specifications are left-linear; a repeated
+    variable matches by syntactic equality only and weakens the critical-
+    pair analysis ({!Adt.Consistency}), so it is worth flagging. *)
+
+val check : Adt.Spec.t -> Diagnostic.t list

@@ -1,0 +1,125 @@
+open Adt
+
+type config = { only : string list option; fuel : int option }
+
+let default_config = { only = None; fuel = None }
+
+(* ADT001: adapt the heuristic prompting system. Each missing constructor
+   case becomes one finding; the suggestion is the forced right-hand side
+   when the heuristics found one, otherwise the [lhs = error] stub that
+   {!Heuristics.stub_axioms} would generate. *)
+let missing_cases spec =
+  List.map
+    (fun (p : Heuristics.prompt) ->
+      let kind =
+        match p.kind with
+        | Heuristics.Boundary -> "boundary case"
+        | Heuristics.General -> "general case"
+      in
+      let suggestion =
+        match p.suggested_rhs with
+        | Some rhs -> Fmt.str "add the axiom %a = %a" Term.pp p.missing_lhs Term.pp rhs
+        | None -> Fmt.str "stub with %a = error and refine" Term.pp p.missing_lhs
+      in
+      Diagnostic.v ~code:"ADT001" ~severity:Diagnostic.Error
+        ~spec:(Spec.name spec) ~op:(Op.name p.op) ~suggestion
+        (Fmt.str "no axiom covers %s %a; %s" kind Term.pp p.missing_lhs
+           p.question))
+    (Heuristics.prompts spec)
+
+(* ADT002: adapt the critical-pair analysis. Distinct value normal forms
+   prove inconsistency (error); divergence between non-value terms is a
+   warning; a joinability-search timeout is informational. *)
+let critical_pairs ?fuel spec =
+  let report = Consistency.check ?fuel spec in
+  let is_value t = Spec.is_constructor_ground_term spec t || Term.is_error t in
+  let op_of_peak = function Term.App (op, _) -> Some (Op.name op) | _ -> None in
+  List.filter_map
+    (fun ((cp : Consistency.cp), verdict) ->
+      let mk severity message suggestion =
+        Some
+          (Diagnostic.v ~code:"ADT002" ~severity ~spec:(Spec.name spec)
+             ?op:(op_of_peak cp.Consistency.peak)
+             ~axiom:cp.Consistency.rule1 ~suggestion message)
+      in
+      match verdict with
+      | Consistency.Joinable _ -> None
+      | Consistency.Diverges (l, r) when is_value l && is_value r ->
+        mk Diagnostic.Error
+          (Fmt.str
+             "axioms [%s] and [%s] rewrite %a to distinct values %a and %a: \
+              the axiomatisation is inconsistent"
+             cp.Consistency.rule1 cp.Consistency.rule2 Term.pp
+             cp.Consistency.peak Term.pp l Term.pp r)
+          (Fmt.str "reconcile the overlapping axioms [%s] and [%s]"
+             cp.Consistency.rule1 cp.Consistency.rule2)
+      | Consistency.Diverges (l, r) ->
+        mk Diagnostic.Warning
+          (Fmt.str
+             "axioms [%s] and [%s] rewrite %a to distinct normal forms %a \
+              and %a; local confluence fails"
+             cp.Consistency.rule1 cp.Consistency.rule2 Term.pp
+             cp.Consistency.peak Term.pp l Term.pp r)
+          (Fmt.str "add an axiom joining %a and %a" Term.pp l Term.pp r)
+      | Consistency.Timeout ->
+        mk Diagnostic.Info
+          (Fmt.str
+             "joinability of the critical pair of [%s] and [%s] at %a was \
+              not decided within the fuel budget"
+             cp.Consistency.rule1 cp.Consistency.rule2 Term.pp
+             cp.Consistency.peak)
+          "re-run with a larger fuel budget")
+    report.Consistency.pairs
+
+let static_codes = [ "ADT010"; "ADT011"; "ADT012"; "ADT013"; "ADT014" ]
+
+let pass_of_code = function
+  | "ADT010" -> Left_linear.check
+  | "ADT011" -> Free_rhs.check
+  | "ADT012" -> Dead_axiom.check
+  | "ADT013" -> Reachability.check
+  | "ADT014" -> Strict_error.check
+  | code -> invalid_arg (Fmt.str "Lint.pass_of_code: %s" code)
+
+let run ?(config = default_config) spec =
+  let wanted code =
+    match config.only with
+    | None -> true
+    | Some codes ->
+      List.iter
+        (fun c ->
+          if not (List.mem c Diagnostic.codes) then
+            invalid_arg (Fmt.str "Lint.run: unknown rule code %s" c))
+        codes;
+      List.mem code codes
+  in
+  List.concat_map
+    (fun (r : Diagnostic.rule_info) ->
+      if not (wanted r.Diagnostic.rule_code) then []
+      else
+        match r.Diagnostic.rule_code with
+        | "ADT001" -> missing_cases spec
+        | "ADT002" -> critical_pairs ?fuel:config.fuel spec
+        | code -> pass_of_code code spec)
+    Diagnostic.rules
+
+let static spec = run ~config:{ only = Some static_codes; fuel = None } spec
+
+let counts_by_rule diags =
+  List.map
+    (fun code ->
+      ( code,
+        List.length (List.filter (fun d -> String.equal d.Diagnostic.code code) diags)
+      ))
+    Diagnostic.codes
+
+let max_severity diags =
+  List.fold_left
+    (fun acc d ->
+      match acc with
+      | None -> Some d.Diagnostic.severity
+      | Some s ->
+        if Diagnostic.severity_at_least d.Diagnostic.severity ~threshold:s then
+          Some d.Diagnostic.severity
+        else acc)
+    None diags

@@ -1,0 +1,37 @@
+(** The lint driver: one entry point that runs every published rule over a
+    specification and returns the findings as {!Diagnostic.t} values.
+
+    Two rules adapt existing semantic analyses — ADT001 wraps
+    {!Adt.Heuristics.prompts} (sufficient completeness) and ADT002 wraps
+    {!Adt.Consistency.check} (critical pairs) — while the ADT01x rules are
+    purely syntactic passes over the axiom list. [static] runs only the
+    syntactic passes; [adtc check] uses it to avoid re-reporting
+    completeness and consistency results it already prints itself. *)
+
+type config = {
+  only : string list option;
+      (** Restrict to these rule codes; [None] runs every rule. Unknown
+          codes raise [Invalid_argument] in {!run}. *)
+  fuel : int option;
+      (** Fuel for the ADT002 joinability search ([None] = the
+          {!Adt.Consistency.check} default). *)
+}
+
+val default_config : config
+
+val run : ?config:config -> Adt.Spec.t -> Diagnostic.t list
+(** All findings, grouped by rule code in the order of
+    {!Diagnostic.rules}. *)
+
+val static_codes : string list
+(** The purely syntactic rules: ADT010, ADT011, ADT012, ADT013, ADT014. *)
+
+val static : Adt.Spec.t -> Diagnostic.t list
+(** [run] restricted to {!static_codes}. *)
+
+val counts_by_rule : Diagnostic.t list -> (string * int) list
+(** Findings per rule code, every published code present (zero included),
+    in {!Diagnostic.rules} order. *)
+
+val max_severity : Diagnostic.t list -> Diagnostic.severity option
+(** The most severe finding, [None] on a clean report. *)

@@ -1,0 +1,58 @@
+open Adt
+
+(* Inhabitation fixpoint. A sort is inhabited when
+
+   - it declares no constructors in this specification (it is an abstract
+     parameter, e.g. Item in the Queue spec), or
+   - some constructor of the sort has all argument sorts inhabited.
+
+   Bool is always inhabited via the builtin constants. Iterate to a fixed
+   point, then flag every sort of interest left uninhabited. *)
+
+let check spec =
+  let interest = Spec.sorts_of_interest spec in
+  let inhabited = Hashtbl.create 8 in
+  let is_inhabited s =
+    Sort.is_bool s
+    || (not (Spec.has_constructors s spec))
+    || Hashtbl.mem inhabited (Sort.name s)
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun s ->
+        if not (is_inhabited s) then
+          let ok =
+            List.exists
+              (fun c -> List.for_all is_inhabited (Op.args c))
+              (Spec.constructors_of_sort s spec)
+          in
+          if ok then begin
+            Hashtbl.add inhabited (Sort.name s) ();
+            changed := true
+          end)
+      interest
+  done;
+  List.filter_map
+    (fun s ->
+      if is_inhabited s then None
+      else
+        let ctors =
+          String.concat ", "
+            (List.map Op.name (Spec.constructors_of_sort s spec))
+        in
+        Some
+          (Diagnostic.v ~code:"ADT013" ~severity:Diagnostic.Error
+             ~spec:(Spec.name spec)
+             ~suggestion:
+               (Fmt.str
+                  "add a base constructor of sort %s that takes no argument \
+                   of sort %s"
+                  (Sort.name s) (Sort.name s))
+             (Fmt.str
+                "sort %s has no ground constructor term: every constructor \
+                 (%s) needs a value of an uninhabited sort; the carrier is \
+                 empty"
+                (Sort.name s) ctors)))
+    interest

@@ -1,0 +1,7 @@
+(** ADT013 [unreachable-sort]: a sort that declares constructors but admits
+    no ground constructor term, i.e. the type of interest has an empty
+    carrier. Sorts with no declared constructors are treated as abstract
+    parameters (assumed inhabited), matching the generator-induction and
+    enumeration conventions elsewhere in the library. *)
+
+val check : Adt.Spec.t -> Diagnostic.t list

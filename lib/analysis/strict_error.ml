@@ -1,0 +1,35 @@
+open Adt
+
+let axiom_label ax = if Axiom.name ax = "" then None else Some (Axiom.name ax)
+
+let has_proper_err lhs =
+  match lhs with
+  | Term.App (_, args) ->
+    List.exists
+      (fun arg ->
+        Term.fold
+          (fun found t -> found || match t with Term.Err _ -> true | _ -> false)
+          false arg)
+      args
+  | _ -> false
+
+let check spec =
+  List.concat_map
+    (fun ax ->
+      if has_proper_err (Axiom.lhs ax) then
+        [
+          Diagnostic.v ~code:"ADT014" ~severity:Diagnostic.Warning
+            ~spec:(Spec.name spec)
+            ~op:(Op.name (Axiom.head ax))
+            ?axiom:(axiom_label ax)
+            ~suggestion:
+              "drop the axiom: strict propagation already maps error \
+               arguments to error"
+            (Fmt.str
+               "left-hand side %a matches on error; strict error propagation \
+                rewrites the application to error before axioms apply, so \
+                the axiom never fires"
+               Term.pp (Axiom.lhs ax));
+        ]
+      else [])
+    (Spec.axioms spec)

@@ -1,0 +1,8 @@
+(** ADT014 [non-strict-error]: an axiom whose left-hand side pattern-matches
+    on the [error] value. The paper's strictness rule ("the value of any
+    operation applied to an argument list containing error is error") is
+    builtin in {!Adt.Rewrite}, so the enclosing application collapses to
+    [error] before the axiom is ever consulted — the axiom is unreachable
+    and usually signals a misunderstanding of error propagation. *)
+
+val check : Adt.Spec.t -> Diagnostic.t list

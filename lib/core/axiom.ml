@@ -1,6 +1,6 @@
 type t = { name : string; lhs : Term.t; rhs : Term.t }
 
-let v ?(name = "") ~lhs ~rhs () =
+let v ?(name = "") ?(allow_free_rhs = false) ~lhs ~rhs () =
   if not (Sort.equal (Term.sort_of lhs) (Term.sort_of rhs)) then
     invalid_arg
       (Fmt.str "Axiom.v: %a has sort %a but %a has sort %a" Term.pp lhs
@@ -11,15 +11,23 @@ let v ?(name = "") ~lhs ~rhs () =
     invalid_arg
       (Fmt.str "Axiom.v: left-hand side %a must be an operation application"
          Term.pp lhs));
-  let lvars = Term.vars lhs in
-  List.iter
-    (fun (x, s) ->
-      if not (List.mem (x, s) lvars) then
-        invalid_arg
-          (Fmt.str "Axiom.v: variable %s of the right-hand side %a is absent from the left-hand side %a"
-             x Term.pp rhs Term.pp lhs))
-    (Term.vars rhs);
+  if not allow_free_rhs then begin
+    let lvars = Term.vars lhs in
+    List.iter
+      (fun (x, s) ->
+        if not (List.mem (x, s) lvars) then
+          invalid_arg
+            (Fmt.str "Axiom.v: variable %s of the right-hand side %a is absent from the left-hand side %a"
+               x Term.pp rhs Term.pp lhs))
+      (Term.vars rhs)
+  end;
   { name; lhs; rhs }
+
+let free_rhs_vars a =
+  let lvars = Term.vars a.lhs in
+  List.filter (fun v -> not (List.mem v lvars)) (Term.vars a.rhs)
+
+let is_executable a = free_rhs_vars a = []
 
 let name a = a.name
 let lhs a = a.lhs

@@ -9,10 +9,17 @@
 
 type t = private { name : string; lhs : Term.t; rhs : Term.t }
 
-val v : ?name:string -> lhs:Term.t -> rhs:Term.t -> unit -> t
+val v :
+  ?name:string -> ?allow_free_rhs:bool -> lhs:Term.t -> rhs:Term.t -> unit -> t
 (** Raises [Invalid_argument] when the two sides have different sorts, when
     the left-hand side is a bare variable or an [error]/[if] form, or when
-    the right-hand side mentions a variable absent from the left. *)
+    the right-hand side mentions a variable absent from the left.
+
+    [allow_free_rhs] (default [false]) suppresses the last check: the axiom
+    is then a legal {e equation} but not an executable rewrite rule — the
+    parser builds axioms this way so that the static analyzer
+    ([lib/analysis], rule ADT011) can diagnose the fault instead of the
+    loader rejecting the whole file. {!Rewrite.of_spec} skips such axioms. *)
 
 val name : t -> string
 val lhs : t -> Term.t
@@ -27,6 +34,14 @@ val vars : t -> (string * Sort.t) list
 
 val is_left_linear : t -> bool
 (** No variable occurs twice in the left-hand side. *)
+
+val free_rhs_vars : t -> (string * Sort.t) list
+(** Right-hand-side variables absent from the left-hand side, in
+    first-occurrence order; non-empty only for axioms built with
+    [allow_free_rhs]. *)
+
+val is_executable : t -> bool
+(** The axiom reads as a rewrite rule: {!free_rhs_vars} is empty. *)
 
 val rename : (string -> string) -> t -> t
 

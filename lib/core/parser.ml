@@ -170,7 +170,10 @@ let axiom_decls st ctx =
       expect st Lexer.Equals;
       let rhs = term st ctx (Some (Term.sort_of lhs)) in
       let ax =
-        try Axiom.v ~name ~lhs ~rhs ()
+        (* free right-hand-side variables are accepted here and reported by
+           the static analyzer (rule ADT011) rather than rejected at load
+           time; Rewrite.of_spec never turns such an axiom into a rule *)
+        try Axiom.v ~name ~allow_free_rhs:true ~lhs ~rhs ()
         with Invalid_argument msg -> fail_at tok "%s" msg
       in
       go (ax :: acc)

@@ -55,7 +55,14 @@ let index rules =
     String_map.empty rules
 
 let of_rules all = { all; by_head = index all }
-let of_spec spec = of_rules (List.map rule_of_axiom (Spec.axioms spec))
+
+let of_spec spec =
+  (* an axiom with free right-hand-side variables (parsed leniently so the
+     analyzer can flag it as ADT011) is not a rule: firing it would invent
+     unbound variables and break groundness, so it is skipped here *)
+  of_rules
+    (List.map rule_of_axiom
+       (List.filter Axiom.is_executable (Spec.axioms spec)))
 let add_rules extra sys = of_rules (extra @ sys.all)
 let add_axioms axs sys = add_rules (List.map rule_of_axiom axs) sys
 let rules sys = sys.all

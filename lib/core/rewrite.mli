@@ -31,7 +31,10 @@ val pp_rule : rule Fmt.t
 type system
 
 val of_spec : Spec.t -> system
-(** Rules are the specification's axioms in order. *)
+(** Rules are the specification's {e executable} axioms in order; an axiom
+    with free right-hand-side variables ({!Axiom.is_executable} false) is
+    skipped — it is an equation the static analyzer reports (ADT011), not a
+    rule the rewriter may fire. *)
 
 val of_rules : rule list -> system
 val add_rules : rule list -> system -> system

@@ -76,6 +76,27 @@ let do_skeletons ctx entry =
               Protocol.sanitize (Fmt.str "%a" Term.pp p.Heuristics.missing_lhs))
             prompts))
 
+(* like metrics and slowlog, the body is framed by a findings count on the
+   first line; each finding is one sanitized diagnostic line *)
+let do_lint ctx session entry =
+  let diags =
+    Obs.Trace.with_span ctx.trace "rewrite" @@ fun () ->
+    Analysis.Lint.run entry.Session.spec
+  in
+  let metrics = Session.metrics session in
+  Metrics.locked metrics (fun () ->
+      List.iter
+        (fun d -> Metrics.record_rule_hit metrics d.Analysis.Diagnostic.code)
+        diags);
+  let name = Spec.name entry.Session.spec in
+  let header = Fmt.str "lint %s findings=%d" name (List.length diags) in
+  ok "%s"
+    (String.concat "\n"
+       (header
+       :: List.map
+            (fun d -> Protocol.sanitize (Analysis.Diagnostic.to_line d))
+            diags))
+
 let do_prove ctx session entry vars lhs_src rhs_src req_fuel poll =
   let vars = List.map (fun (name, sort) -> (name, Sort.v sort)) vars in
   parse_term ~vars entry.Session.spec lhs_src @@ fun lhs ->
@@ -116,10 +137,11 @@ let do_stats session verbose =
   let snapshot =
     Metrics.locked m (fun () ->
         Fmt.str
-          "stats requests=%d normalize=%d check=%d skeletons=%d prove=%d \
-           stats=%d metrics=%d slowlog=%d malformed=%d errors=%d fuel=%d"
+          "stats requests=%d normalize=%d check=%d skeletons=%d lint=%d \
+           prove=%d stats=%d metrics=%d slowlog=%d malformed=%d errors=%d \
+           fuel=%d"
           m.Metrics.requests m.Metrics.normalize m.Metrics.check
-          m.Metrics.skeletons m.Metrics.prove m.Metrics.stats
+          m.Metrics.skeletons m.Metrics.lint m.Metrics.prove m.Metrics.stats
           m.Metrics.metrics m.Metrics.slowlog m.Metrics.malformed
           m.Metrics.errors m.Metrics.fuel_spent)
   in
@@ -189,6 +211,8 @@ let handle_request ?poll ?ctx session request =
     do_normalize ctx session entry term fuel poll
   | Protocol.Check { spec } -> with_spec session spec (do_check ctx)
   | Protocol.Skeletons { spec } -> with_spec session spec (do_skeletons ctx)
+  | Protocol.Lint { spec } ->
+    with_spec session spec @@ fun entry -> do_lint ctx session entry
   | Protocol.Prove { spec; vars; lhs; rhs; fuel } ->
     with_spec session spec @@ fun entry ->
     do_prove ctx session entry vars lhs rhs fuel poll

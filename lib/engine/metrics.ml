@@ -4,6 +4,7 @@ type t = {
   mutable normalize : int;
   mutable check : int;
   mutable skeletons : int;
+  mutable lint : int;
   mutable prove : int;
   mutable stats : int;
   mutable metrics : int;
@@ -12,6 +13,7 @@ type t = {
   mutable malformed : int;
   mutable errors : int;
   mutable fuel_spent : int;
+  rule_hits : (string, int) Hashtbl.t;
   latency : Obs.Hist.t;
   fuel_hist : Obs.Hist.t;
 }
@@ -23,6 +25,7 @@ let create () =
     normalize = 0;
     check = 0;
     skeletons = 0;
+    lint = 0;
     prove = 0;
     stats = 0;
     metrics = 0;
@@ -31,6 +34,7 @@ let create () =
     malformed = 0;
     errors = 0;
     fuel_spent = 0;
+    rule_hits = Hashtbl.create 8;
     latency = Obs.Hist.create ~bounds:Obs.Hist.default_latency_bounds;
     fuel_hist = Obs.Hist.create ~bounds:Obs.Hist.default_fuel_bounds;
   }
@@ -44,6 +48,7 @@ let record_kind t = function
   | "normalize" -> t.normalize <- t.normalize + 1
   | "check" -> t.check <- t.check + 1
   | "skeletons" -> t.skeletons <- t.skeletons + 1
+  | "lint" -> t.lint <- t.lint + 1
   | "prove" -> t.prove <- t.prove + 1
   | "stats" -> t.stats <- t.stats + 1
   | "metrics" -> t.metrics <- t.metrics + 1
@@ -53,11 +58,21 @@ let record_kind t = function
 
 let record_malformed t = t.malformed <- t.malformed + 1
 
+let record_rule_hit t code =
+  Hashtbl.replace t.rule_hits code
+    (1 + Option.value ~default:0 (Hashtbl.find_opt t.rule_hits code))
+
+let rule_hits t =
+  List.sort
+    (fun (a, _) (b, _) -> String.compare a b)
+    (Hashtbl.fold (fun code n acc -> (code, n) :: acc) t.rule_hits [])
+
 let by_kind t =
   [
     ("normalize", t.normalize);
     ("check", t.check);
     ("skeletons", t.skeletons);
+    ("lint", t.lint);
     ("prove", t.prove);
     ("stats", t.stats);
     ("metrics", t.metrics);

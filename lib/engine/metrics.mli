@@ -16,6 +16,7 @@ type t = {
   mutable normalize : int;
   mutable check : int;
   mutable skeletons : int;
+  mutable lint : int;
   mutable prove : int;
   mutable stats : int;
   mutable metrics : int;
@@ -29,6 +30,10 @@ type t = {
       (** Total rewrite-rule applications across all requests — [prove]
           requests included, each rule application inside the proof search
           counting once. *)
+  rule_hits : (string, int) Hashtbl.t;
+      (** Lint findings per ADTxxx rule code, across every [lint] request
+          served. Access through {!record_rule_hit} and {!rule_hits},
+          under {!locked}. *)
   latency : Obs.Hist.t;  (** Per-request wall-clock seconds. *)
   fuel_hist : Obs.Hist.t;
       (** Per-request rewrite steps, observed once per fuel-metered
@@ -49,6 +54,14 @@ val record_kind : t -> string -> unit
 
 val record_malformed : t -> unit
 (** Call under {!locked}. *)
+
+val record_rule_hit : t -> string -> unit
+(** Bumps the per-rule lint finding counter for an ADTxxx code. Call
+    under {!locked}. *)
+
+val rule_hits : t -> (string * int) list
+(** [(code, findings)] for every rule that has hit at least once, sorted
+    by code. Call under {!locked}. *)
 
 val by_kind : t -> (string * int) list
 (** [(kind, count)] for every kind {!record_kind} accepts, in protocol

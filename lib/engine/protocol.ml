@@ -2,6 +2,7 @@ type request =
   | Normalize of { spec : string; term : string; fuel : int option }
   | Check of { spec : string }
   | Skeletons of { spec : string }
+  | Lint of { spec : string }
   | Prove of {
       spec : string;
       vars : (string * string) list;
@@ -135,6 +136,11 @@ let parse line =
             match args with
             | [ spec ] -> Ok (Some (Skeletons { spec }))
             | _ -> Error "skeletons expects: skeletons SPEC")
+      | "lint" ->
+        with_options [] (fun _ args ->
+            match args with
+            | [ spec ] -> Ok (Some (Lint { spec }))
+            | _ -> Error "lint expects: lint SPEC")
       | "prove" ->
         with_options [ "fuel" ] (fun opts args ->
             let* fuel = fuel_option opts in
@@ -177,7 +183,7 @@ let parse line =
         Error
           (Fmt.str
              "unknown request %s (expected normalize, check, skeletons, \
-              prove, stats, metrics, slowlog or quit)"
+              lint, prove, stats, metrics, slowlog or quit)"
              other))
 
 let render = function
@@ -188,6 +194,7 @@ let kind_name = function
   | Normalize _ -> "normalize"
   | Check _ -> "check"
   | Skeletons _ -> "skeletons"
+  | Lint _ -> "lint"
   | Prove _ -> "prove"
   | Stats _ -> "stats"
   | Metrics -> "metrics"
@@ -196,6 +203,6 @@ let kind_name = function
 
 let spec_name = function
   | Normalize { spec; _ } | Check { spec } | Skeletons { spec }
-  | Prove { spec; _ } ->
+  | Lint { spec } | Prove { spec; _ } ->
     Some spec
   | Stats _ | Metrics | Slowlog | Quit -> None

@@ -7,12 +7,13 @@
     {v
     request    := kind option* arg*
     option     := KEY '=' VALUE            (before the positional args)
-    kind       := 'normalize' | 'check' | 'skeletons' | 'prove'
+    kind       := 'normalize' | 'check' | 'skeletons' | 'lint' | 'prove'
                 | 'stats'     | 'metrics' | 'slowlog' | 'quit'
 
     normalize [fuel=N] SPEC TERM           evaluate TERM against SPEC
     check     SPEC                         completeness + consistency
     skeletons SPEC                         missing-axiom left-hand sides
+    lint      SPEC                         all lint findings (one per line)
     prove [fuel=N] SPEC VARS LHS == RHS    equational proof; VARS is '-'
                                            or 'q:Queue,i:Item'
     stats [verbose=true]                   metrics counters; verbose adds
@@ -31,17 +32,20 @@
     v}
 
     Payloads are single-line (term renderings are whitespace-squashed by
-    {!sanitize}), with two exceptions: [metrics] and [slowlog] answer a
-    first line announcing how many raw lines follow ([ok metrics
-    lines=N] / [ok slowlog entries=N ...]) and then exactly that many
-    further lines, so line-oriented clients can frame the body. An error
-    response never kills the session — the next request is served
-    normally. *)
+    {!sanitize}), with three exceptions: [metrics], [slowlog] and [lint]
+    answer a first line announcing how many raw lines follow ([ok metrics
+    lines=N] / [ok slowlog entries=N ...] / [ok lint SPEC findings=N])
+    and then exactly that many further lines, so line-oriented clients
+    can frame the body. An error response never kills the session — the
+    next request is served normally. *)
 
 type request =
   | Normalize of { spec : string; term : string; fuel : int option }
   | Check of { spec : string }
   | Skeletons of { spec : string }
+  | Lint of { spec : string }
+      (** Every lint finding for the specification, one {!Analysis}
+          diagnostic line per finding. *)
   | Prove of {
       spec : string;
       vars : (string * string) list;  (** (variable, sort name) pairs. *)

@@ -104,6 +104,13 @@ let prometheus t =
       Obs.Export.counter buf ~name:"adtc_fuel_steps_total"
         ~help:"Rewrite-rule applications across all requests."
         (f m.fuel_spent);
+      Obs.Export.counter buf ~name:"adtc_lint_findings_total"
+        ~help:"Lint findings by ADTxxx rule code, across lint requests."
+        ~labelled:
+          (List.map
+             (fun (code, n) -> ([ ("rule", code) ], f n))
+             (Metrics.rule_hits m))
+        0.;
       Obs.Export.histogram buf ~name:"adtc_request_latency_seconds"
         ~help:"Per-request wall-clock latency." m.latency;
       Obs.Export.histogram buf ~name:"adtc_request_fuel_steps"

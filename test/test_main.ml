@@ -8,6 +8,7 @@ let () =
       ("enum", Test_enum.suite);
       ("completeness", Test_completeness.suite);
       ("heuristics", Test_heuristics.suite);
+      ("analysis", Test_analysis.suite);
       ("ordering", Test_ordering.suite);
       ("consistency", Test_consistency.suite);
       ("completion", Test_completion.suite);

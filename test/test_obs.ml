@@ -232,6 +232,7 @@ let one_of_each =
     Protocol.Normalize { spec = "Queue"; term = "NEW"; fuel = None };
     Protocol.Check { spec = "Queue" };
     Protocol.Skeletons { spec = "Queue" };
+    Protocol.Lint { spec = "Queue" };
     Protocol.Prove
       { spec = "Queue"; vars = []; lhs = "NEW"; rhs = "NEW"; fuel = None };
     Protocol.Stats { verbose = false };
