@@ -1,7 +1,7 @@
 (* Benchmark harness: one section per experiment of DESIGN.md / EXPERIMENTS.md.
 
    The paper (Guttag, CACM 1977) has no quantitative tables; its measurable
-   claims and exhibited artifacts are reproduced here as experiments E1-E12.
+   claims and exhibited artifacts are reproduced here as experiments E1-E13.
    Sections print the artifact reproductions (the ring-buffer figures, the
    mechanical proof, the prompting transcript, the axiom diff) and time the
    claims that are about cost (symbolic interpretation overhead,
@@ -652,6 +652,74 @@ let e12 () =
           ignore (Analysis.Lint.run Queue_spec.spec));
     ]
 
+(* {1 E13 - hash-consed terms and the compiled rule index} *)
+
+(* The Symboltable refinement is the largest rule system in the repo
+   (symbol tables represented as stacks of arrays, five specifications
+   merged), so rule dispatch dominates: the naive engine scans every rule
+   at every redex candidate, the indexed engine jumps through
+   head-symbol x first-argument-fingerprint buckets over interned terms. *)
+
+let e13_sys = Rewrite.of_spec Refinement.combined
+
+let e13_queries depth =
+  let ids = List.map Identifier.id [ "X"; "Y"; "Z"; "W" ] in
+  let rec build t d =
+    if d = 0 then t
+    else
+      build
+        (List.fold_left
+           (fun t id -> Refinement.add' t id (Attributes.attrs 1))
+           (Refinement.enterblock' t) ids)
+        (d - 1)
+  in
+  let table = build Refinement.init' depth in
+  List.map (Refinement.retrieve' table) ids
+
+let e13_workload normalize queries () =
+  List.fold_left (fun acc q -> acc + Term.size (normalize e13_sys q)) 0 queries
+
+let e13_memo_workload memo queries () =
+  let memo = match memo with Some m -> m | None -> Rewrite.Memo.create () in
+  List.fold_left
+    (fun acc q -> acc + Term.size (Rewrite.normalize_memo ~memo e13_sys q))
+    0 queries
+
+let e13 () =
+  Fmt.pr "@.=== E13: hash-consed terms + compiled rule index ===@.";
+  Fmt.pr
+    "(same innermost strategy, same rule priority; reference = linear rule \
+     scan with@.";
+  Fmt.pr
+    " structural equality, indexed = fingerprint dispatch over interned \
+     terms)@.";
+  let q3 = e13_queries 3 and q6 = e13_queries 6 in
+  let warm = Rewrite.Memo.create () in
+  ignore (e13_memo_workload (Some warm) q6 ());
+  report_group "Symboltable refinement: retrieve through d nested blocks"
+    [
+      t "e13/reference/depth=3" (e13_workload Rewrite.Reference.normalize q3);
+      t "e13/indexed__/depth=3" (e13_workload Rewrite.normalize q3);
+      t "e13/reference/depth=6" (e13_workload Rewrite.Reference.normalize q6);
+      t "e13/indexed__/depth=6" (e13_workload Rewrite.normalize q6);
+      t "e13/memo-cold/depth=6" (e13_memo_workload None q6);
+      t "e13/memo-warm/depth=6" (e13_memo_workload (Some warm) q6);
+    ];
+  let find name = List.assoc_opt name !json_rows in
+  List.iter
+    (fun d ->
+      match
+        ( find (Fmt.str "e13/reference/depth=%d" d),
+          find (Fmt.str "e13/indexed__/depth=%d" d) )
+      with
+      | Some r, Some i when i > 0. ->
+        Fmt.pr "  indexed speedup over reference (depth=%d): %.2fx@." d (r /. i)
+      | _ -> ())
+    [ 3; 6 ];
+  let hits = Rewrite.Memo.hits warm and misses = Rewrite.Memo.misses warm in
+  Fmt.pr "  warm memo after run: hits=%d misses=%d entries=%d (id-keyed)@."
+    hits misses (Rewrite.Memo.size warm)
+
 let () =
   Fmt.pr "Reproduction benches for Guttag, 'Abstract Data Types and the Development of Data Structures' (CACM 1977)@.";
   let json_path = ref None in
@@ -676,5 +744,6 @@ let () =
   e10 ();
   e11 ();
   e12 ();
+  e13 ();
   Option.iter write_json !json_path;
   Fmt.pr "@.done.@."

@@ -7,7 +7,7 @@ let repeated_vars ax =
   let count x =
     Term.fold
       (fun n t ->
-        match t with
+        match Term.view t with
         | Term.Var (y, _) when String.equal x y -> n + 1
         | _ -> n)
       0 lhs

@@ -33,7 +33,9 @@ let missing_cases spec =
 let critical_pairs ?fuel spec =
   let report = Consistency.check ?fuel spec in
   let is_value t = Spec.is_constructor_ground_term spec t || Term.is_error t in
-  let op_of_peak = function Term.App (op, _) -> Some (Op.name op) | _ -> None in
+  let op_of_peak t =
+    match Term.view t with Term.App (op, _) -> Some (Op.name op) | _ -> None
+  in
   List.filter_map
     (fun ((cp : Consistency.cp), verdict) ->
       let mk severity message suggestion =

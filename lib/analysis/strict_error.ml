@@ -3,13 +3,10 @@ open Adt
 let axiom_label ax = if Axiom.name ax = "" then None else Some (Axiom.name ax)
 
 let has_proper_err lhs =
-  match lhs with
+  match Term.view lhs with
   | Term.App (_, args) ->
     List.exists
-      (fun arg ->
-        Term.fold
-          (fun found t -> found || match t with Term.Err _ -> true | _ -> false)
-          false arg)
+      (fun arg -> Term.fold (fun found t -> found || Term.is_error t) false arg)
       args
   | _ -> false
 

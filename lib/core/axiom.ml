@@ -5,7 +5,7 @@ let v ?(name = "") ?(allow_free_rhs = false) ~lhs ~rhs () =
     invalid_arg
       (Fmt.str "Axiom.v: %a has sort %a but %a has sort %a" Term.pp lhs
          Sort.pp (Term.sort_of lhs) Term.pp rhs Sort.pp (Term.sort_of rhs));
-  (match lhs with
+  (match Term.view lhs with
   | Term.App _ -> ()
   | _ ->
     invalid_arg
@@ -34,7 +34,7 @@ let lhs a = a.lhs
 let rhs a = a.rhs
 
 let head a =
-  match a.lhs with
+  match Term.view a.lhs with
   | Term.App (op, _) -> op
   | _ -> assert false (* excluded by [v] *)
 
@@ -44,7 +44,8 @@ let vars a =
   lvars @ List.filter (fun v -> not (List.mem v lvars)) rvars
 
 let is_left_linear a =
-  let rec count x = function
+  let rec count x t =
+    match Term.view t with
     | Term.Var (y, _) -> if String.equal x y then 1 else 0
     | Term.Err _ -> 0
     | Term.App (_, args) -> List.fold_left (fun n t -> n + count x t) 0 args
@@ -71,7 +72,7 @@ let same_equation a b =
        operation so variant-checking sees both sides at once *)
     let sort = Term.sort_of ax.lhs in
     let op = Op.v "=" ~args:[ sort; sort ] ~result:Sort.bool in
-    Term.App (op, [ ax.lhs; ax.rhs ])
+    Term.app op [ ax.lhs; ax.rhs ]
   in
   Sort.equal (Term.sort_of a.lhs) (Term.sort_of b.lhs)
   && Subst.variant (pair a) (pair b)

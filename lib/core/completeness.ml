@@ -20,7 +20,7 @@ let subsumers axioms pattern =
    term: the position where a case split makes progress. *)
 let split_position spec axioms pattern =
   let rec zip pos p l =
-    match (p, l) with
+    match (Term.view p, Term.view l) with
     | Term.Var (_, sort), (Term.App _ | Term.Err _) ->
       if Spec.has_constructors sort spec then Some (pos, sort) else None
     | Term.App (f, ps), Term.App (g, ls) when Op.equal f g ->
@@ -62,12 +62,13 @@ let split_cases spec pattern pos sort =
 let unguided_split spec pattern =
   let rec find i = function
     | [] -> None
-    | Term.Var (_, sort) :: rest ->
-      if Spec.has_constructors sort spec then Some ([ i ], sort)
-      else find (i + 1) rest
-    | _ :: rest -> find (i + 1) rest
+    | arg :: rest -> (
+      match Term.view arg with
+      | Term.Var (_, sort) when Spec.has_constructors sort spec ->
+        Some ([ i ], sort)
+      | _ -> find (i + 1) rest)
   in
-  match pattern with
+  match Term.view pattern with
   | Term.App (_, args) -> find 0 args
   | _ -> None
 

@@ -25,13 +25,15 @@ let app_positions term =
   List.filter
     (fun p ->
       match Term.subterm_at term p with
-      | Some (Term.App _) -> true
-      | _ -> false)
+      | Some sub -> (
+        match Term.view sub with Term.App _ -> true | _ -> false)
+      | None -> false)
     (Term.positions term)
 
 let overlap ~(inner : Rewrite.rule) ~(outer : Rewrite.rule) ~pos =
   match Term.subterm_at outer.Rewrite.lhs pos with
-  | Some (Term.App _ as sub) -> (
+  | Some sub when (match Term.view sub with Term.App _ -> true | _ -> false)
+    -> (
     match Subst.unify sub inner.Rewrite.lhs with
     | None -> None
     | Some sigma ->

@@ -18,7 +18,7 @@ let classify spec pattern =
       (fun acc t ->
         acc
         &&
-        match t with
+        match Term.view t with
         | Term.App (op, args) when Spec.is_constructor op spec ->
           has_ctor := true;
           args = []
@@ -40,9 +40,16 @@ let first_split_position spec op =
 let skeletons spec op =
   let report = Completeness.check_op spec op in
   let from_analysis = List.map (fun c -> c.Completeness.pattern) report.cases in
+  let all_var_app t =
+    match Term.view t with
+    | Term.App (_, args) ->
+      List.for_all
+        (fun a -> match Term.view a with Term.Var _ -> true | _ -> false)
+        args
+    | _ -> false
+  in
   match from_analysis with
-  | [ (Term.App (_, args) as only) ]
-    when List.for_all (function Term.Var _ -> true | _ -> false) args -> (
+  | [ only ] when all_var_app only -> (
     (* no axiom discriminates yet: propose one split of the first
        constructor-bearing argument *)
     match first_split_position spec op with

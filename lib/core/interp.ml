@@ -26,7 +26,7 @@ type value =
   | Diverged
 
 let classify spec term =
-  match term with
+  match Term.view term with
   | Term.Err s -> Error_value s
   | _ ->
     if Spec.is_constructor_ground_term spec term then Value term

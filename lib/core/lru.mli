@@ -8,6 +8,10 @@
     insertion and eviction, with an eviction counter for the metrics
     endpoints.
 
+    Since terms are hash-consed, term-keyed instantiations use physical
+    equality and [Term.id] as the hash — a perfect hash, unique per live
+    term — so probes never walk term structure.
+
     Caches are single-threaded mutable values, like [Hashtbl]. *)
 
 module Make (K : Hashtbl.HashedType) : sig

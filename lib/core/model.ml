@@ -16,7 +16,7 @@ exception Error_at of Sort.t
 
 let eval_sys sys model term =
   let rec go term =
-    match term with
+    match Term.view term with
     | Term.Var _ ->
       invalid_arg
         (Fmt.str "Model.eval: term %a has free variables" Term.pp term)
@@ -40,8 +40,8 @@ let eval_sys sys model term =
       | None -> (
         (* foreign operation: evaluate symbolically on the abstract terms *)
         let arg_terms = List.map (value_to_term model) vals in
-        match Rewrite.normalize_opt sys (Term.App (op, arg_terms)) with
-        | Some (Term.Err s) -> raise (Error_at s)
+        match Rewrite.normalize_opt sys (Term.app op arg_terms) with
+        | Some nf when Term.is_error nf -> raise (Error_at (Term.sort_of nf))
         | Some nf -> Foreign nf
         | None -> raise (Error_at (Op.result op)))
       | exception Impl_error _ -> raise (Error_at (Op.result op)))

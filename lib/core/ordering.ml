@@ -55,7 +55,8 @@ let dependency spec =
 
 type head = Err_h | If_h | Op_h of Op.t
 
-let head_of = function
+let head_of t =
+  match Term.view t with
   | Term.Var _ -> None
   | Term.Err _ -> Some Err_h
   | Term.Ite _ -> Some If_h
@@ -71,7 +72,8 @@ let compare_head prec a b =
   | _, If_h -> 1
   | Op_h f, Op_h g -> prec f g
 
-let children = function
+let children t =
+  match Term.view t with
   | Term.Var _ | Term.Err _ -> []
   | Term.App (_, args) -> args
   | Term.Ite (c, t, e) -> [ c; t; e ]
@@ -79,9 +81,9 @@ let children = function
 let rec lpo_gt prec s t =
   if Term.equal s t then false
   else
-    match (s, t) with
+    match (Term.view s, Term.view t) with
     | _, Term.Var (x, sx) -> (
-      match s with
+      match Term.view s with
       | Term.Var _ -> false
       | _ -> List.mem (x, sx) (Term.vars s))
     | Term.Var _, _ -> false

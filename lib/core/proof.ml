@@ -70,7 +70,7 @@ let skolem_consts terms =
   let collect acc t =
     Term.fold
       (fun acc sub ->
-        match sub with
+        match Term.view sub with
         | Term.App (op, []) when is_skolem op ->
           if List.exists (Op.equal op) acc then acc else acc @ [ op ]
         | _ -> acc)
@@ -79,12 +79,15 @@ let skolem_consts terms =
   List.fold_left collect [] terms
 
 let rec replace_const const repl t =
-  match t with
+  match Term.view t with
   | Term.App (op, []) when Op.equal op const -> repl
-  | Term.App (op, args) -> Term.App (op, List.map (replace_const const repl) args)
+  | Term.App (op, args) ->
+    Term.app_unchecked op (List.map (replace_const const repl) args)
   | Term.Ite (c, a, b) ->
-    Term.Ite
-      (replace_const const repl c, replace_const const repl a, replace_const const repl b)
+    Term.ite_unchecked
+      (replace_const const repl c)
+      (replace_const const repl a)
+      (replace_const const repl b)
   | Term.Var _ | Term.Err _ -> t
 
 let fresh_skolem ~taken base sort =
@@ -137,16 +140,18 @@ let invariant_rules cfg consts =
 let case_candidates_of cfg terms =
   let conditions t =
     List.filter_map
-      (function
+      (fun sub ->
+        match Term.view sub with
         | Term.Ite (c, _, _) -> (
-          match c with Term.App _ -> Some c | _ -> None)
+          match Term.view c with Term.App _ -> Some c | _ -> None)
         | _ -> None)
       (Term.subterms t)
   in
   let bool_apps t =
     List.filter_map
-      (function
-        | Term.App (op, _) as sub
+      (fun sub ->
+        match Term.view sub with
+        | Term.App (op, _)
           when Sort.is_bool (Op.result op)
                && (not (Term.equal sub Term.tt))
                && (not (Term.equal sub Term.ff))

@@ -1,7 +1,7 @@
 type rule = { rule_name : string; lhs : Term.t; rhs : Term.t }
 
 let rule ?(name = "") ~lhs ~rhs () =
-  (match lhs with
+  (match Term.view lhs with
   | Term.App _ -> ()
   | Term.Var _ | Term.Err _ | Term.Ite _ ->
     (* only application-headed left-hand sides can ever match: the redex
@@ -34,25 +34,100 @@ let pp_rule ppf r =
 
 module String_map = Map.Make (String)
 
+(* {2 The compiled two-level rule index}
+
+   Rules are grouped by head symbol, then discriminated a second time on
+   the shape of the subject's {e first argument} — the argument the corpus
+   axioms case-split on (FRONT(NEW) vs FRONT(ADD(q,i)), RETRIEVE'(INIT')
+   vs RETRIEVE'(ADD'(...)), ...). A rule whose first-argument pattern is a
+   variable matches any subject, so it is {e generic}: it appears in the
+   generic list and is merged into every fingerprint bucket. A rule whose
+   first-argument pattern opens with constructor [g] can only match a
+   subject whose first argument opens with [g], so it appears in bucket
+   [g] alone. Each bucket is a filter of the priority-ordered per-head
+   list, so relative axiom priority inside a bucket is exactly the
+   declaration order — the same order the linear scan tries.
+
+   Soundness of skipping: a pattern headed by [App g] cannot match a
+   subject whose first argument is a variable, an [error], an
+   if-then-else, or an application of a different head; likewise for
+   [Err]/[Ite]-headed patterns. The bucket for a fingerprint therefore
+   contains a superset of the rules that can match any subject with that
+   fingerprint, and the matcher itself still verifies each candidate. *)
+
+type compiled = {
+  head_rules : rule list; (* every rule with this head, priority order *)
+  generic : rule list; (* rules whose first-argument pattern is a variable *)
+  by_fp : rule list String_map.t;
+      (* first-argument fingerprint -> specific + generic rules, merged in
+         priority order *)
+}
+
+(* fingerprint keys: operation names prefixed to stay disjoint from the
+   builtin error / if-then-else shapes *)
+let fp_op name = "o:" ^ name
+let fp_err = "e"
+let fp_ite = "i"
+
+let first_pat r =
+  match Term.view r.lhs with
+  | Term.App (_, p :: _) -> Some p
+  | _ -> None
+
+(* [None] = generic: matches any first argument *)
+let fp_of_rule r =
+  match first_pat r with
+  | None -> None
+  | Some p -> (
+    match Term.view p with
+    | Term.Var _ -> None
+    | Term.App (g, _) -> Some (fp_op (Op.name g))
+    | Term.Err _ -> Some fp_err
+    | Term.Ite _ -> Some fp_ite)
+
+let compile_bucket head_rules =
+  let generic = List.filter (fun r -> fp_of_rule r = None) head_rules in
+  let fps =
+    List.sort_uniq String.compare (List.filter_map fp_of_rule head_rules)
+  in
+  let by_fp =
+    List.fold_left
+      (fun m fp ->
+        let merged =
+          List.filter
+            (fun r ->
+              match fp_of_rule r with
+              | None -> true (* generic: can match any fingerprint *)
+              | Some f -> String.equal f fp)
+            head_rules
+        in
+        String_map.add fp merged m)
+      String_map.empty fps
+  in
+  { head_rules; generic; by_fp }
+
 type system = {
   all : rule list; (* priority order: earlier rules tried first *)
-  by_head : rule list String_map.t;
+  by_head : compiled String_map.t;
 }
 
 let head_name r =
-  match r.lhs with
+  match Term.view r.lhs with
   | Term.App (op, _) -> Op.name op
   | Term.Ite _ -> "<if>"
   | Term.Err _ -> "<error>"
   | Term.Var _ -> assert false
 
 let index rules =
-  List.fold_left
-    (fun m r ->
-      let key = head_name r in
-      let existing = Option.value ~default:[] (String_map.find_opt key m) in
-      String_map.add key (existing @ [ r ]) m)
-    String_map.empty rules
+  let grouped =
+    List.fold_left
+      (fun m r ->
+        let key = head_name r in
+        let existing = Option.value ~default:[] (String_map.find_opt key m) in
+        String_map.add key (existing @ [ r ]) m)
+      String_map.empty rules
+  in
+  String_map.map compile_bucket grouped
 
 let of_rules all = { all; by_head = index all }
 
@@ -74,8 +149,26 @@ exception Out_of_fuel of Term.t
 
 let default_fuel = 200_000
 
-let rules_for sys op =
-  Option.value ~default:[] (String_map.find_opt (Op.name op) sys.by_head)
+(* second-level dispatch: pick the bucket for the subject's first
+   argument; a fingerprint no rule specializes on falls back to the
+   generic rules (the only ones that could match) *)
+let candidate_rules sys op args =
+  match String_map.find_opt (Op.name op) sys.by_head with
+  | None -> []
+  | Some c -> (
+    match args with
+    | [] -> c.head_rules
+    | a1 :: _ -> (
+      let fp_bucket fp =
+        match String_map.find_opt fp c.by_fp with
+        | Some rs -> rs
+        | None -> c.generic
+      in
+      match Term.view a1 with
+      | Term.Var _ -> c.generic
+      | Term.App (g, _) -> fp_bucket (fp_op (Op.name g))
+      | Term.Err _ -> fp_bucket fp_err
+      | Term.Ite _ -> fp_bucket fp_ite))
 
 let find_redex sys t =
   let rec first = function
@@ -85,32 +178,37 @@ let find_redex sys t =
       | Some s -> Some (r, s)
       | None -> first rest)
   in
-  match t with Term.App (op, _) -> first (rules_for sys op) | _ -> None
+  match Term.view t with
+  | Term.App (op, args) -> first (candidate_rules sys op args)
+  | _ -> None
 
 (* Leftmost-innermost normalization.  [on_apply] is called once per rule
    application and may raise to abort. *)
 let innermost ~on_apply sys term =
   let rec norm t =
-    match t with
+    match Term.view t with
     | Term.Var _ | Term.Err _ -> t
     | Term.Ite (c, th, el) -> (
       let c' = norm c in
       if Term.equal c' Term.tt then norm th
       else if Term.equal c' Term.ff then norm el
       else
-        match c' with
-        | Term.Err _ -> Term.Err (Term.sort_of th)
+        match Term.view c' with
+        | Term.Err _ -> Term.err (Term.sort_of th)
         | _ ->
           (* stuck conditional: branches stay frozen, otherwise recursive
              definitions would unfold without bound under an undecided
              condition (ground conditions always decide, so evaluation is
              unaffected) *)
-          Term.Ite (c', th, el))
+          Term.ite_unchecked c' th el)
     | Term.App (op, args) -> (
       let args' = List.map norm args in
-      if List.exists Term.is_error args' then Term.Err (Op.result op)
+      if List.exists Term.is_error args' then Term.err (Op.result op)
       else
-        let t' = Term.App (op, args') in
+        let t' =
+          if List.for_all2 ( == ) args args' then t
+          else Term.app_unchecked op args'
+        in
         match find_redex sys t' with
         | None -> t'
         | Some (r, s) ->
@@ -121,22 +219,22 @@ let innermost ~on_apply sys term =
 
 (* One leftmost-outermost step, or None. *)
 let rec outer_step sys t =
-  match t with
+  match Term.view t with
   | Term.Var _ | Term.Err _ -> None
   | Term.Ite (c, th, el) -> (
     if Term.equal c Term.tt then Some (th, "<if>")
     else if Term.equal c Term.ff then Some (el, "<if>")
     else
-      match c with
-      | Term.Err _ -> Some (Term.Err (Term.sort_of th), "<error>")
+      match Term.view c with
+      | Term.Err _ -> Some (Term.err (Term.sort_of th), "<error>")
       | _ -> (
         (* branches of a stuck conditional are frozen, as in [innermost] *)
         match outer_step sys c with
-        | Some (c', n) -> Some (Term.Ite (c', th, el), n)
+        | Some (c', n) -> Some (Term.ite_unchecked c' th el, n)
         | None -> None))
   | Term.App (op, args) -> (
     if List.exists Term.is_error args then
-      Some (Term.Err (Op.result op), "<error>")
+      Some (Term.err (Op.result op), "<error>")
     else
       match find_redex sys t with
       | Some (r, s) -> Some (Subst.apply s r.rhs, r.rule_name)
@@ -149,7 +247,7 @@ let rec outer_step sys t =
               let args' =
                 List.mapi (fun j x -> if j = i then a' else x) args
               in
-              Some (Term.App (op, args'), n)
+              Some (Term.app_unchecked op args', n)
             | None -> step_child (i + 1) rest)
         in
         step_child 0 args)
@@ -218,14 +316,173 @@ let joinable ?strategy ?fuel sys a b =
   | Some na, Some nb -> Term.equal na nb
   | _ -> false
 
+(* {2 The reference engine}
+
+   A deliberately naive copy of the rewriting algorithm from before the
+   index and hash-consing landed: rules are scanned linearly in priority
+   order, matching binds and compares with deep structural equality, and
+   nothing consults ids, precomputed hashes, or the intern table. It is
+   the oracle the differential harness ([test/test_diff.ml]) normalizes
+   every random term against — byte-for-byte the same strategy, error
+   strictness, if-then-else laziness, and fuel accounting, only slower. *)
+
+module Reference = struct
+  let rec match_term pattern subject bindings =
+    match (Term.view pattern, Term.view subject) with
+    | Term.Var (x, sort), _ ->
+      if not (Sort.equal sort (Term.sort_of subject)) then None
+      else (
+        match String_map.find_opt x bindings with
+        | Some prev ->
+          if Term.structural_equal prev subject then Some bindings else None
+        | None -> Some (String_map.add x subject bindings))
+    | Term.Err sp, Term.Err st ->
+      if Sort.equal sp st then Some bindings else None
+    | Term.App (f, ps), Term.App (g, ts) when Op.equal f g ->
+      match_list ps ts bindings
+    | Term.Ite (c1, t1, e1), Term.Ite (c2, t2, e2) ->
+      match_list [ c1; t1; e1 ] [ c2; t2; e2 ] bindings
+    | _ -> None
+
+  and match_list ps ts bindings =
+    match (ps, ts) with
+    | [], [] -> Some bindings
+    | p :: ps, t :: ts -> (
+      match match_term p t bindings with
+      | Some bindings -> match_list ps ts bindings
+      | None -> None)
+    | _ -> None
+
+  let apply bindings rhs =
+    Term.map_vars
+      (fun x sort ->
+        match String_map.find_opt x bindings with
+        | Some t -> t
+        | None -> Term.var x sort)
+      rhs
+
+  (* linear scan: every rule, in priority order, no dispatch at all *)
+  let find_redex sys t =
+    match Term.view t with
+    | Term.App _ ->
+      let rec first = function
+        | [] -> None
+        | r :: rest -> (
+          match match_term r.lhs t String_map.empty with
+          | Some s -> Some (r, s)
+          | None -> first rest)
+      in
+      first sys.all
+    | _ -> None
+
+  let innermost ~on_apply sys term =
+    let rec norm t =
+      match Term.view t with
+      | Term.Var _ | Term.Err _ -> t
+      | Term.Ite (c, th, el) -> (
+        let c' = norm c in
+        if Term.structural_equal c' Term.tt then norm th
+        else if Term.structural_equal c' Term.ff then norm el
+        else
+          match Term.view c' with
+          | Term.Err _ -> Term.err (Term.sort_of th)
+          | _ -> Term.ite_unchecked c' th el)
+      | Term.App (op, args) -> (
+        let args' = List.map norm args in
+        if List.exists Term.is_error args' then Term.err (Op.result op)
+        else
+          let t' = Term.app_unchecked op args' in
+          match find_redex sys t' with
+          | None -> t'
+          | Some (r, s) ->
+            on_apply r;
+            norm (apply s r.rhs))
+    in
+    norm term
+
+  let rec outer_step sys t =
+    match Term.view t with
+    | Term.Var _ | Term.Err _ -> None
+    | Term.Ite (c, th, el) -> (
+      if Term.structural_equal c Term.tt then Some (th, "<if>")
+      else if Term.structural_equal c Term.ff then Some (el, "<if>")
+      else
+        match Term.view c with
+        | Term.Err _ -> Some (Term.err (Term.sort_of th), "<error>")
+        | _ -> (
+          match outer_step sys c with
+          | Some (c', n) -> Some (Term.ite_unchecked c' th el, n)
+          | None -> None))
+    | Term.App (op, args) -> (
+      if List.exists Term.is_error args then
+        Some (Term.err (Op.result op), "<error>")
+      else
+        match find_redex sys t with
+        | Some (r, s) -> Some (apply s r.rhs, r.rule_name)
+        | None ->
+          let rec step_child i = function
+            | [] -> None
+            | a :: rest -> (
+              match outer_step sys a with
+              | Some (a', n) ->
+                let args' =
+                  List.mapi (fun j x -> if j = i then a' else x) args
+                in
+                Some (Term.app_unchecked op args', n)
+              | None -> step_child (i + 1) rest)
+          in
+          step_child 0 args)
+
+  let outermost ~on_apply sys term =
+    let rec go t =
+      match outer_step sys t with
+      | None -> t
+      | Some (t', name) ->
+        if not (String.equal name "<if>" || String.equal name "<error>") then
+          on_apply { rule_name = name; lhs = t; rhs = t' };
+        go t'
+    in
+    go term
+
+  let run ?(strategy = Innermost) ?(fuel = default_fuel) ?(poll = no_poll)
+      ?on_rule ~on_apply sys term =
+    let remaining = ref fuel in
+    let counted r =
+      if !remaining <= 0 then raise Fuel_exhausted;
+      decr remaining;
+      poll ();
+      fire on_rule r;
+      on_apply r
+    in
+    try
+      match strategy with
+      | Innermost -> innermost ~on_apply:counted sys term
+      | Outermost -> outermost ~on_apply:counted sys term
+    with Fuel_exhausted -> raise (Out_of_fuel term)
+
+  let normalize ?strategy ?fuel ?poll ?on_rule sys term =
+    run ?strategy ?fuel ?poll ?on_rule ~on_apply:(fun _ -> ()) sys term
+
+  let normalize_opt ?strategy ?fuel ?poll ?on_rule sys term =
+    match normalize ?strategy ?fuel ?poll ?on_rule sys term with
+    | t -> Some t
+    | exception Out_of_fuel _ -> None
+
+  let normalize_count ?strategy ?fuel ?poll ?on_rule sys term =
+    let n = ref 0 in
+    let t =
+      run ?strategy ?fuel ?poll ?on_rule ~on_apply:(fun _ -> incr n) sys term
+    in
+    (t, !n)
+end
+
 module Term_lru = Lru.Make (struct
   type t = Term.t
 
+  (* hash-consing makes structural equality physical and gives every term
+     a unique id: the memo keys on identity, no structural hashing at all *)
   let equal = Term.equal
-
-  (* the default generic hash looks at only ~10 meaningful nodes, which
-     collides badly on large same-shaped terms; widen the window *)
-  let hash t = Hashtbl.hash_param 64 256 t
+  let hash = Term.id
 end)
 
 module Memo = struct
@@ -256,16 +513,16 @@ let normalize_memo_count ?(fuel = default_fuel) ?(poll = no_poll) ?on_rule
     ~memo sys term =
   let remaining = ref fuel in
   let rec norm t =
-    match t with
+    match Term.view t with
     | Term.Var _ | Term.Err _ -> t
     | Term.Ite (c, th, el) -> (
       let c' = norm c in
       if Term.equal c' Term.tt then norm th
       else if Term.equal c' Term.ff then norm el
       else
-        match c' with
-        | Term.Err _ -> Term.Err (Term.sort_of th)
-        | _ -> Term.Ite (c', th, el))
+        match Term.view c' with
+        | Term.Err _ -> Term.err (Term.sort_of th)
+        | _ -> Term.ite_unchecked c' th el)
     | Term.App (op, args) -> (
       match Term_lru.find memo.Memo.cache t with
       | Some nf ->
@@ -275,9 +532,12 @@ let normalize_memo_count ?(fuel = default_fuel) ?(poll = no_poll) ?on_rule
         memo.Memo.misses <- memo.Memo.misses + 1;
         let args' = List.map norm args in
         let nf =
-          if List.exists Term.is_error args' then Term.Err (Op.result op)
+          if List.exists Term.is_error args' then Term.err (Op.result op)
           else
-            let t' = Term.App (op, args') in
+            let t' =
+              if List.for_all2 ( == ) args args' then t
+              else Term.app_unchecked op args'
+            in
             match find_redex sys t' with
             | None -> t'
             | Some (r, s) ->
@@ -311,7 +571,7 @@ let pp_event ppf e =
    innermost redex (builtin steps included). *)
 let step sys term =
   let rec find pos t =
-    match t with
+    match Term.view t with
     | Term.Var _ | Term.Err _ -> None
     | Term.Ite (c, th, el) -> (
       match find (pos @ [ 0 ]) c with
@@ -320,7 +580,7 @@ let step sys term =
         if Term.equal c Term.tt then Some (pos, th, "<if>")
         else if Term.equal c Term.ff then Some (pos, el, "<if>")
         else if Term.is_error c then
-          Some (pos, Term.Err (Term.sort_of th), "<error>")
+          Some (pos, Term.err (Term.sort_of th), "<error>")
         else None (* stuck conditional: branches frozen *))
     | Term.App (op, args) -> (
       let rec in_children i = function
@@ -334,7 +594,7 @@ let step sys term =
       | Some _ as hit -> hit
       | None ->
         if List.exists Term.is_error args then
-          Some (pos, Term.Err (Op.result op), "<error>")
+          Some (pos, Term.err (Op.result op), "<error>")
         else (
           match find_redex sys t with
           | Some (r, s) -> Some (pos, Subst.apply s r.rhs, r.rule_name)

@@ -104,6 +104,47 @@ val joinable :
   ?strategy:strategy -> ?fuel:int -> system -> Term.t -> Term.t -> bool
 (** Both terms normalize (within fuel) to equal normal forms. *)
 
+(** {1 The reference engine}
+
+    The rewriting algorithm as it was before the compiled rule index and
+    hash-consed comparisons: a linear scan over every rule in priority
+    order, with a matcher that binds and compares via deep structural
+    equality and never consults term ids, precomputed hashes, or the
+    intern table. Same strategies, same strict-error and lazy-ite
+    semantics, same fuel accounting — it exists purely as the oracle for
+    the differential test harness ([test/test_diff.ml]), which asserts
+    that the indexed engine above agrees with it on every random term. *)
+
+module Reference : sig
+  val normalize :
+    ?strategy:strategy ->
+    ?fuel:int ->
+    ?poll:(unit -> unit) ->
+    ?on_rule:(string -> unit) ->
+    system ->
+    Term.t ->
+    Term.t
+  (** Raises {!Out_of_fuel}. *)
+
+  val normalize_opt :
+    ?strategy:strategy ->
+    ?fuel:int ->
+    ?poll:(unit -> unit) ->
+    ?on_rule:(string -> unit) ->
+    system ->
+    Term.t ->
+    Term.t option
+
+  val normalize_count :
+    ?strategy:strategy ->
+    ?fuel:int ->
+    ?poll:(unit -> unit) ->
+    ?on_rule:(string -> unit) ->
+    system ->
+    Term.t ->
+    Term.t * int
+end
+
 val is_normal_form : system -> Term.t -> bool
 (** No rule, error step, or if-then-else step applies anywhere. *)
 

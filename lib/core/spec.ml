@@ -145,7 +145,7 @@ let add_constructors names t =
   { t with constructors }
 
 let rec is_constructor_term t term =
-  match term with
+  match Term.view term with
   | Term.Var _ -> true
   | Term.Err _ -> false
   | Term.App (op, args) ->

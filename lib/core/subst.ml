@@ -46,7 +46,7 @@ let pp ppf s =
 
 let match_term ~pattern term =
   let rec go s pattern term =
-    match (pattern, term) with
+    match (Term.view pattern, Term.view term) with
     | Term.Var (x, sort), _ ->
       if Sort.equal sort (Term.sort_of term) then bind x term s else None
     | Term.Err sp, Term.Err st -> if Sort.equal sp st then Some s else None
@@ -77,14 +77,17 @@ let unify a b =
       let a = apply s a and b = apply s b in
       if Term.equal a b then solve s rest
       else begin
-        match (a, b) with
-        | Term.Var (x, sort), t | t, Term.Var (x, sort) ->
+        let bind_var x sort t =
           if not (Sort.equal sort (Term.sort_of t)) then None
           else if occurs x t then None
           else
             let binding = singleton x t in
             let s' = String_map.map (apply binding) s in
             solve (String_map.add x t s') rest
+        in
+        match (Term.view a, Term.view b) with
+        | Term.Var (x, sort), _ -> bind_var x sort b
+        | _, Term.Var (x, sort) -> bind_var x sort a
         | Term.App (f, xs), Term.App (g, ys) when Op.equal f g ->
           solve s (List.combine xs ys @ rest)
         | Term.Ite (c1, t1, e1), Term.Ite (c2, t2, e2) ->
@@ -97,7 +100,7 @@ let unify a b =
 let variant a b =
   let renaming_only s =
     List.for_all
-      (fun (_, t) -> match t with Term.Var _ -> true | _ -> false)
+      (fun (_, t) -> match Term.view t with Term.Var _ -> true | _ -> false)
       (bindings s)
   in
   match (match_term ~pattern:a b, match_term ~pattern:b a) with

@@ -1,20 +1,116 @@
-type t =
+type t = {
+  node : node;
+  id : int;
+  hash : int;
+  size : int;
+  ground : bool;
+}
+
+and node =
   | Var of string * Sort.t
   | App of Op.t * t list
   | Err of Sort.t
   | Ite of t * t * t
 
+let view t = t.node
+let id t = t.id
+let hash t = t.hash
+
 exception Ill_sorted of string
 
 let ill_sorted fmt = Fmt.kstr (fun s -> raise (Ill_sorted s)) fmt
 
-let rec sort_of = function
+let rec sort_of t =
+  match t.node with
   | Var (_, s) -> s
   | App (op, _) -> Op.result op
   | Err s -> s
   | Ite (_, t, _) -> sort_of t
 
-let var name sort = Var (name, sort)
+(* {2 Interning}
+
+   A single weak table holds every live term. Keys compare shallowly: two
+   nodes are equal when their heads agree and their children are physically
+   identical — children are already interned, so this is structural
+   equality one level deep. The table is weak so normal forms dropped by
+   callers can be collected; [tt]/[ff] below pin the common constants.
+
+   The engine serves one systhread per connection, so interning takes a
+   mutex. Construction is the only synchronized operation; reads (equal,
+   hash, view, ...) touch immutable fields only. *)
+
+module Node_key = struct
+  type nonrec t = t
+
+  let equal a b =
+    match (a.node, b.node) with
+    | Var (x, s), Var (y, s') -> String.equal x y && Sort.equal s s'
+    | Err s, Err s' -> Sort.equal s s'
+    | App (f, xs), App (g, ys) ->
+      Op.equal f g
+      && List.length xs = List.length ys
+      && List.for_all2 ( == ) xs ys
+    | Ite (c, t, e), Ite (c', t', e') -> c == c' && t == t' && e == e'
+    | (Var _ | App _ | Err _ | Ite _), _ -> false
+
+  let hash t = t.hash
+end
+
+module H = Weak.Make (Node_key)
+
+let table = H.create 4096
+let counter = ref 0
+let lock = Mutex.create ()
+
+let intern node ~hash ~size ~ground =
+  let hash = hash land max_int in
+  let candidate = { node; id = 0; hash; size; ground } in
+  Mutex.lock lock;
+  let t =
+    match H.find_opt table candidate with
+    | Some existing -> existing
+    | None ->
+      incr counter;
+      let fresh = { candidate with id = !counter } in
+      H.add table fresh;
+      fresh
+  in
+  Mutex.unlock lock;
+  t
+
+let intern_stats () =
+  Mutex.lock lock;
+  let live = H.count table in
+  let total = !counter in
+  Mutex.unlock lock;
+  (live, total)
+
+(* FNV-style mixing of the head tag with child hashes; deterministic across
+   runs (never derived from ids). *)
+let mix h x = ((h * 0x01000193) lxor x) land max_int
+
+let var name sort =
+  let hash = mix (mix 17 (Hashtbl.hash name)) (Hashtbl.hash sort) in
+  intern (Var (name, sort)) ~hash ~size:1 ~ground:false
+
+let err s =
+  let hash = mix 31 (Hashtbl.hash s) in
+  intern (Err s) ~hash ~size:1 ~ground:true
+
+let app_unchecked op args =
+  let hash =
+    List.fold_left (fun h a -> mix h a.hash) (mix 73 (Hashtbl.hash (Op.name op))) args
+  in
+  let size = List.fold_left (fun n a -> n + a.size) 1 args in
+  let ground = List.for_all (fun a -> a.ground) args in
+  intern (App (op, args)) ~hash ~size ~ground
+
+let ite_unchecked c t e =
+  let hash = mix (mix (mix 127 c.hash) t.hash) e.hash in
+  intern (Ite (c, t, e))
+    ~hash
+    ~size:(1 + c.size + t.size + e.size)
+    ~ground:(c.ground && t.ground && e.ground)
 
 let app op args =
   let expected = Op.args op in
@@ -29,10 +125,9 @@ let app op args =
         ill_sorted "argument %d of %a has sort %a, expected %a" (i + 1) Op.pp
           op Sort.pp got Sort.pp want)
     (List.combine expected args);
-  App (op, args)
+  app_unchecked op args
 
 let const op = app op []
-let err s = Err s
 
 let ite c t e =
   if not (Sort.is_bool (sort_of c)) then
@@ -40,13 +135,16 @@ let ite c t e =
   if not (Sort.equal (sort_of t) (sort_of e)) then
     ill_sorted "if-branches have sorts %a and %a" Sort.pp (sort_of t) Sort.pp
       (sort_of e);
-  Ite (c, t, e)
+  ite_unchecked c t e
 
-let tt = App (Signature.true_op, [])
-let ff = App (Signature.false_op, [])
+(* pinned: module-level references keep the shared constants out of the
+   weak table's reach *)
+let tt = app_unchecked Signature.true_op []
+let ff = app_unchecked Signature.false_op []
 
 let check sg term =
-  let rec go = function
+  let rec go t =
+    match t.node with
     | Var (_, s) ->
       if Signature.mem_sort s sg then Ok ()
       else Error (Fmt.str "undeclared sort %a" Sort.pp s)
@@ -74,59 +172,78 @@ let check sg term =
   in
   go term
 
+let equal a b = a == b
+
 let rec compare a b =
-  match (a, b) with
-  | Var (x, s), Var (y, s') ->
-    let c = String.compare x y in
-    if c <> 0 then c else Sort.compare s s'
-  | Var _, _ -> -1
-  | _, Var _ -> 1
-  | Err s, Err s' -> Sort.compare s s'
-  | Err _, _ -> -1
-  | _, Err _ -> 1
+  if a == b then 0
+  else
+    match (a.node, b.node) with
+    | Var (x, s), Var (y, s') ->
+      let c = String.compare x y in
+      if c <> 0 then c else Sort.compare s s'
+    | Var _, _ -> -1
+    | _, Var _ -> 1
+    | Err s, Err s' -> Sort.compare s s'
+    | Err _, _ -> -1
+    | _, Err _ -> 1
+    | App (f, xs), App (g, ys) ->
+      let c = Op.compare f g in
+      if c <> 0 then c else List.compare compare xs ys
+    | App _, _ -> -1
+    | _, App _ -> 1
+    | Ite (c1, t1, e1), Ite (c2, t2, e2) ->
+      List.compare compare [ c1; t1; e1 ] [ c2; t2; e2 ]
+
+(* deliberately deep — the differential oracle must not rely on the
+   hash-consing invariant it is helping to validate *)
+let rec structural_equal a b =
+  match (a.node, b.node) with
+  | Var (x, s), Var (y, s') -> String.equal x y && Sort.equal s s'
+  | Err s, Err s' -> Sort.equal s s'
   | App (f, xs), App (g, ys) ->
-    let c = Op.compare f g in
-    if c <> 0 then c else List.compare compare xs ys
-  | App _, _ -> -1
-  | _, App _ -> 1
-  | Ite (c1, t1, e1), Ite (c2, t2, e2) ->
-    List.compare compare [ c1; t1; e1 ] [ c2; t2; e2 ]
+    Op.equal f g
+    && List.length xs = List.length ys
+    && List.for_all2 structural_equal xs ys
+  | Ite (c, t, e), Ite (c', t', e') ->
+    structural_equal c c' && structural_equal t t' && structural_equal e e'
+  | (Var _ | App _ | Err _ | Ite _), _ -> false
 
-let equal a b = compare a b = 0
+let size t = t.size
 
-let rec size = function
-  | Var _ | Err _ -> 1
-  | App (_, args) -> List.fold_left (fun n t -> n + size t) 1 args
-  | Ite (c, t, e) -> 1 + size c + size t + size e
-
-let rec depth = function
+let rec depth t =
+  match t.node with
   | Var _ | Err _ -> 1
   | App (_, []) -> 1
   | App (_, args) -> 1 + List.fold_left (fun d t -> max d (depth t)) 0 args
   | Ite (c, t, e) -> 1 + max (depth c) (max (depth t) (depth e))
 
 let rec var_set t acc =
-  match t with
-  | Var (x, s) -> if List.mem (x, s) acc then acc else (x, s) :: acc
-  | Err _ -> acc
-  | App (_, args) -> List.fold_left (fun acc t -> var_set t acc) acc args
-  | Ite (c, t, e) -> var_set e (var_set t (var_set c acc))
+  if t.ground then acc
+  else
+    match t.node with
+    | Var (x, s) -> if List.mem (x, s) acc then acc else (x, s) :: acc
+    | Err _ -> acc
+    | App (_, args) -> List.fold_left (fun acc t -> var_set t acc) acc args
+    | Ite (c, t, e) -> var_set e (var_set t (var_set c acc))
 
 (* first-occurrence order *)
 let vars t =
   let rec go acc t =
-    match t with
-    | Var (x, s) -> if List.mem (x, s) acc then acc else acc @ [ (x, s) ]
-    | Err _ -> acc
-    | App (_, args) -> List.fold_left go acc args
-    | Ite (c, t, e) -> go (go (go acc c) t) e
+    if t.ground then acc
+    else
+      match t.node with
+      | Var (x, s) -> if List.mem (x, s) acc then acc else acc @ [ (x, s) ]
+      | Err _ -> acc
+      | App (_, args) -> List.fold_left go acc args
+      | Ite (c, t, e) -> go (go (go acc c) t) e
   in
   go [] t
 
-let is_ground t = vars t = []
-let is_error = function Err _ -> true | _ -> false
+let is_ground t = t.ground
+let is_error t = match t.node with Err _ -> true | _ -> false
 
-let rec ops = function
+let rec ops t =
+  match t.node with
   | Var _ | Err _ -> Op.Set.empty
   | App (op, args) ->
     List.fold_left
@@ -134,7 +251,8 @@ let rec ops = function
       (Op.Set.singleton op) args
   | Ite (c, t, e) -> Op.Set.union (ops c) (Op.Set.union (ops t) (ops e))
 
-let rec count_op name = function
+let rec count_op name t =
+  match t.node with
   | Var _ | Err _ -> 0
   | App (op, args) ->
     let here = if String.equal (Op.name op) name then 1 else 0 in
@@ -143,7 +261,8 @@ let rec count_op name = function
 
 type position = int list
 
-let children = function
+let children t =
+  match t.node with
   | Var _ | Err _ -> []
   | App (_, args) -> args
   | Ite (c, t, e) -> [ c; t; e ]
@@ -175,15 +294,15 @@ let rec replace_at t pos repl =
         | None -> None
         | Some c' -> Some (List.mapi (fun j a -> if j = i then c' else a) args))
     in
-    match t with
+    match t.node with
     | Var _ | Err _ -> None
     | App (op, args) -> (
       match replace_child args with
       | None -> None
-      | Some args' -> Some (App (op, args')))
+      | Some args' -> Some (app_unchecked op args'))
     | Ite (c, th, el) -> (
       match replace_child [ c; th; el ] with
-      | Some [ c'; th'; el' ] -> Some (Ite (c', th', el'))
+      | Some [ c'; th'; el' ] -> Some (ite_unchecked c' th' el')
       | _ -> None))
 
 let rec subterms t = t :: List.concat_map subterms (children t)
@@ -192,17 +311,26 @@ let rec fold f acc t =
   let acc = f acc t in
   List.fold_left (fold f) acc (children t)
 
-let rec rename f = function
-  | Var (x, s) -> Var (f x, s)
-  | Err _ as t -> t
-  | App (op, args) -> App (op, List.map (rename f) args)
-  | Ite (c, t, e) -> Ite (rename f c, rename f t, rename f e)
-
-let rec map_vars f = function
+(* shared children come back physically identical, so both traversals
+   return [t] itself whenever nothing below actually changed — ids are
+   stable under substitution *)
+let rec map_vars f t =
+  match t.node with
   | Var (x, s) -> f x s
-  | Err _ as t -> t
-  | App (op, args) -> App (op, List.map (map_vars f) args)
-  | Ite (c, t, e) -> Ite (map_vars f c, map_vars f t, map_vars f e)
+  | Err _ -> t
+  | App (op, args) ->
+    let args' = List.map (map_vars f) args in
+    if List.for_all2 ( == ) args args' then t else app_unchecked op args'
+  | Ite (c, th, e) ->
+    let c' = map_vars f c and th' = map_vars f th and e' = map_vars f e in
+    if c == c' && th == th' && e == e' then t else ite_unchecked c' th' e'
+
+let rename f t =
+  map_vars
+    (fun x s ->
+      let x' = f x in
+      var x' s)
+    t
 
 let fresh_wrt ~avoid base sort =
   let taken name = List.exists (fun (x, _) -> String.equal x name) avoid in
@@ -215,7 +343,8 @@ let fresh_wrt ~avoid base sort =
     in
     try_idx 1
 
-let rec pp ppf = function
+let rec pp ppf t =
+  match t.node with
   | Var (x, _) -> Fmt.string ppf x
   | Err _ -> Fmt.string ppf "error"
   | App (op, []) -> Op.pp ppf op

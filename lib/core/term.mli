@@ -1,8 +1,14 @@
-(** Many-sorted terms.
+(** Many-sorted terms, hash-consed.
 
     Terms are the common currency of the whole library: axioms relate terms,
     the rewriting engine normalizes terms, implementations are checked by
     mapping their concrete values to terms through the abstraction function.
+
+    Every term is interned in a global (weak) table, so two structurally
+    equal terms are always the same heap value: {!equal} is physical
+    equality, and each term carries a unique {!id}, a precomputed {!hash}
+    and {!size}, and a ground flag — all O(1). Pattern match through
+    {!view}; construct through the smart constructors.
 
     Beyond plain variables and applications, two builtin forms mirror the
     paper's notation:
@@ -16,11 +22,29 @@
       the strict error rule would poison, e.g., the [else] branch of
       [FRONT (ADD (q, i))] when [q = NEW]). *)
 
-type t =
+type t = private {
+  node : node;  (** the head constructor; prefer {!view} *)
+  id : int;  (** unique per distinct term, dense from 1 *)
+  hash : int;  (** structural hash, precomputed at construction *)
+  size : int;  (** number of nodes, precomputed at construction *)
+  ground : bool;  (** [true] iff the term contains no variables *)
+}
+
+and node =
   | Var of string * Sort.t
   | App of Op.t * t list
   | Err of Sort.t
   | Ite of t * t * t
+
+val view : t -> node
+(** [view t] is [t.node]; the standard way to pattern match a term:
+    [match Term.view t with Term.App (op, args) -> ...]. *)
+
+val id : t -> int
+(** Unique identifier of the interned term (positive, dense). *)
+
+val hash : t -> int
+(** Precomputed structural hash; deterministic across runs. *)
 
 exception Ill_sorted of string
 (** Raised by the smart constructors and {!check} when an application's
@@ -39,6 +63,15 @@ val ite : t -> t -> t -> t
 (** Checked: the condition must have sort [Bool] and the branches must have
     equal sorts. Raises {!Ill_sorted} otherwise. *)
 
+val app_unchecked : Op.t -> t list -> t
+(** Interns [App (op, args)] without the arity/sort checks of {!app}. Only
+    for hot paths that preserve well-sortedness by construction (applying a
+    well-sorted substitution, replacing a subterm by one of equal sort). *)
+
+val ite_unchecked : t -> t -> t -> t
+(** Interns [Ite (c, t, e)] without the checks of {!ite}; same caveat as
+    {!app_unchecked}. *)
+
 val tt : t
 (** The Boolean constant [true]. *)
 
@@ -54,10 +87,19 @@ val check : Signature.t -> t -> (unit, string) result
 (** {1 Structure} *)
 
 val equal : t -> t -> bool
+(** Physical equality — constant time. Hash-consing guarantees this
+    coincides with structural equality. *)
+
+val structural_equal : t -> t -> bool
+(** Deep structural comparison that never consults ids or the intern table.
+    Agrees with {!equal} by the hash-consing invariant; kept as an
+    independent oracle for the differential test harness. *)
+
 val compare : t -> t -> int
+(** Total structural order (shortcuts on physical equality). *)
 
 val size : t -> int
-(** Number of nodes (variables, applications, errors, ites). *)
+(** Number of nodes (variables, applications, errors, ites) — O(1). *)
 
 val depth : t -> int
 
@@ -69,6 +111,8 @@ val var_set : t -> (string * Sort.t) list -> (string * Sort.t) list
     order unspecified); building block for {!vars} over several terms. *)
 
 val is_ground : t -> bool
+(** O(1): the precomputed ground flag. *)
+
 val is_error : t -> bool
 
 val ops : t -> Op.Set.t
@@ -101,11 +145,17 @@ val rename : (string -> string) -> t -> t
 
 val map_vars : (string -> Sort.t -> t) -> t -> t
 (** Simultaneous substitution primitive: replaces each variable by the image
-    term. The caller is responsible for sort preservation. *)
+    term. The caller is responsible for sort preservation. Subterms whose
+    variables are all mapped to themselves are returned physically
+    unchanged, so substitution preserves sharing (and ids). *)
 
 val fresh_wrt : avoid:(string * Sort.t) list -> string -> Sort.t -> string
 (** [fresh_wrt ~avoid base s] is a variable name based on [base] that does
     not occur in [avoid]. *)
+
+val intern_stats : unit -> int * int
+(** [(live, total)]: live entries in the intern table and the total number
+    of distinct terms ever created (the current id counter). *)
 
 val pp : t Fmt.t
 (** Paper-style concrete syntax:

@@ -1,5 +1,10 @@
 open Adt
 
+(* Each specification gets one memoizing interpreter guarded by its own
+   lock. The memo underneath is a {!Lru} keyed on hash-consed term ids
+   ([Term.id], physical equality), so a cache probe costs one pointer
+   comparison regardless of term size — terms arriving over different
+   connections intern to the same node and share normal forms. *)
 type entry = { spec : Spec.t; interp : Interp.t; lock : Mutex.t }
 
 type t = {

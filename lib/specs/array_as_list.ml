@@ -87,7 +87,7 @@ let primed_name = function
   | _ -> None
 
 let rec translate term =
-  match term with
+  match Term.view term with
   | Term.Var (x, s) when Sort.equal s array_sort -> Term.var x list_sort
   | Term.Var _ -> term
   | Term.Err s when Sort.equal s array_sort -> Term.err list_sort

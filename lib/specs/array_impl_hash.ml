@@ -13,9 +13,9 @@ let empty () = { table = Array.make buckets []; log = [] }
    and stays O(1); other key shapes fall back to the rendered term *)
 let slot k =
   let key =
-    match k with
+    match Term.view k with
     | Term.App (op, []) -> Op.name op
-    | t -> Term.to_string t
+    | _ -> Term.to_string k
   in
   Hashtbl.hash key mod buckets
 

@@ -18,7 +18,8 @@ let mk_op =
 let mk ~ty ~slot =
   Term.app mk_op [ Builtins.nat_of_int ty; Builtins.nat_of_int slot ]
 
-let decode = function
+let decode t =
+  match Term.view t with
   | Term.App (op, [ ty; slot ]) when Op.equal op mk_op -> (
     match (Builtins.int_of_nat ty, Builtins.int_of_nat slot) with
     | Some t, Some s -> Some (t, s)
@@ -49,7 +50,8 @@ let mk_proc ~ret ~params ~index =
       Builtins.nat_of_int index;
     ]
 
-let decode_proc = function
+let decode_proc t =
+  match Term.view t with
   | Term.App (op, [ ret; params; index ]) when Op.equal op mk_proc_op -> (
     match
       ( Builtins.int_of_nat ret,

@@ -47,7 +47,7 @@ let rec nat_of_int i =
   else succ (nat_of_int (i - 1))
 
 let rec int_of_nat t =
-  match t with
+  match Term.view t with
   | Term.App (op, []) when Op.equal op zero_op -> Some 0
   | Term.App (op, [ n ]) when Op.equal op succ_op ->
     Option.map (fun i -> i + 1) (int_of_nat n)

@@ -42,7 +42,8 @@ let spec =
 let of_items items = List.fold_left add new_ items
 
 let to_items term =
-  let rec go acc = function
+  let rec go acc t =
+    match Term.view t with
     | Term.App (op, []) when Op.equal op new_op -> Some acc
     | Term.App (op, [ q; i ]) when Op.equal op add_op -> go (i :: acc) q
     | _ -> None

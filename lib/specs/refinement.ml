@@ -139,7 +139,7 @@ let primed_name = function
   | _ -> None
 
 let rec translate term =
-  match term with
+  match Term.view term with
   | Term.Var (x, s) when Sort.equal s sym_sort -> Term.var x stack_sort
   | Term.Var _ -> term
   | Term.Err s when Sort.equal s sym_sort -> Term.err stack_sort

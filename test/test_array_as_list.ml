@@ -101,7 +101,7 @@ let test_ground_agreement () =
     Enum.terms_up_to u Array_spec.default.Array_spec.sort ~size:7
   in
   let rec to_primed t =
-    match t with
+    match Term.view t with
     | Term.App (op, args) -> (
       let args = List.map to_primed args in
       match Op.name op with
@@ -109,7 +109,7 @@ let test_ground_agreement () =
       | "ASSIGN" ->
         Array_as_list.assign' (List.nth args 0) (List.nth args 1)
           (List.nth args 2)
-      | _ -> Term.App (op, args))
+      | _ -> Term.app op args)
     | _ -> t
   in
   List.iter

@@ -4,6 +4,7 @@ let () =
       ("term", Test_term.suite);
       ("subst", Test_subst.suite);
       ("rewrite", Test_rewrite.suite);
+      ("diff", Test_diff.suite);
       ("signature-axiom-spec", Test_spec.suite);
       ("enum", Test_enum.suite);
       ("completeness", Test_completeness.suite);

@@ -215,6 +215,110 @@ let test_round_trip_corpus () =
       Adt_specs.Bounded_queue_spec.spec;
     ]
 
+(* ---- term-level round trip: parse (to_string t) = t ------------------ *)
+
+(* [Test_diff]'s generator occasionally reuses a variable name at two
+   different sorts (harmless for rewriting, unrepresentable in a [vars]
+   declaration); such terms are skipped rather than generated around *)
+let vars_consistent t =
+  let tbl = Hashtbl.create 8 in
+  Term.fold
+    (fun ok sub ->
+      ok
+      &&
+      match Term.view sub with
+      | Term.Var (x, s) -> (
+        match Hashtbl.find_opt tbl x with
+        | Some s' -> Sort.equal s s'
+        | None ->
+          Hashtbl.add tbl x s;
+          true)
+      | _ -> true)
+    true t
+
+let term_round_trip_cases =
+  List.map
+    (fun spec ->
+      let ctx = Test_diff.ctx_of spec in
+      qcheck ~count:200
+        (Fmt.str "parse (pretty t) = t over %s" (Spec.name spec))
+        (Test_diff.term_gen ctx)
+        (fun t ->
+          (not (vars_consistent t))
+          ||
+          match
+            Parser.parse_term spec ~vars:(Term.vars t)
+              ~expected:(Term.sort_of t) (Term.to_string t)
+          with
+          | Ok t' -> Term.equal t t'
+          | Error _ -> false))
+    Adt_specs.Corpus.all
+
+(* ---- regression: every shipped .adt file parses and round-trips ------ *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let spec_files dir =
+  Sys.readdir dir |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f ".adt")
+  |> List.sort String.compare
+  |> List.map (Filename.concat dir)
+
+(* cwd is test/ under [dune runtest] but the project root under
+   [dune exec test/test_main.exe] *)
+let specs_root =
+  lazy
+    (match List.find_opt Sys.file_exists [ "../specs"; "specs" ] with
+    | Some dir -> dir
+    | None -> Alcotest.fail "specs directory not found")
+
+(* symboltable_only.adt expects the base_types prelude in scope *)
+let base_env =
+  lazy
+    (match
+       Parser.parse_specs
+         (read_file (Filename.concat (Lazy.force specs_root) "base_types.adt"))
+     with
+    | Ok specs ->
+      fun name -> List.find_opt (fun s -> Spec.name s = name) specs
+    | Error e -> Alcotest.failf "base_types.adt: %a" Parser.pp_error e)
+
+let check_spec_round_trip path spec =
+  match Parser.parse_spec (Pretty.source_of_spec spec) with
+  | Error e ->
+    Alcotest.failf "%s: %s does not re-parse: %a" path (Spec.name spec)
+      Parser.pp_error e
+  | Ok spec' ->
+    Alcotest.(check bool)
+      (Fmt.str "%s: %s signature survives" path (Spec.name spec))
+      true
+      (Signature.equal (Spec.signature spec) (Spec.signature spec'));
+    List.iter2
+      (fun a b ->
+        if not (Axiom.same_equation a b) then
+          Alcotest.failf "%s: axiom drift: %a vs %a" path Axiom.pp a
+            Axiom.pp b)
+      (Spec.axioms spec) (Spec.axioms spec')
+
+let test_shipped_files_round_trip () =
+  let root = Lazy.force specs_root in
+  let files =
+    spec_files root @ spec_files (Filename.concat root "faulty")
+  in
+  Alcotest.(check bool) "files found" true (List.length files >= 14);
+  List.iter
+    (fun path ->
+      match Parser.parse_specs ~env:(Lazy.force base_env) (read_file path) with
+      | Error e -> Alcotest.failf "%s: %a" path Parser.pp_error e
+      | Ok specs ->
+        Alcotest.(check bool) (path ^ " nonempty") true (specs <> []);
+        List.iter (check_spec_round_trip path) specs)
+    files
+
 let suite =
   [
     case "specification shape" test_parse_spec_shape;
@@ -235,4 +339,7 @@ let suite =
       test_lexer_identifier_charset;
     case "lexer reports bad characters" test_lexer_bad_char;
     case "pretty-printed corpus re-parses (round trip)" test_round_trip_corpus;
+    case "every shipped .adt file parses and round-trips"
+      test_shipped_files_round_trip;
   ]
+  @ term_round_trip_cases

@@ -7,7 +7,7 @@ let interp = Interp.create Queue_spec.spec
 
 (* reference semantics: a plain OCaml list, front first *)
 let rec reference_eval t : (Term.t list, unit) result =
-  match t with
+  match Term.view t with
   | Term.App (op, []) when Op.name op = "NEW" -> Ok []
   | Term.App (op, [ q; i ]) when Op.name op = "ADD" ->
     Result.map (fun l -> l @ [ i ]) (reference_eval q)

@@ -112,7 +112,7 @@ let test_ground_agreement_with_abstract_spec () =
   let u = Enum.universe Symboltable_spec.spec in
   let tables = Enum.terms_up_to u Symboltable_spec.sort ~size:7 in
   let rec to_primed t =
-    match t with
+    match Term.view t with
     | Term.App (op, args) -> (
       let args = List.map to_primed args in
       match Op.name op with
@@ -120,7 +120,7 @@ let test_ground_agreement_with_abstract_spec () =
       | "ENTERBLOCK" -> Refinement.enterblock' (List.nth args 0)
       | "ADD" ->
         Refinement.add' (List.nth args 0) (List.nth args 1) (List.nth args 2)
-      | _ -> Term.App (op, args))
+      | _ -> Term.app op args)
     | _ -> t
   in
   List.iter

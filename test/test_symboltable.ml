@@ -59,7 +59,7 @@ let test_retrieve_init_errors () =
 
 (* reference semantics: list of scopes, each an assoc list *)
 let rec reference t : (Term.t * Term.t) list list option =
-  match t with
+  match Term.view t with
   | Term.App (op, []) when Op.name op = "INIT" -> Some [ [] ]
   | Term.App (op, [ s ]) when Op.name op = "ENTERBLOCK" ->
     Option.map (fun scopes -> [] :: scopes) (reference s)

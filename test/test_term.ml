@@ -118,7 +118,39 @@ let test_check () =
     (Result.is_error (Term.check base_signature (Term.const rogue)));
   let wrong_rank = Op.v "plus" ~args:[ nat ] ~result:nat in
   Alcotest.(check bool) "wrong rank" true
-    (Result.is_error (Term.check base_signature (Term.App (wrong_rank, [ z ]))))
+    (Result.is_error (Term.check base_signature (Term.app wrong_rank [ z ])))
+
+let test_hash_consing () =
+  (* equal constructions are the same heap value, with the same id *)
+  let a = plus (s z) (v "x") in
+  let b = plus (s z) (v "x") in
+  Alcotest.(check bool) "app f xs == app f xs" true (a == b);
+  Alcotest.(check int) "same id" (Term.id a) (Term.id b);
+  Alcotest.(check int) "same hash" (Term.hash a) (Term.hash b);
+  Alcotest.(check bool) "distinct terms get distinct ids" true
+    (Term.id a <> Term.id (plus (s z) (v "y")));
+  Alcotest.(check bool) "vars shared" true (v "x" == v "x");
+  Alcotest.(check bool) "errors shared" true (Term.err nat == Term.err nat);
+  Alcotest.(check bool) "ite shared" true
+    (Term.ite Term.tt z (s z) == Term.ite Term.tt z (s z));
+  (* physical equality agrees with deep structural comparison *)
+  Alcotest.(check bool) "structural_equal" true (Term.structural_equal a b);
+  let live, total = Term.intern_stats () in
+  Alcotest.(check bool) "intern table sane" true (live <= total && live > 0)
+
+let test_ids_stable_under_substitution () =
+  let t = plus (v "x") (plus z (v "y")) in
+  (* the identity substitution returns the term itself, not a copy *)
+  Alcotest.(check bool) "map_vars identity is physical identity" true
+    (Term.map_vars Term.var t == t);
+  (* subterms untouched by a real substitution keep their identity *)
+  let right = Option.get (Term.subterm_at t [ 1 ]) in
+  let t' =
+    Term.map_vars (fun x sort -> if x = "x" then z else Term.var x sort) t
+  in
+  check_term "substitution applied" (plus z (plus z (v "y"))) t';
+  Alcotest.(check bool) "untouched branch keeps its id" true
+    (Option.get (Term.subterm_at t' [ 1 ]) == right)
 
 let test_pp () =
   Alcotest.(check string) "const" "z" (Term.to_string z);
@@ -144,5 +176,7 @@ let suite =
     case "rename and map_vars" test_rename_map_vars;
     case "fresh variable names" test_fresh_wrt;
     case "deep signature check" test_check;
+    case "hash-consing invariants" test_hash_consing;
+    case "ids are stable under substitution" test_ids_stable_under_substitution;
     case "printing" test_pp;
   ]
