@@ -1,7 +1,7 @@
 (* Benchmark harness: one section per experiment of DESIGN.md / EXPERIMENTS.md.
 
    The paper (Guttag, CACM 1977) has no quantitative tables; its measurable
-   claims and exhibited artifacts are reproduced here as experiments E1-E13.
+   claims and exhibited artifacts are reproduced here as experiments E1-E14.
    Sections print the artifact reproductions (the ring-buffer figures, the
    mechanical proof, the prompting transcript, the axiom diff) and time the
    claims that are about cost (symbolic interpretation overhead,
@@ -720,6 +720,50 @@ let e13 () =
   Fmt.pr "  warm memo after run: hits=%d misses=%d entries=%d (id-keyed)@."
     hits misses (Rewrite.Memo.size warm)
 
+(* {1 E14 - spec-derived conformance suites: compile and run cost} *)
+
+let e14_entry spec impl =
+  match Testgen.Registry.find ~spec ~impl with
+  | Some e -> e
+  | None -> failwith (Fmt.str "e14: %s/%s not registered" spec impl)
+
+let e14 () =
+  Fmt.pr "@.=== E14: spec-derived conformance suites (testgen) ===@.";
+  Fmt.pr
+    "(compile = partition context operations + precompile the rewrite \
+     system;@.";
+  Fmt.pr
+    " run = per axiom, N uniform valuations, both sides evaluated through \
+     the@.";
+  Fmt.pr
+    " implementation and compared through random observation contexts)@.";
+  let queue = e14_entry "Queue" "two-list" in
+  let array = e14_entry "Array" "hash" in
+  let symtab = e14_entry "Symboltable" "stack-of-hash" in
+  report_group "Suite compile + run (seed pinned, count per axiom)"
+    [
+      t "e14/compile/queue" (fun () ->
+          ignore (Testgen.Harness.compile queue));
+      t "e14/run=20/queue/two-list" (fun () ->
+          ignore (Testgen.Harness.conformance ~count:20 ~seed:414243 queue));
+      t "e14/run=20/array/hash" (fun () ->
+          ignore (Testgen.Harness.conformance ~count:20 ~seed:414243 array));
+      t "e14/run=20/symboltable/hash" (fun () ->
+          ignore (Testgen.Harness.conformance ~count:20 ~seed:414243 symtab));
+    ];
+  (* the corpus, replayed at the CI count: every mutant must die *)
+  let reports =
+    List.map
+      (fun entry -> Testgen.Harness.conformance ~count:200 ~seed:414243 entry)
+      Testgen.Registry.mutants
+  in
+  let killed =
+    List.length (List.filter Testgen.Harness.killed reports)
+  in
+  Fmt.pr "  mutation corpus at count=200 seed=414243: %d/%d killed@." killed
+    (List.length reports);
+  if killed < List.length reports then failwith "e14: surviving mutants"
+
 let () =
   Fmt.pr "Reproduction benches for Guttag, 'Abstract Data Types and the Development of Data Structures' (CACM 1977)@.";
   let json_path = ref None in
@@ -745,5 +789,6 @@ let () =
   e11 ();
   e12 ();
   e13 ();
+  e14 ();
   Option.iter write_json !json_path;
   Fmt.pr "@.done.@."

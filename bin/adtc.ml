@@ -4,6 +4,8 @@
      check       parse a .adt file, report sufficient-completeness and
                  consistency
      lint        run every ADTxxx lint rule; text, JSON-lines or SARIF
+     testgen     run a spec's generated conformance suite against a
+                 registered OCaml implementation (or the mutation corpus)
      skeletons   print the missing-axiom prompts (the paper's interactive
                  system)
      normalize   evaluate a term symbolically against a specification
@@ -69,16 +71,21 @@ let fuel_opt =
     & opt (some int) None
     & info [ "fuel" ] ~docv:"N" ~doc:"Rewrite-step budget for this run.")
 
-(* exit-code contract shared by check and lint, documented in both man
-   pages: 0 clean, 1 findings, 2 parse error, plus cmdliner's defaults
-   (124 command-line error, 125 internal error) *)
+(* exit-code contract shared by check, lint and testgen, documented in
+   their man pages: 0 clean, 1 findings, 2 parse error, plus cmdliner's
+   defaults (124 command-line error, 125 internal error) *)
 let analysis_exits =
   [
     Cmd.Exit.info 0
       ~doc:
-        "on a clean specification: sufficiently complete, consistent, and \
-         free of findings at or above the failure threshold.";
-    Cmd.Exit.info 1 ~doc:"when findings were reported.";
+        "on a clean result: sufficiently complete and consistent (check), \
+         free of findings at or above the failure threshold (lint), every \
+         suite passed — or, with $(b,--mutants), every mutant was killed \
+         (testgen).";
+    Cmd.Exit.info 1
+      ~doc:
+        "when findings were reported: check/lint findings, a failed \
+         conformance suite, or a surviving mutant.";
     Cmd.Exit.info 2 ~doc:"on a parse error in a specification file.";
     Cmd.Exit.info Cmd.Exit.cli_error ~doc:"on command-line parsing errors.";
     Cmd.Exit.info Cmd.Exit.internal_error
@@ -247,6 +254,225 @@ let lint_cmd =
     Term.(
       const run $ lib_arg $ all_flag $ files_arg $ format_arg $ deny_arg
       $ rule_arg $ fuel_opt)
+
+(* minimal JSON rendering for --json output; mirrors the lint JSON-lines
+   shape (one object per report per line) *)
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_str s = "\"" ^ json_escape s ^ "\""
+
+let testgen_cmd =
+  let spec_arg =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"SPEC"
+          ~doc:
+            "Specification whose suite to run (e.g. $(b,Queue)); required \
+             unless $(b,--all) or $(b,--list) is given.")
+  in
+  let impl_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "impl" ] ~docv:"NAME"
+          ~doc:
+            "Registered implementation to test; the specification's first \
+             clean implementation by default. $(b,--list) shows the \
+             registry.")
+  in
+  let all_flag =
+    Arg.(
+      value & flag
+      & info [ "all" ]
+          ~doc:"Run the suites of every registered implementation.")
+  in
+  let mutants_flag =
+    Arg.(
+      value & flag
+      & info [ "mutants" ]
+          ~doc:
+            "Select the mutation corpus (seeded-bug variants) instead of \
+             the clean implementations: the run succeeds only when every \
+             selected mutant is $(i,killed) by its suite.")
+  in
+  let list_flag =
+    Arg.(
+      value & flag
+      & info [ "list" ] ~doc:"List the implementation registry and exit.")
+  in
+  let count_arg =
+    Arg.(
+      value & opt int 100
+      & info [ "count" ] ~docv:"N" ~doc:"Random trials per axiom.")
+  in
+  let seed_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "seed" ] ~docv:"S"
+          ~doc:
+            "Base random seed. Trial $(i,i) of every axiom derives its \
+             state from $(docv)+$(i,i), so replaying a reported failure \
+             seed regenerates the identical counterexample as trial 0. \
+             Self-initialized (and printed) when absent.")
+  in
+  let json_flag =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"One JSON object per implementation report.")
+  in
+  let report_json r =
+    let open Testgen.Harness in
+    let witness_json = function
+      | Denotation { lhs; rhs } ->
+        Fmt.str "{\"kind\":\"denotation\",\"lhs\":%s,\"rhs\":%s}"
+          (json_str (Adt.Term.to_string lhs))
+          (json_str (Adt.Term.to_string rhs))
+      | Observation { context; lhs; rhs } ->
+        Fmt.str
+          "{\"kind\":\"observation\",\"context\":%s,\"lhs\":%s,\"rhs\":%s}"
+          (json_str (Adt.Term.to_string context))
+          (json_str (Adt.Term.to_string lhs))
+          (json_str (Adt.Term.to_string rhs))
+      | Crash { message } ->
+        Fmt.str "{\"kind\":\"crash\",\"message\":%s}" (json_str message)
+    in
+    let axiom_json ar =
+      let failure =
+        match ar.failure with
+        | None -> "null"
+        | Some f ->
+          Fmt.str
+            "{\"seed\":%d,\"shrunk\":%b,\"valuation\":%s,\"witness\":%s}"
+            f.fail_seed f.shrunk
+            (json_str
+               (String.concat "; "
+                  (List.map
+                     (fun (x, t) ->
+                       Fmt.str "%s -> %s" x (Adt.Term.to_string t))
+                     (Adt.Subst.bindings f.valuation))))
+            (witness_json f.witness)
+      in
+      Fmt.str
+        "{\"axiom\":%s,\"trials\":%d,\"discards\":%d,\"failure\":%s}"
+        (json_str (Adt.Axiom.name ar.axiom))
+        ar.trials ar.discards failure
+    in
+    Fmt.str
+      "{\"spec\":%s,\"impl\":%s,\"mutant_of\":%s,\"seed\":%d,\"count\":%d,\
+       \"gen_size\":%d,\"passed\":%b,\"axioms\":[%s]}"
+      (json_str r.spec_name) (json_str r.impl_name)
+      (match r.mutant_of with None -> "null" | Some c -> json_str c)
+      r.seed r.count r.gen_size (passed r)
+      (String.concat "," (List.map axiom_json r.axiom_reports))
+  in
+  let run spec impl all mutants list count seed json =
+    let registry_line e =
+      Fmt.str "%-14s %-22s %s" (Testgen.Impl.spec_name e) (Testgen.Impl.name e)
+        (match Testgen.Impl.mutant_of e with
+        | None -> "clean"
+        | Some c -> "mutant of " ^ c)
+    in
+    if list then begin
+      List.iter
+        (fun e -> print_endline (registry_line e))
+        (Testgen.Registry.clean @ Testgen.Registry.mutants);
+      0
+    end
+    else
+      let selection =
+        match (spec, impl, all) with
+        | None, _, false ->
+          Fmt.epr "adtc testgen: expected a SPEC name, --all or --list@.";
+          Error Cmd.Exit.cli_error
+        | Some _, Some _, true ->
+          Fmt.epr "adtc testgen: --all conflicts with --impl@.";
+          Error Cmd.Exit.cli_error
+        | None, _, true | Some _, None, true ->
+          Ok (if mutants then Testgen.Registry.mutants else Testgen.Registry.clean)
+        | Some s, None, false -> (
+          match Testgen.Registry.for_spec ~mutants s with
+          | [] ->
+            Fmt.epr
+              "adtc testgen: no%s implementation is registered for %s \
+               (have: %s)@."
+              (if mutants then " mutant" else "")
+              s
+              (String.concat ", " (Testgen.Registry.spec_names ()));
+            Error Cmd.Exit.cli_error
+          | entries -> Ok (if mutants then entries else [ List.hd entries ]))
+        | Some s, Some i, false -> (
+          match Testgen.Registry.find ~spec:s ~impl:i with
+          | Some e -> Ok [ e ]
+          | None ->
+            Fmt.epr
+              "adtc testgen: no implementation named %s is registered for \
+               %s (have: %s)@."
+              i s
+              (String.concat ", "
+                 (List.map Testgen.Impl.name
+                    (Testgen.Registry.for_spec s
+                    @ Testgen.Registry.for_spec ~mutants:true s)));
+            Error Cmd.Exit.cli_error)
+      in
+      match selection with
+      | Error code -> code
+      | Ok entries ->
+        let seed =
+          match seed with
+          | Some s -> s
+          | None ->
+            Random.self_init ();
+            let s = Random.bits () in
+            if not json then
+              Fmt.pr "(seed %d; pass --seed %d to reproduce this run)@." s s;
+            s
+        in
+        let failed =
+          List.fold_left
+            (fun failed entry ->
+              let report = Testgen.Harness.conformance ~count ~seed entry in
+              if json then print_endline (report_json report)
+              else Fmt.pr "%a@." Testgen.Harness.pp_report report;
+              let expected =
+                if Testgen.Impl.is_mutant entry then
+                  Testgen.Harness.killed report
+                else Testgen.Harness.passed report
+              in
+              if expected then failed else failed + 1)
+            0 entries
+        in
+        if failed = 0 then 0 else 1
+  in
+  let doc =
+    "Compile a specification's axioms into a conformance suite and run it \
+     against a registered OCaml implementation: random well-sorted ground \
+     terms instantiate each axiom, both sides are evaluated through the \
+     implementation, and the results are compared observationally through \
+     the specification's own operations (Gaudel-Le Gall style). Reported \
+     failures carry a reproducing seed and a minimized counterexample; \
+     with $(b,--mutants), success means every seeded-bug variant was \
+     killed."
+  in
+  Cmd.v
+    (Cmd.info "testgen" ~doc ~exits:analysis_exits)
+    Term.(
+      const run $ spec_arg $ impl_arg $ all_flag $ mutants_flag $ list_flag
+      $ count_arg $ seed_arg $ json_flag)
 
 let skeletons_cmd =
   let run libs file =
@@ -748,6 +974,7 @@ let main =
     [
       check_cmd;
       lint_cmd;
+      testgen_cmd;
       skeletons_cmd;
       normalize_cmd;
       complete_cmd;

@@ -76,6 +76,7 @@ let rec terms_exactly u sort ~size =
 let terms_up_to u sort ~size =
   List.concat (List.init (max size 0) (fun i -> terms_exactly u sort ~size:(i + 1)))
 
+let count_exactly u sort ~size = List.length (terms_exactly u sort ~size)
 let count_up_to u sort ~size = List.length (terms_up_to u sort ~size)
 
 let substitutions_up_to u vars ~size =
@@ -110,11 +111,26 @@ let rec random_term u sort ~size state =
         Some (Term.app op (List.map Option.get args))
       else leaf ()
 
-let random_substitution u vars ~size state =
+(* uniform over the bounded universe: draw a global index among all terms
+   of size <= n, then walk the per-size buckets to find it — the counts
+   and buckets are the memoized exhaustive enumeration, so every term is
+   equally likely by construction *)
+let uniform_term u sort ~size state =
+  let total = count_up_to u sort ~size in
+  if total = 0 then None
+  else
+    let rec locate idx sz =
+      let here = count_exactly u sort ~size:sz in
+      if idx < here then Some (List.nth (terms_exactly u sort ~size:sz) idx)
+      else locate (idx - here) (sz + 1)
+    in
+    locate (Random.State.int state total) 1
+
+let substitution_with sample u vars ~size state =
   let bindings =
     List.map
       (fun (x, s) ->
-        match random_term u s ~size state with
+        match sample u s ~size state with
         | Some t -> Some (x, t)
         | None -> None)
       vars
@@ -122,3 +138,9 @@ let random_substitution u vars ~size state =
   if List.for_all Option.is_some bindings then
     Subst.of_bindings (List.map Option.get bindings)
   else None
+
+let random_substitution u vars ~size state =
+  substitution_with random_term u vars ~size state
+
+let uniform_substitution u vars ~size state =
+  substitution_with uniform_term u vars ~size state

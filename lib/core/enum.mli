@@ -5,32 +5,51 @@
     enumeration of those terms powers the model checker (verifying that an
     implementation satisfies every axiom over all small values, the finite
     approximation of the paper's generator induction) and the property-based
-    tests.
+    tests; the random samplers power the differential rewrite harness
+    ([test/test_diff.ml]) and the spec-derived conformance suites of
+    [lib/testgen].
+
+    Term {e size} is the number of constructor nodes, atoms counting 1; the
+    size bound every entry point takes is the Gaudel/Le Gall {e regularity
+    hypothesis} made executable — "correct on every term up to size [k]"
+    stands in for "correct on every term".
 
     Sorts with no constructors in the specification (parameter sorts such as
     [Item] or [Identifier]) draw their values from a caller-supplied [atoms]
     function. *)
 
 type universe
+(** A specification together with its atom supply and the memo tables of
+    the enumerators below. Enumeration results are cached per universe, so
+    repeated queries (and the samplers, which are built on the counts of
+    the exhaustive enumeration) cost amortized O(1) per term after the
+    first call at a given sort and size. *)
 
 val universe : ?atoms:(Sort.t -> Term.t list) -> Spec.t -> universe
 (** [atoms] defaults to producing no terms. Atom terms must be ground and
     count as size 1 regardless of their real size. *)
 
 val spec : universe -> Spec.t
+(** The specification the universe enumerates. *)
 
 val leaves : universe -> Sort.t -> Term.t list
-(** Constant constructors of the sort followed by its atoms. *)
+(** Constant constructors of the sort followed by its atoms; exactly the
+    terms of size 1. *)
 
 val terms_exactly : universe -> Sort.t -> size:int -> Term.t list
 (** All ground constructor terms of exactly the given size (number of
     constructor nodes, atoms counting 1). Results are memoized in the
-    universe. *)
+    universe. The order is deterministic: constructors in declaration
+    order, argument sizes in lexicographic split order. *)
 
 val terms_up_to : universe -> Sort.t -> size:int -> Term.t list
 (** All ground constructor terms of size 1..n, in increasing size order. *)
 
+val count_exactly : universe -> Sort.t -> size:int -> int
+(** [List.length (terms_exactly u s ~size)], sharing its memo table. *)
+
 val count_up_to : universe -> Sort.t -> size:int -> int
+(** [List.length (terms_up_to u s ~size)]. *)
 
 val substitutions_up_to :
   universe -> (string * Sort.t) list -> size:int -> Subst.t list
@@ -41,7 +60,23 @@ val substitutions_up_to :
 val random_term :
   universe -> Sort.t -> size:int -> Random.State.t -> Term.t option
 (** A random ground constructor term of size roughly bounded by [size];
-    [None] when the sort has no generators at all. *)
+    [None] when the sort has no generators at all. The distribution is the
+    natural branching process (uniform constructor choice, the budget split
+    evenly across arguments), which is strongly biased towards small and
+    left-leaning terms — good enough for smoke tests, not for coverage
+    arguments. Prefer {!uniform_term} when the distribution matters. *)
+
+val uniform_term :
+  universe -> Sort.t -> size:int -> Random.State.t -> Term.t option
+(** A ground constructor term drawn {e uniformly} among all terms of the
+    sort of size at most [size] ([None] when there are none): every value
+    of the bounded universe — the boundary constants as well as the
+    maximal-size terms — has exactly probability [1/count_up_to]. This is
+    the sampler the conformance harness ([lib/testgen]) rests on: a bug
+    reachable at size ≤ [size] is reached with probability proportional to
+    how many terms witness it, never hidden by generator bias. Built on
+    the memoized exhaustive enumeration, so the first draw at a given size
+    pays the enumeration cost and later draws are O(size). *)
 
 val random_substitution :
   universe ->
@@ -49,3 +84,14 @@ val random_substitution :
   size:int ->
   Random.State.t ->
   Subst.t option
+(** One {!random_term} per listed variable; [None] when any variable's
+    sort has no generators. *)
+
+val uniform_substitution :
+  universe ->
+  (string * Sort.t) list ->
+  size:int ->
+  Random.State.t ->
+  Subst.t option
+(** One {!uniform_term} per listed variable, drawn independently; [None]
+    when any variable's sort has no generators. *)

@@ -14,12 +14,17 @@ let value_to_term model = function
 
 exception Error_at of Sort.t
 
-let eval_sys sys model term =
+let no_env : string -> 'a value option = fun _ -> None
+
+let eval_sys ?(env = no_env) sys model term =
   let rec go term =
     match Term.view term with
-    | Term.Var _ ->
-      invalid_arg
-        (Fmt.str "Model.eval: term %a has free variables" Term.pp term)
+    | Term.Var (x, _) -> (
+      match env x with
+      | Some v -> v
+      | None ->
+        invalid_arg
+          (Fmt.str "Model.eval: term %a has free variables" Term.pp term))
     | Term.Err s -> raise (Error_at s)
     | Term.Ite (c, th, el) -> (
       match go c with
@@ -56,6 +61,24 @@ let to_term_sys sys model = function
 
 let eval spec model term = eval_sys (Rewrite.of_spec spec) model term
 let to_term spec model result = to_term_sys (Rewrite.of_spec spec) model result
+
+(* {2 Precompiled evaluation contexts}
+
+   [eval] recompiles the specification's rewrite system on every call; a
+   harness evaluating thousands of terms against one model compiles once
+   and reuses the system through a [ctx]. The optional [env] gives values
+   to chosen free variables — the conformance harness ([lib/testgen])
+   evaluates observation contexts [C[#]] by binding the hole variable [#]
+   to an already-computed representation value. *)
+
+type 'r ctx = { ctx_spec : Spec.t; ctx_sys : Rewrite.system; ctx_model : 'r t }
+
+let ctx spec model =
+  { ctx_spec = spec; ctx_sys = Rewrite.of_spec spec; ctx_model = model }
+
+let ctx_spec c = c.ctx_spec
+let ctx_eval ?env c term = eval_sys ?env c.ctx_sys c.ctx_model term
+let ctx_denote c result = to_term_sys c.ctx_sys c.ctx_model result
 
 type counterexample = {
   axiom : Axiom.t;

@@ -38,6 +38,31 @@ val eval : Spec.t -> 'r t -> Term.t -> ('r value, Sort.t) result
     [Error s] results (from strict error propagation or {!Impl_error})
     come back as [Error s]. *)
 
+(** {2 Precompiled evaluation contexts}
+
+    {!eval} compiles the specification's rewrite system on every call. A
+    harness evaluating many terms against one model builds a {!ctx} once;
+    {!ctx_eval} additionally accepts an [env] giving values to chosen free
+    variables, which is how the conformance harness ([lib/testgen])
+    evaluates an observation context [C[#]]: the hole variable [#] is
+    bound to an already-computed representation value. *)
+
+type 'r ctx
+
+val ctx : Spec.t -> 'r t -> 'r ctx
+val ctx_spec : 'r ctx -> Spec.t
+
+val ctx_eval :
+  ?env:(string -> 'r value option) ->
+  'r ctx ->
+  Term.t ->
+  ('r value, Sort.t) result
+(** Like {!eval} with the precompiled system; a free variable is looked up
+    in [env] first and only raises [Invalid_argument] when unbound there. *)
+
+val ctx_denote : 'r ctx -> ('r value, Sort.t) result -> Term.t
+(** Like {!to_term} with the precompiled system. *)
+
 val to_term : Spec.t -> 'r t -> ('r value, Sort.t) result -> Term.t
 (** The abstract term denoted by an evaluation result: [Phi] of a [Rep],
     the normalized term of a [Foreign], [Term.err] of an error. *)

@@ -97,6 +97,80 @@ let do_lint ctx session entry =
             (fun d -> Protocol.sanitize (Analysis.Diagnostic.to_line d))
             diags))
 
+(* the conformance suite resolves in the builtin implementation registry,
+   not the session's loaded specifications: only OCaml implementations
+   compiled into the binary can be run against their axioms *)
+let do_testgen ctx session ~spec ~impl ~count ~seed =
+  let resolved =
+    match impl with
+    | Some impl_name -> (
+      match Testgen.Registry.find ~spec ~impl:impl_name with
+      | Some entry -> Ok entry
+      | None ->
+        let registered =
+          Testgen.Registry.for_spec spec
+          @ Testgen.Registry.for_spec ~mutants:true spec
+        in
+        if registered = [] then
+          Error
+            (error "unknown-spec"
+               "no implementation is registered for %s (have: %s)" spec
+               (String.concat ", " (Testgen.Registry.spec_names ())))
+        else
+          Error
+            (error "unknown-impl"
+               "no implementation named %s is registered for %s (have: %s)"
+               impl_name spec
+               (String.concat ", " (List.map Testgen.Impl.name registered))))
+    | None -> (
+      match Testgen.Registry.default_for spec with
+      | Some entry -> Ok entry
+      | None ->
+        Error
+          (error "unknown-spec"
+             "no implementation is registered for %s (have: %s)" spec
+             (String.concat ", " (Testgen.Registry.spec_names ()))))
+  in
+  match resolved with
+  | Error e -> e
+  | Ok entry ->
+    let count = Option.value ~default:100 count in
+    let seed = Option.value ~default:414243 seed in
+    let report =
+      Obs.Trace.with_span ctx.trace "testgen" @@ fun () ->
+      Testgen.Harness.conformance ~count ~seed entry
+    in
+    let failures = Testgen.Harness.failures report in
+    let metrics = Session.metrics session in
+    Metrics.locked metrics (fun () ->
+        Metrics.record_testgen_suite metrics;
+        List.iter
+          (fun (axiom, _) ->
+            Metrics.record_testgen_failure metrics (Axiom.name axiom))
+          failures);
+    let line ar =
+      match ar.Testgen.Harness.failure with
+      | None ->
+        Fmt.str "axiom %s pass trials=%d" (Axiom.name ar.Testgen.Harness.axiom)
+          ar.Testgen.Harness.trials
+      | Some f ->
+        Protocol.sanitize
+          (Fmt.str "axiom %s FAIL seed=%d at %a: %a"
+             (Axiom.name ar.Testgen.Harness.axiom)
+             f.Testgen.Harness.fail_seed Testgen.Harness.pp_valuation
+             f.Testgen.Harness.valuation
+             Testgen.Harness.pp_witness f.Testgen.Harness.witness)
+    in
+    let header =
+      Fmt.str "testgen %s impl=%s seed=%d count=%d size=%d failures=%d axioms=%d"
+        report.Testgen.Harness.spec_name report.Testgen.Harness.impl_name seed
+        count report.Testgen.Harness.gen_size (List.length failures)
+        (List.length report.Testgen.Harness.axiom_reports)
+    in
+    ok "%s"
+      (String.concat "\n"
+         (header :: List.map line report.Testgen.Harness.axiom_reports))
+
 let do_prove ctx session entry vars lhs_src rhs_src req_fuel poll =
   let vars = List.map (fun (name, sort) -> (name, Sort.v sort)) vars in
   parse_term ~vars entry.Session.spec lhs_src @@ fun lhs ->
@@ -138,12 +212,12 @@ let do_stats session verbose =
     Metrics.locked m (fun () ->
         Fmt.str
           "stats requests=%d normalize=%d check=%d skeletons=%d lint=%d \
-           prove=%d stats=%d metrics=%d slowlog=%d malformed=%d errors=%d \
-           fuel=%d"
+           testgen=%d prove=%d stats=%d metrics=%d slowlog=%d malformed=%d \
+           errors=%d fuel=%d"
           m.Metrics.requests m.Metrics.normalize m.Metrics.check
-          m.Metrics.skeletons m.Metrics.lint m.Metrics.prove m.Metrics.stats
-          m.Metrics.metrics m.Metrics.slowlog m.Metrics.malformed
-          m.Metrics.errors m.Metrics.fuel_spent)
+          m.Metrics.skeletons m.Metrics.lint m.Metrics.testgen m.Metrics.prove
+          m.Metrics.stats m.Metrics.metrics m.Metrics.slowlog
+          m.Metrics.malformed m.Metrics.errors m.Metrics.fuel_spent)
   in
   let c = Session.cache_totals session in
   let base =
@@ -213,6 +287,8 @@ let handle_request ?poll ?ctx session request =
   | Protocol.Skeletons { spec } -> with_spec session spec (do_skeletons ctx)
   | Protocol.Lint { spec } ->
     with_spec session spec @@ fun entry -> do_lint ctx session entry
+  | Protocol.Testgen { spec; impl; count; seed } ->
+    do_testgen ctx session ~spec ~impl ~count ~seed
   | Protocol.Prove { spec; vars; lhs; rhs; fuel } ->
     with_spec session spec @@ fun entry ->
     do_prove ctx session entry vars lhs rhs fuel poll

@@ -5,6 +5,7 @@ type t = {
   mutable check : int;
   mutable skeletons : int;
   mutable lint : int;
+  mutable testgen : int;
   mutable prove : int;
   mutable stats : int;
   mutable metrics : int;
@@ -14,6 +15,8 @@ type t = {
   mutable errors : int;
   mutable fuel_spent : int;
   rule_hits : (string, int) Hashtbl.t;
+  mutable testgen_suites : int;
+  testgen_failures : (string, int) Hashtbl.t;
   latency : Obs.Hist.t;
   fuel_hist : Obs.Hist.t;
 }
@@ -26,6 +29,7 @@ let create () =
     check = 0;
     skeletons = 0;
     lint = 0;
+    testgen = 0;
     prove = 0;
     stats = 0;
     metrics = 0;
@@ -35,6 +39,8 @@ let create () =
     errors = 0;
     fuel_spent = 0;
     rule_hits = Hashtbl.create 8;
+    testgen_suites = 0;
+    testgen_failures = Hashtbl.create 8;
     latency = Obs.Hist.create ~bounds:Obs.Hist.default_latency_bounds;
     fuel_hist = Obs.Hist.create ~bounds:Obs.Hist.default_fuel_bounds;
   }
@@ -49,6 +55,7 @@ let record_kind t = function
   | "check" -> t.check <- t.check + 1
   | "skeletons" -> t.skeletons <- t.skeletons + 1
   | "lint" -> t.lint <- t.lint + 1
+  | "testgen" -> t.testgen <- t.testgen + 1
   | "prove" -> t.prove <- t.prove + 1
   | "stats" -> t.stats <- t.stats + 1
   | "metrics" -> t.metrics <- t.metrics + 1
@@ -62,6 +69,17 @@ let record_rule_hit t code =
   Hashtbl.replace t.rule_hits code
     (1 + Option.value ~default:0 (Hashtbl.find_opt t.rule_hits code))
 
+let record_testgen_suite t = t.testgen_suites <- t.testgen_suites + 1
+
+let record_testgen_failure t axiom =
+  Hashtbl.replace t.testgen_failures axiom
+    (1 + Option.value ~default:0 (Hashtbl.find_opt t.testgen_failures axiom))
+
+let testgen_failures t =
+  List.sort
+    (fun (a, _) (b, _) -> String.compare a b)
+    (Hashtbl.fold (fun axiom n acc -> (axiom, n) :: acc) t.testgen_failures [])
+
 let rule_hits t =
   List.sort
     (fun (a, _) (b, _) -> String.compare a b)
@@ -73,6 +91,7 @@ let by_kind t =
     ("check", t.check);
     ("skeletons", t.skeletons);
     ("lint", t.lint);
+    ("testgen", t.testgen);
     ("prove", t.prove);
     ("stats", t.stats);
     ("metrics", t.metrics);

@@ -17,6 +17,7 @@ type t = {
   mutable check : int;
   mutable skeletons : int;
   mutable lint : int;
+  mutable testgen : int;
   mutable prove : int;
   mutable stats : int;
   mutable metrics : int;
@@ -34,6 +35,14 @@ type t = {
       (** Lint findings per ADTxxx rule code, across every [lint] request
           served. Access through {!record_rule_hit} and {!rule_hits},
           under {!locked}. *)
+  mutable testgen_suites : int;
+      (** Conformance suites executed (one per [testgen] request
+          served). *)
+  testgen_failures : (string, int) Hashtbl.t;
+      (** Axioms falsified per [testgen] run, keyed by axiom name — the
+          [adtc_testgen_failures_total{axiom}] series. Access through
+          {!record_testgen_failure} and {!testgen_failures}, under
+          {!locked}. *)
   latency : Obs.Hist.t;  (** Per-request wall-clock seconds. *)
   fuel_hist : Obs.Hist.t;
       (** Per-request rewrite steps, observed once per fuel-metered
@@ -62,6 +71,16 @@ val record_rule_hit : t -> string -> unit
 val rule_hits : t -> (string * int) list
 (** [(code, findings)] for every rule that has hit at least once, sorted
     by code. Call under {!locked}. *)
+
+val record_testgen_suite : t -> unit
+(** Call under {!locked}. *)
+
+val record_testgen_failure : t -> string -> unit
+(** Bumps the per-axiom falsification counter. Call under {!locked}. *)
+
+val testgen_failures : t -> (string * int) list
+(** [(axiom, failures)] for every axiom falsified at least once, sorted
+    by name. Call under {!locked}. *)
 
 val by_kind : t -> (string * int) list
 (** [(kind, count)] for every kind {!record_kind} accepts, in protocol

@@ -3,6 +3,12 @@ type request =
   | Check of { spec : string }
   | Skeletons of { spec : string }
   | Lint of { spec : string }
+  | Testgen of {
+      spec : string;
+      impl : string option;
+      count : int option;
+      seed : int option;
+    }
   | Prove of {
       spec : string;
       vars : (string * string) list;
@@ -141,6 +147,37 @@ let parse line =
             match args with
             | [ spec ] -> Ok (Some (Lint { spec }))
             | _ -> Error "lint expects: lint SPEC")
+      | "testgen" ->
+        with_options [ "count"; "seed"; "impl" ] (fun opts args ->
+            let positive key =
+              match List.assoc_opt key opts with
+              | None -> Ok None
+              | Some v -> (
+                match int_of_string_opt v with
+                | Some n when n > 0 -> Ok (Some n)
+                | _ ->
+                  Error
+                    (Fmt.str "option %s expects a positive integer, got %s"
+                       key v))
+            in
+            let* count = positive "count" in
+            let* seed =
+              match List.assoc_opt "seed" opts with
+              | None -> Ok None
+              | Some v -> (
+                match int_of_string_opt v with
+                | Some n -> Ok (Some n)
+                | None ->
+                  Error (Fmt.str "option seed expects an integer, got %s" v))
+            in
+            match args with
+            | [ spec ] ->
+              Ok
+                (Some
+                   (Testgen
+                      { spec; impl = List.assoc_opt "impl" opts; count; seed }))
+            | _ ->
+              Error "testgen expects: testgen [impl=NAME] [count=N] [seed=S] SPEC")
       | "prove" ->
         with_options [ "fuel" ] (fun opts args ->
             let* fuel = fuel_option opts in
@@ -183,7 +220,7 @@ let parse line =
         Error
           (Fmt.str
              "unknown request %s (expected normalize, check, skeletons, \
-              lint, prove, stats, metrics, slowlog or quit)"
+              lint, testgen, prove, stats, metrics, slowlog or quit)"
              other))
 
 let render = function
@@ -195,6 +232,7 @@ let kind_name = function
   | Check _ -> "check"
   | Skeletons _ -> "skeletons"
   | Lint _ -> "lint"
+  | Testgen _ -> "testgen"
   | Prove _ -> "prove"
   | Stats _ -> "stats"
   | Metrics -> "metrics"
@@ -203,6 +241,6 @@ let kind_name = function
 
 let spec_name = function
   | Normalize { spec; _ } | Check { spec } | Skeletons { spec }
-  | Lint { spec } | Prove { spec; _ } ->
+  | Lint { spec } | Testgen { spec; _ } | Prove { spec; _ } ->
     Some spec
   | Stats _ | Metrics | Slowlog | Quit -> None

@@ -7,13 +7,17 @@
     {v
     request    := kind option* arg*
     option     := KEY '=' VALUE            (before the positional args)
-    kind       := 'normalize' | 'check' | 'skeletons' | 'lint' | 'prove'
-                | 'stats'     | 'metrics' | 'slowlog' | 'quit'
+    kind       := 'normalize' | 'check' | 'skeletons' | 'lint' | 'testgen'
+                | 'prove' | 'stats' | 'metrics' | 'slowlog' | 'quit'
 
     normalize [fuel=N] SPEC TERM           evaluate TERM against SPEC
     check     SPEC                         completeness + consistency
     skeletons SPEC                         missing-axiom left-hand sides
     lint      SPEC                         all lint findings (one per line)
+    testgen [impl=NAME] [count=N] [seed=S] SPEC
+                                           run the spec's generated
+                                           conformance suite against a
+                                           registered implementation
     prove [fuel=N] SPEC VARS LHS == RHS    equational proof; VARS is '-'
                                            or 'q:Queue,i:Item'
     stats [verbose=true]                   metrics counters; verbose adds
@@ -27,8 +31,8 @@
 
     {v
     response := 'ok' payload | 'error' CODE message
-    CODE     := 'protocol' | 'unknown-spec' | 'parse' | 'fuel'
-              | 'timeout'  | 'internal'
+    CODE     := 'protocol' | 'unknown-spec' | 'unknown-impl' | 'parse'
+              | 'fuel' | 'timeout' | 'internal'
     v}
 
     Payloads are single-line (term renderings are whitespace-squashed by
@@ -36,8 +40,10 @@
     answer a first line announcing how many raw lines follow ([ok metrics
     lines=N] / [ok slowlog entries=N ...] / [ok lint SPEC findings=N])
     and then exactly that many further lines, so line-oriented clients
-    can frame the body. An error response never kills the session — the
-    next request is served normally. *)
+    can frame the body; [testgen] frames identically with [ok testgen
+    SPEC impl=NAME seed=S failures=N axioms=K] followed by one line per
+    axiom. An error response never kills the session — the next request
+    is served normally. *)
 
 type request =
   | Normalize of { spec : string; term : string; fuel : int option }
@@ -46,6 +52,14 @@ type request =
   | Lint of { spec : string }
       (** Every lint finding for the specification, one {!Analysis}
           diagnostic line per finding. *)
+  | Testgen of {
+      spec : string;
+      impl : string option;  (** Registry name; the spec's default if absent. *)
+      count : int option;
+      seed : int option;
+    }
+      (** Run the generated conformance suite for a builtin-registry
+          implementation, one verdict line per axiom. *)
   | Prove of {
       spec : string;
       vars : (string * string) list;  (** (variable, sort name) pairs. *)

@@ -116,6 +116,16 @@ let prometheus t =
              (fun (code, n) -> ([ ("rule", code) ], f n))
              (Metrics.rule_hits m))
         0.;
+      Obs.Export.counter buf ~name:"adtc_testgen_suites_total"
+        ~help:"Conformance suites executed by testgen requests."
+        (f m.testgen_suites);
+      Obs.Export.counter buf ~name:"adtc_testgen_failures_total"
+        ~help:"Axioms falsified by testgen suites, by axiom name."
+        ~labelled:
+          (List.map
+             (fun (axiom, n) -> ([ ("axiom", axiom) ], f n))
+             (Metrics.testgen_failures m))
+        0.;
       Obs.Export.histogram buf ~name:"adtc_request_latency_seconds"
         ~help:"Per-request wall-clock latency." m.latency;
       Obs.Export.histogram buf ~name:"adtc_request_fuel_steps"

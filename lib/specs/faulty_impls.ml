@@ -1,0 +1,127 @@
+open Adt
+
+(* Queue mutants: representation is the item list, front first. *)
+
+let queue_interp ~front ~remove name (args : Term.t list Model.value list) :
+    Term.t list Model.value option =
+  match (name, args) with
+  | "NEW", [] -> Some (Model.Rep [])
+  | "ADD", [ Model.Rep q; Model.Foreign i ] -> Some (Model.Rep (q @ [ i ]))
+  | "FRONT", [ Model.Rep q ] -> (
+    match front q with
+    | Some i -> Some (Model.Foreign i)
+    | None -> raise (Model.Impl_error "FRONT of empty queue"))
+  | "REMOVE", [ Model.Rep q ] -> (
+    match remove q with
+    | Some q' -> Some (Model.Rep q')
+    | None -> raise (Model.Impl_error "REMOVE of empty queue"))
+  | "IS_EMPTY?", [ Model.Rep q ] ->
+    Some (Model.Foreign (if q = [] then Term.tt else Term.ff))
+  | _ -> None
+
+let queue_model name ~front ~remove =
+  {
+    Model.model_name = name;
+    interp = queue_interp ~front ~remove;
+    abstraction = Queue_spec.of_items;
+  }
+
+let rec drop_last = function
+  | [] -> None
+  | [ _ ] -> Some []
+  | x :: rest -> Option.map (fun r -> x :: r) (drop_last rest)
+
+let last q = match List.rev q with [] -> None | i :: _ -> Some i
+let hd = function [] -> None | i :: _ -> Some i
+let tl = function [] -> None | _ :: rest -> Some rest
+
+let queue_remove_back = queue_model "queue remove-back" ~front:hd ~remove:drop_last
+let queue_lifo_front = queue_model "queue lifo-front" ~front:last ~remove:tl
+
+(* Bounded-queue mutants: item list, front first, bound from the spec. *)
+
+let bound = Bounded_queue_spec.bound
+
+let bq_interp ~capacity ~remove name (args : Term.t list Model.value list) :
+    Term.t list Model.value option =
+  match (name, args) with
+  | "EMPTY_Q", [] -> Some (Model.Rep [])
+  | "ADD_Q", [ Model.Rep q; Model.Foreign i ] ->
+    if List.length q >= capacity then
+      raise (Model.Impl_error "ADD_Q of full queue")
+    else Some (Model.Rep (q @ [ i ]))
+  | "FRONT_Q", [ Model.Rep q ] -> (
+    match q with
+    | i :: _ -> Some (Model.Foreign i)
+    | [] -> raise (Model.Impl_error "FRONT_Q of empty queue"))
+  | "REMOVE_Q", [ Model.Rep q ] -> (
+    match remove q with
+    | Some q' -> Some (Model.Rep q')
+    | None -> raise (Model.Impl_error "REMOVE_Q of empty queue"))
+  | "IS_EMPTY_Q?", [ Model.Rep q ] ->
+    Some (Model.Foreign (if q = [] then Term.tt else Term.ff))
+  | "IS_FULL?", [ Model.Rep q ] ->
+    Some (Model.Foreign (if List.length q >= capacity then Term.tt else Term.ff))
+  | "SIZE_Q", [ Model.Rep q ] ->
+    Some (Model.Foreign (Builtins.nat_of_int (List.length q)))
+  | _ -> None
+
+let bq_model name ~capacity ~remove =
+  {
+    Model.model_name = name;
+    interp = bq_interp ~capacity ~remove;
+    abstraction = Bounded_queue_spec.of_items;
+  }
+
+let bq_premature_full =
+  bq_model "bounded-queue premature-full" ~capacity:(bound - 1) ~remove:tl
+
+let bq_remove_back =
+  bq_model "bounded-queue remove-back" ~capacity:bound ~remove:drop_last
+
+(* Array mutant: READ answers from the oldest assignment to the key. *)
+
+module Stale_array : Array_intf.ARRAY = struct
+  type t = (Term.t * Term.t) list (* assignment log, earliest first *)
+
+  let impl_name = "stale-read array"
+  let empty () = []
+  let assign arr k v = arr @ [ (k, v) ]
+
+  let read arr k =
+    List.find_map (fun (k', v) -> if Term.equal k k' then Some v else None) arr
+
+  let is_undefined arr k = Option.is_none (read arr k)
+  let bindings arr = arr
+end
+
+let array_stale_read =
+  let m = Array_intf.model (module Stale_array) Array_spec.default in
+  { m with Model.model_name = "array stale-read" }
+
+(* The same fault propagated one level up the hierarchy: a symbol table
+   whose per-block arrays answer stale reads. *)
+
+module Stale_symboltable = Symboltable_impl.Make (Stale_array)
+
+let symboltable_stale_read =
+  { Stale_symboltable.model with Model.model_name = "symboltable stale-read" }
+
+(* Stack mutant: REPLACE pushes instead of replacing the top. The empty
+   stack still errors like the clean implementation, so no direct
+   observation sees the fault — TOP answers the new item either way — and
+   only a nested context (POP first) can kill it. *)
+
+let stack_replace_pushes =
+  let clean = Stack_impl.model Stack_spec.default in
+  {
+    clean with
+    Model.model_name = "stack replace-pushes";
+    interp =
+      (fun name args ->
+        match (name, args) with
+        | "REPLACE", [ Model.Rep s; Model.Foreign e ]
+          when not (Stack_impl.is_newstack s) ->
+          Some (Model.Rep (Stack_impl.push s e))
+        | _ -> clean.Model.interp name args);
+  }

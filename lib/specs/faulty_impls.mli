@@ -1,0 +1,46 @@
+(** The mutation corpus: seeded-bug variants of the direct implementations,
+    mirroring [specs/faulty/] one level down the refinement.
+
+    Each value is a {!Model.t} that differs from a clean implementation by
+    one planted fault. They exist to be {e killed}: the conformance suites
+    [lib/testgen] compiles from the specifications must report a
+    counterexample against every one of them (asserted in
+    [test/test_testgen.ml] and gated in CI), which is the evidence that the
+    generated suites actually bite. None of these models satisfies its
+    specification; do not use them for anything but testing the testers. *)
+
+open Adt
+
+val queue_remove_back : Term.t list Model.t
+(** [REMOVE] drops the most recently added item instead of the front. *)
+
+val queue_lifo_front : Term.t list Model.t
+(** [FRONT] answers the most recently added item — a LIFO impostor. *)
+
+val bq_premature_full : Term.t list Model.t
+(** Off-by-one capacity: the queue refuses its [bound]-th item. *)
+
+val bq_remove_back : Term.t list Model.t
+(** [REMOVE_Q] drops the back of the ring instead of advancing the head. *)
+
+module Stale_array : Array_intf.ARRAY
+(** The faulty [ARRAY]: assignments are logged correctly but [READ]
+    scans oldest-first. *)
+
+val array_stale_read : Stale_array.t Model.t
+(** [READ] answers the {e oldest} assignment to the key, so shadowing
+    writes are invisible. Only observational testing can see this: the
+    abstraction function still reproduces the full assignment log. *)
+
+module Stale_symboltable : Symboltable_impl.S
+
+val symboltable_stale_read : Stale_symboltable.t Model.t
+(** {!array_stale_read}'s fault propagated up the hierarchy: a symbol
+    table over stale-reading block arrays, where re-declaring an
+    identifier in the same block keeps its old attributes. *)
+
+val stack_replace_pushes : Stack_impl.t Model.t
+(** [REPLACE] pushes instead of replacing the top. Invisible to every
+    depth-0 observation ([TOP] answers the same item either way); killed
+    only through nested observation contexts such as
+    [IS_NEWSTACK?(POP(#))]. *)

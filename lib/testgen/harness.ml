@@ -1,0 +1,291 @@
+open Adt
+
+let hole_name = "#"
+let observations = 8
+let max_context_depth = 2
+let filler_size = 3
+let shrink_budget = 20_000
+
+type witness =
+  | Denotation of { lhs : Term.t; rhs : Term.t }
+  | Observation of { context : Term.t; lhs : Term.t; rhs : Term.t }
+  | Crash of { message : string }
+
+type failure = {
+  fail_seed : int;
+  valuation : Subst.t;
+  witness : witness;
+  shrunk : bool;
+}
+
+type axiom_report = {
+  axiom : Axiom.t;
+  trials : int;
+  discards : int;
+  failure : failure option;
+}
+
+type report = {
+  impl_name : string;
+  spec_name : string;
+  mutant_of : string option;
+  seed : int;
+  count : int;
+  gen_size : int;
+  axiom_reports : axiom_report list;
+}
+
+type compiled =
+  | Compiled : {
+      mctx : 'r Model.ctx;
+      universe : Enum.universe;
+      rep_sort : Sort.t;
+      transformers : (Op.t * int) list;
+      observers : (Op.t * int) list;
+    }
+      -> compiled
+
+type t = { impl : Impl.t; compiled : compiled }
+
+let impl t = t.impl
+
+(* All operations able to carry an observation: [transformers] map the
+   representation sort to itself (they extend a context downwards),
+   [observers] map it out of the representation sort (they close a
+   context on top). The hole goes to the operation's first
+   representation-sorted argument. *)
+let context_ops spec rep_sort =
+  let ops =
+    Op.Set.elements (Spec.constructors spec) @ Spec.observers spec
+  in
+  let with_hole_position acc op =
+    let rec position i = function
+      | [] -> None
+      | s :: _ when Sort.equal s rep_sort -> Some i
+      | _ :: rest -> position (i + 1) rest
+    in
+    match position 0 (Op.args op) with
+    | None -> acc
+    | Some i -> (op, i) :: acc
+  in
+  let carriers = List.fold_left with_hole_position [] ops in
+  let transformers, observers =
+    List.partition (fun (op, _) -> Sort.equal (Op.result op) rep_sort) carriers
+  in
+  (List.rev transformers, List.rev observers)
+
+let compile (Impl.Packed (module I) as impl) =
+  let transformers, observers = context_ops I.spec I.rep_sort in
+  let compiled =
+    Compiled
+      {
+        mctx = Model.ctx I.spec I.model;
+        universe = Enum.universe I.spec;
+        rep_sort = I.rep_sort;
+        transformers;
+        observers;
+      }
+  in
+  { impl; compiled }
+
+let pick state = function
+  | [] -> None
+  | xs -> Some (List.nth xs (Random.State.int state (List.length xs)))
+
+(* One observation context: a term of non-representation sort whose only
+   variable is the hole. Drawn bottom-up — 0..max_context_depth
+   transformer wraps, then an observer on top — with the remaining
+   argument positions filled by uniformly drawn ground terms. *)
+let gen_context (Compiled c) state =
+  let fill_args (op, hole_pos) inner =
+    let args =
+      List.mapi
+        (fun i s ->
+          if i = hole_pos then Some inner
+          else Enum.uniform_term c.universe s ~size:filler_size state)
+        (Op.args op)
+    in
+    if List.for_all Option.is_some args then
+      Some (Term.app op (List.map Option.get args))
+    else None
+  in
+  let rec wrap depth t =
+    if depth = 0 then t
+    else
+      match pick state c.transformers with
+      | None -> t
+      | Some tr -> (
+        match fill_args tr t with None -> t | Some t' -> wrap (depth - 1) t')
+  in
+  match pick state c.observers with
+  | None -> None
+  | Some obs ->
+    let depth = Random.State.int state (max_context_depth + 1) in
+    fill_args obs (wrap depth (Term.var hole_name c.rep_sort))
+
+let plug context side =
+  match Subst.of_bindings [ (hole_name, side) ] with
+  | Some s -> Subst.apply s context
+  | None -> assert false
+
+(* Evaluate one ground term and denote the result as an abstract term
+   (through Phi and normalization); [Term.err] for error results. *)
+let denote (Compiled c) term = Model.ctx_denote c.mctx (Model.ctx_eval c.mctx term)
+
+(* Test one valuation of one axiom. [None] means the implementation
+   agrees with itself on both sides under every comparison performed;
+   [Some w] is the disagreement found. Representation-sorted results are
+   compared observationally: the instantiated sides are re-plugged into
+   each context and re-evaluated from scratch, so imperative
+   implementations (the hash Array mutates in place) keep seeing each
+   value used linearly. *)
+let test_valuation { compiled = Compiled c as compiled; _ } axiom valuation
+    state =
+  let lhs, rhs = Axiom.instantiate valuation axiom in
+  match
+    let l = Model.ctx_eval c.mctx lhs and r = Model.ctx_eval c.mctx rhs in
+    match (l, r) with
+    | Error _, Error _ -> None
+    | Ok (Model.Rep _), Ok (Model.Rep _) ->
+      let rec observe i =
+        if i >= observations then None
+        else
+          match gen_context compiled state with
+          | None ->
+            (* no observer in the signature: fall back to Phi *)
+            let dl = Model.ctx_denote c.mctx l
+            and dr = Model.ctx_denote c.mctx r in
+            if Term.equal dl dr then None
+            else Some (Denotation { lhs = dl; rhs = dr })
+          | Some context ->
+            let ol = denote compiled (plug context lhs)
+            and our = denote compiled (plug context rhs) in
+            if Term.equal ol our then observe (i + 1)
+            else Some (Observation { context; lhs = ol; rhs = our })
+      in
+      observe 0
+    | l, r ->
+      let dl = Model.ctx_denote c.mctx l and dr = Model.ctx_denote c.mctx r in
+      if Term.equal dl dr then None else Some (Denotation { lhs = dl; rhs = dr })
+  with
+  | verdict -> verdict
+  | exception e -> Some (Crash { message = Printexc.to_string e })
+
+(* Deterministic shrinking: retest the axiom against every substitution
+   of the bounded universe in increasing size order (each candidate with
+   contexts reseeded from the failing trial's seed) and keep the first —
+   hence smallest — that still fails. *)
+let shrink ({ impl; compiled = Compiled c; _ } as t) axiom ~trial_seed fallback
+    =
+  let vars = Axiom.vars axiom in
+  let rec at_size size budget =
+    if size > Impl.gen_size impl || budget <= 0 then None
+    else
+      let candidates = Enum.substitutions_up_to c.universe vars ~size in
+      let rec try_candidates budget = function
+        | [] -> at_size (size + 1) budget
+        | _ when budget <= 0 -> None
+        | valuation :: rest -> (
+          match
+            test_valuation t axiom valuation
+              (Random.State.make [| trial_seed |])
+          with
+          | Some witness -> Some { fallback with valuation; witness; shrunk = true }
+          | None -> try_candidates (budget - 1) rest)
+      in
+      try_candidates budget candidates
+  in
+  match at_size 1 shrink_budget with Some f -> f | None -> fallback
+
+let check_axiom ({ impl; compiled = Compiled c; _ } as t) ~count ~seed axiom =
+  let vars = Axiom.vars axiom in
+  let count = if vars = [] then min count 1 else count in
+  let rec trial i trials discards =
+    if i >= count then { axiom; trials; discards; failure = None }
+    else
+      let trial_seed = seed + i in
+      let state = Random.State.make [| trial_seed |] in
+      match
+        Enum.uniform_substitution c.universe vars
+          ~size:(Impl.gen_size impl) state
+      with
+      | None -> trial (i + 1) trials (discards + 1)
+      | Some valuation -> (
+        match test_valuation t axiom valuation state with
+        | None -> trial (i + 1) (trials + 1) discards
+        | Some witness ->
+          let fallback =
+            { fail_seed = trial_seed; valuation; witness; shrunk = false }
+          in
+          {
+            axiom;
+            trials = trials + 1;
+            discards;
+            failure = Some (shrink t axiom ~trial_seed fallback);
+          })
+  in
+  trial 0 0 0
+
+let run ?(count = 100) ~seed t =
+  let spec = Impl.spec t.impl in
+  {
+    impl_name = Impl.name t.impl;
+    spec_name = Impl.spec_name t.impl;
+    mutant_of = Impl.mutant_of t.impl;
+    seed;
+    count;
+    gen_size = Impl.gen_size t.impl;
+    axiom_reports =
+      List.map (check_axiom t ~count ~seed) (Spec.axioms spec);
+  }
+
+let conformance ?count ~seed impl = run ?count ~seed (compile impl)
+
+let failures report =
+  List.filter_map
+    (fun ar -> Option.map (fun f -> (ar.axiom, f)) ar.failure)
+    report.axiom_reports
+
+let passed report = failures report = []
+
+let killed report = not (passed report)
+
+let pp_witness ppf = function
+  | Denotation { lhs; rhs } ->
+    Fmt.pf ppf "@[<v>left denotes  %a@,right denotes %a@]" Term.pp lhs Term.pp
+      rhs
+  | Observation { context; lhs; rhs } ->
+    Fmt.pf ppf "@[<v>observation %a@,left observes  %a@,right observes %a@]"
+      Term.pp context Term.pp lhs Term.pp rhs
+  | Crash { message } -> Fmt.pf ppf "implementation raised: %s" message
+
+(* one line, whatever the margin: counterexamples are short by
+   construction (shrinking) and line-oriented consumers grep them *)
+let pp_valuation ppf v =
+  Fmt.pf ppf "{%s}"
+    (String.concat "; "
+       (List.map
+          (fun (x, t) -> x ^ " -> " ^ Term.to_string t)
+          (Subst.bindings v)))
+
+let pp_failure ppf f =
+  Fmt.pf ppf "@[<v 2>counterexample (seed %d)%s:@,at %a@,%a@]" f.fail_seed
+    (if f.shrunk then ", minimized" else "")
+    pp_valuation f.valuation pp_witness f.witness
+
+let pp_axiom_report ppf ar =
+  match ar.failure with
+  | None ->
+    Fmt.pf ppf "axiom %-4s pass  (%d trials)" (Axiom.name ar.axiom) ar.trials
+  | Some f ->
+    Fmt.pf ppf "@[<v 2>axiom %-4s FAIL@,%a@]" (Axiom.name ar.axiom) pp_failure f
+
+let pp_report ppf r =
+  let verdict =
+    if passed r then "PASS"
+    else if r.mutant_of <> None then "KILLED"
+    else "FAIL"
+  in
+  Fmt.pf ppf "@[<v>%s/%s: %s  (seed %d, count %d, size %d)@,%a@]" r.spec_name
+    r.impl_name verdict r.seed r.count r.gen_size
+    (Fmt.list pp_axiom_report) r.axiom_reports

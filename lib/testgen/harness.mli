@@ -1,0 +1,92 @@
+(** The harness compiler: axioms to executable conformance suites.
+
+    Following Gaudel & Le Gall's scheme, each axiom of an implementation's
+    specification becomes a property over random well-sorted ground terms:
+    instantiate both sides with a {e uniformly} drawn substitution
+    ({!Enum.uniform_substitution}), evaluate each through the
+    implementation, and compare the results {e observationally} — two
+    representation values count as equal exactly when every generated
+    observation context [C[#]] (built from the specification's own
+    operations) evaluates to the same visible value on both. Constructor
+    or [Phi]-image equality would be both too strong (the hash Array's
+    abstraction replays its full assignment log, distinguishing
+    observationally equal tables) and beside the point (the abstraction
+    function is part of the implementation under test). See DESIGN.md.
+
+    Verdicts hold up to the implementation's {!Impl.gen_size} — the
+    regularity hypothesis. Every trial is seeded independently
+    ([seed + trial_index]), so a reported failure seed replayed with
+    [--seed] regenerates the identical counterexample as trial 0. *)
+
+open Adt
+
+type witness =
+  | Denotation of { lhs : Term.t; rhs : Term.t }
+      (** The sides differ already as denoted abstract terms (one errored,
+          or they evaluate to different visible values). *)
+  | Observation of { context : Term.t; lhs : Term.t; rhs : Term.t }
+      (** The distinguishing observation: plugging each side into
+          [context] (at the hole variable [#]) observes different
+          values. *)
+  | Crash of { message : string }
+      (** The implementation raised something other than its declared
+          error. *)
+
+type failure = {
+  fail_seed : int;
+      (** Replay seed: [run ~seed:fail_seed] hits this failure at
+          trial 0. *)
+  valuation : Subst.t;
+  witness : witness;
+  shrunk : bool;
+      (** The valuation is minimal: deterministic re-search of the
+          bounded substitution universe in increasing size order. *)
+}
+
+type axiom_report = {
+  axiom : Axiom.t;
+  trials : int;
+  discards : int;  (** Trials where a variable's sort had no terms. *)
+  failure : failure option;
+}
+
+type report = {
+  impl_name : string;
+  spec_name : string;
+  mutant_of : string option;
+  seed : int;
+  count : int;
+  gen_size : int;
+  axiom_reports : axiom_report list;
+}
+
+type t
+(** A compiled suite: the precompiled rewrite system, the memoized term
+    universe, and the observation-context operation tables. Compile once,
+    run many times (bench E14 measures the two phases separately). *)
+
+val compile : Impl.t -> t
+val impl : t -> Impl.t
+
+val run : ?count:int -> seed:int -> t -> report
+(** [count] (default 100) trials per axiom; axioms without variables run
+    once. Each axiom stops at its first failure, which is then shrunk. *)
+
+val conformance : ?count:int -> seed:int -> Impl.t -> report
+(** [compile] then [run]. *)
+
+val passed : report -> bool
+
+val killed : report -> bool
+(** [not (passed r)] — the reading intended for mutation-corpus runs. *)
+
+val failures : report -> (Axiom.t * failure) list
+
+val pp_valuation : Subst.t Fmt.t
+(** The failing valuation on a single line ([{x -> t; ...}]), whatever
+    the formatter margin — counterexample lines are made for grepping. *)
+
+val pp_witness : witness Fmt.t
+val pp_failure : failure Fmt.t
+val pp_axiom_report : axiom_report Fmt.t
+val pp_report : report Fmt.t

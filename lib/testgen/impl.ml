@@ -1,0 +1,45 @@
+open Adt
+
+module type S = sig
+  type rep
+
+  val impl_name : string
+  val mutant_of : string option
+  val spec : Spec.t
+  val rep_sort : Sort.t
+  val gen_size : int
+  val model : rep Model.t
+end
+
+type t = Packed : (module S with type rep = 'r) -> t
+
+let v (type r) ~impl_name ?mutant_of ~spec ~rep_sort ?(gen_size = 7)
+    (model : r Model.t) : t =
+  if not (Spec.has_constructors rep_sort spec) then
+    invalid_arg
+      (Fmt.str "Testgen.Impl.v: sort %a has no constructors in %s" Sort.pp
+         rep_sort (Spec.name spec));
+  Packed
+    (module struct
+      type rep = r
+
+      let impl_name = impl_name
+      let mutant_of = mutant_of
+      let spec = spec
+      let rep_sort = rep_sort
+      let gen_size = gen_size
+      let model = model
+    end)
+
+let name (Packed (module I)) = I.impl_name
+let spec (Packed (module I)) = I.spec
+let spec_name (Packed (module I)) = Spec.name I.spec
+let rep_sort (Packed (module I)) = I.rep_sort
+let gen_size (Packed (module I)) = I.gen_size
+let mutant_of (Packed (module I)) = I.mutant_of
+let is_mutant t = Option.is_some (mutant_of t)
+
+let pp ppf t =
+  match mutant_of t with
+  | None -> Fmt.pf ppf "%s/%s" (spec_name t) (name t)
+  | Some clean -> Fmt.pf ppf "%s/%s (mutant of %s)" (spec_name t) (name t) clean

@@ -1,0 +1,59 @@
+(** Implementations under conformance test.
+
+    The paper's §5 program factors correctness: once an implementation is
+    shown to satisfy the axioms, every client is correct relative to the
+    specification. An {!t} packages one such candidate — a {!Model.t} (the
+    interpretation plus the abstraction function [Phi]) together with the
+    specification it claims to satisfy and the generation parameters the
+    harness needs — behind a first-class module, so implementations with
+    different representation types live in one registry. *)
+
+open Adt
+
+module type S = sig
+  type rep
+  (** The implementation's representation type. *)
+
+  val impl_name : string
+  (** Short name used on the CLI ([--impl NAME]); unique per spec. *)
+
+  val mutant_of : string option
+  (** [Some clean_name] marks a seeded-bug variant of the named clean
+      implementation — part of the mutation corpus, expected to {e fail}. *)
+
+  val spec : Spec.t
+  val rep_sort : Sort.t
+
+  val gen_size : int
+  (** Size bound for generated ground terms — the regularity hypothesis
+      under which the suite's verdict holds. Per-implementation because it
+      is a semantic boundary: the ring-buffer Bounded Queue, for example,
+      raises on its fourth [ADD_Q] while the specification (which has no
+      add-on-full axiom) does not, so its generation size must keep axiom
+      instances within the bound. *)
+
+  val model : rep Model.t
+end
+
+type t = Packed : (module S with type rep = 'r) -> t
+
+val v :
+  impl_name:string ->
+  ?mutant_of:string ->
+  spec:Spec.t ->
+  rep_sort:Sort.t ->
+  ?gen_size:int ->
+  'r Model.t ->
+  t
+(** Packs a model as a registrable implementation. [gen_size] defaults
+    to 7. Raises [Invalid_argument] when [rep_sort] has no constructors in
+    [spec] (nothing could be generated). *)
+
+val name : t -> string
+val spec : t -> Spec.t
+val spec_name : t -> string
+val rep_sort : t -> Sort.t
+val gen_size : t -> int
+val mutant_of : t -> string option
+val is_mutant : t -> bool
+val pp : t Fmt.t

@@ -1,0 +1,28 @@
+(** The builtin implementation registry.
+
+    Every direct implementation the library ships, packaged for the
+    conformance harness: the clean implementations (expected to pass their
+    generated suites) and the mutation corpus of [Faulty_impls] (expected
+    to be killed by them). [adtc testgen] resolves [SPEC]/[--impl] names
+    here; name matching is case-insensitive. *)
+
+val clean : Impl.t list
+(** In corpus order: Queue, Bounded Queue, Stack, the two Arrays, the two
+    Symboltables, Knowlist. *)
+
+val mutants : Impl.t list
+(** The seeded-bug corpus; every entry has {!Impl.mutant_of} set. *)
+
+val all : Impl.t list
+
+val for_spec : ?mutants:bool -> string -> Impl.t list
+(** Implementations registered for the named specification —
+    clean ones by default, the mutation corpus with [~mutants:true]. *)
+
+val find : spec:string -> impl:string -> Impl.t option
+val default_for : string -> Impl.t option
+(** The first clean implementation of the named specification. *)
+
+val spec_names : unit -> string list
+(** Specification names with at least one registered implementation, in
+    registration order, without duplicates. *)

@@ -84,6 +84,80 @@ let test_random_substitution () =
     Alcotest.(check bool) "c bound" true (Subst.mem "c" sub)
   | None -> Alcotest.fail "no substitution"
 
+let test_count_exactly () =
+  for size = 1 to 6 do
+    Alcotest.(check int)
+      (Fmt.str "count_exactly %d" size)
+      (List.length (Enum.terms_exactly u nat ~size))
+      (Enum.count_exactly u nat ~size)
+  done
+
+let uq = Enum.universe Adt_specs.Queue_spec.spec
+let qsort = Adt_specs.Queue_spec.sort
+
+(* the samplers, property-tested: every drawn term is a well-sorted ground
+   constructor term within the size bound — exact for [uniform_term],
+   the documented "roughly bounded" slack for [random_term] *)
+let sampled_term_sound sampler ~bound (seed, size) =
+  let state = Random.State.make [| seed |] in
+  match sampler uq qsort ~size state with
+  | None -> false
+  | Some t ->
+    Spec.is_constructor_ground_term Adt_specs.Queue_spec.spec t
+    && Term.size t <= bound size
+    && Sort.equal (Term.sort_of t) qsort
+
+let seed_and_size = QCheck2.Gen.(pair nat (int_range 1 7))
+
+let prop_uniform_term_sound =
+  qcheck "uniform terms are well-sorted values within the bound" seed_and_size
+    (sampled_term_sound Enum.uniform_term ~bound:Fun.id)
+
+let prop_random_term_sound =
+  qcheck "random terms are well-sorted values, roughly bounded" seed_and_size
+    (sampled_term_sound Enum.random_term ~bound:(fun size -> (2 * size) + 1))
+
+let prop_uniform_substitution_sound =
+  qcheck "uniform substitutions bind every variable to a bounded value"
+    QCheck2.Gen.nat
+    (fun seed ->
+      let state = Random.State.make [| seed |] in
+      let vars = [ ("q", qsort); ("i", Adt_specs.Builtins.item_sort) ] in
+      match Enum.uniform_substitution uq vars ~size:5 state with
+      | None -> false
+      | Some sub ->
+        List.for_all
+          (fun (x, sort) ->
+            match Subst.find x sub with
+            | Some t ->
+              Sort.equal (Term.sort_of t) sort
+              && Term.size t <= 5
+              && Spec.is_constructor_ground_term Adt_specs.Queue_spec.spec t
+            | None -> false)
+          vars)
+
+let test_uniform_distribution () =
+  (* 4 nat values of size <= 4; the uniform sampler must hit each about
+     equally often — the depth-biased random_term could not pass this *)
+  let state = Random.State.make [| 414243 |] in
+  let counts = Hashtbl.create 4 in
+  let draws = 4000 in
+  for _ = 1 to draws do
+    match Enum.uniform_term u nat ~size:4 state with
+    | Some t ->
+      let key = Term.to_string t in
+      Hashtbl.replace counts key
+        (1 + Option.value ~default:0 (Hashtbl.find_opt counts key))
+    | None -> Alcotest.fail "no term"
+  done;
+  Alcotest.(check int) "full support" 4 (Hashtbl.length counts);
+  Hashtbl.iter
+    (fun key n ->
+      (* each expects draws/4 = 1000; allow 15% slack *)
+      if n < 850 || n > 1150 then
+        Alcotest.failf "uniform draw hit %s %d times in %d" key n draws)
+    counts
+
 let suite =
   [
     case "terms of exact size" test_terms_exactly;
@@ -96,4 +170,9 @@ let suite =
     case "bounded-exhaustive substitutions" test_substitutions;
     case "random terms are values" test_random_term;
     case "random substitutions" test_random_substitution;
+    case "count_exactly agrees with the enumeration" test_count_exactly;
+    prop_uniform_term_sound;
+    prop_random_term_sound;
+    prop_uniform_substitution_sound;
+    case "uniform sampling is uniform" test_uniform_distribution;
   ]

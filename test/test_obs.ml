@@ -233,6 +233,7 @@ let one_of_each =
     Protocol.Check { spec = "Queue" };
     Protocol.Skeletons { spec = "Queue" };
     Protocol.Lint { spec = "Queue" };
+    Protocol.Testgen { spec = "Queue"; impl = None; count = None; seed = None };
     Protocol.Prove
       { spec = "Queue"; vars = []; lhs = "NEW"; rhs = "NEW"; fuel = None };
     Protocol.Stats { verbose = false };

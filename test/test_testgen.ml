@@ -1,0 +1,124 @@
+(* The conformance harness: generated suites pass on every clean
+   implementation and kill the entire mutation corpus — the acceptance
+   criteria of the testgen subsystem, as executable facts. *)
+
+open Adt
+open Helpers
+open Testgen
+
+let seed =
+  match Sys.getenv_opt "QCHECK_SEED" with
+  | Some s -> int_of_string s
+  | None -> 414243
+
+let test_clean_impls_pass () =
+  List.iter
+    (fun impl ->
+      let report = Harness.conformance ~count:60 ~seed impl in
+      if not (Harness.passed report) then
+        Alcotest.failf "clean %a fails its own suite:@,%a" Impl.pp impl
+          Harness.pp_report report)
+    Registry.clean
+
+let test_mutation_corpus_fully_killed () =
+  List.iter
+    (fun impl ->
+      let report = Harness.conformance ~count:200 ~seed impl in
+      if not (Harness.killed report) then
+        Alcotest.failf "mutant %a SURVIVED its suite" Impl.pp impl)
+    Registry.mutants
+
+let first_failure report =
+  match Harness.failures report with
+  | (axiom, f) :: _ -> (axiom, f)
+  | [] -> Alcotest.fail "expected a failure"
+
+(* The reproduction contract: a failure's seed, replayed as the run seed,
+   regenerates the identical counterexample at trial 0. *)
+let test_seed_reproduces_counterexample () =
+  List.iter
+    (fun impl ->
+      let t = Harness.compile impl in
+      let axiom, f = first_failure (Harness.run ~count:200 ~seed t) in
+      let axiom', f' = first_failure (Harness.run ~count:1 ~seed:f.Harness.fail_seed t) in
+      Alcotest.(check string) "same axiom" (Axiom.name axiom) (Axiom.name axiom');
+      Alcotest.(check subst_testable) "same valuation" f.Harness.valuation
+        f'.Harness.valuation;
+      Alcotest.(check int) "trial 0" f.Harness.fail_seed f'.Harness.fail_seed)
+    Registry.mutants
+
+let test_counterexamples_are_minimal () =
+  (* the LIFO front mutant's minimal counterexample needs two distinct
+     items on the queue: q one item, i a different one *)
+  let impl =
+    Option.get (Registry.find ~spec:"Queue" ~impl:"mutant-lifo-front")
+  in
+  let _, f = first_failure (Harness.conformance ~count:200 ~seed impl) in
+  Alcotest.(check bool) "shrunk" true f.Harness.shrunk;
+  let total_size =
+    List.fold_left
+      (fun acc (_, t) -> acc + Term.size t)
+      0
+      (Subst.bindings f.Harness.valuation)
+  in
+  Alcotest.(check int) "q is one ADD, i an item" 4 total_size
+
+let test_replace_mutant_needs_nested_observation () =
+  (* stack REPLACE-pushes leaves TOP unchanged: only an observation that
+     first pops can see the extra element *)
+  let impl =
+    Option.get (Registry.find ~spec:"Stack" ~impl:"mutant-replace-pushes")
+  in
+  let _, f = first_failure (Harness.conformance ~count:200 ~seed impl) in
+  match f.Harness.witness with
+  | Harness.Observation { context; _ } ->
+    Alcotest.(check bool)
+      (Fmt.str "context %a is nested" Term.pp context)
+      true
+      (Term.size context > 2)
+  | _ -> Alcotest.fail "expected an observational witness"
+
+let test_registry_lookup () =
+  Alcotest.(check int) "clean corpus" 8 (List.length Registry.clean);
+  Alcotest.(check int) "mutation corpus" 7 (List.length Registry.mutants);
+  Alcotest.(check bool) "case-insensitive" true
+    (Registry.find ~spec:"queue" ~impl:"TWO-LIST" <> None);
+  Alcotest.(check bool) "default impl" true
+    (match Registry.default_for "Queue" with
+    | Some e -> Impl.name e = "two-list" && not (Impl.is_mutant e)
+    | None -> false);
+  List.iter
+    (fun m ->
+      let clean_name = Option.get (Impl.mutant_of m) in
+      Alcotest.(check bool)
+        (Fmt.str "%a names its clean origin" Impl.pp m)
+        true
+        (Registry.find ~spec:(Impl.spec_name m) ~impl:clean_name <> None))
+    Registry.mutants
+
+let test_runs_are_deterministic () =
+  let t =
+    Harness.compile
+      (Option.get (Registry.find ~spec:"Queue" ~impl:"mutant-remove-back"))
+  in
+  let r1 = Harness.run ~count:50 ~seed t and r2 = Harness.run ~count:50 ~seed t in
+  let f1 = snd (first_failure r1) and f2 = snd (first_failure r2) in
+  Alcotest.(check subst_testable) "same valuation" f1.Harness.valuation
+    f2.Harness.valuation;
+  Alcotest.(check int) "same seed" f1.Harness.fail_seed f2.Harness.fail_seed
+
+let suite =
+  [
+    case "clean implementations pass their generated suites"
+      test_clean_impls_pass;
+    case "the mutation corpus is fully killed"
+      test_mutation_corpus_fully_killed;
+    case "a failure's seed reproduces it as trial 0"
+      test_seed_reproduces_counterexample;
+    case "counterexamples are shrunk to minimal valuations"
+      test_counterexamples_are_minimal;
+    case "the replace-pushes mutant needs a nested observation"
+      test_replace_mutant_needs_nested_observation;
+    case "registry lookup and mutation-corpus integrity" test_registry_lookup;
+    case "identical seeds give identical reports" test_runs_are_deterministic;
+  ]
