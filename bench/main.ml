@@ -720,6 +720,118 @@ let e13 () =
   Fmt.pr "  warm memo after run: hits=%d misses=%d entries=%d (id-keyed)@."
     hits misses (Rewrite.Memo.size warm)
 
+(* {1 E15 - engine: saturation across the domain pool} *)
+
+(* The E10 socket workload swept client counts against a single-threaded
+   accept loop; E15 sweeps the full grid of server domains x concurrent
+   clients. With d > 1 the domain pool serves requests in parallel (each
+   domain has its own interpreter slot and metrics stripe), so on a
+   multi-core machine throughput scales with d until the cores — or the
+   clients — saturate. On a single core the curve is flat: the grid is
+   still exercised end to end, the speedup just reads ~1x. *)
+
+type e15_cell = {
+  e15_domains : int;
+  e15_clients : int;
+  e15_requests : int;
+  e15_seconds : float;
+}
+
+let e15_cells : e15_cell list ref = ref []
+
+let e15 () =
+  Fmt.pr "@.=== E15: saturation across the domain pool ===@.";
+  Fmt.pr
+    "(the E10 request mix over a grid of server domains x concurrent \
+     clients;@.";
+  Fmt.pr
+    " cores available here: %d — scaling beyond that count is visible only \
+     on@."
+    (Domain.recommended_domain_count ());
+  Fmt.pr " a machine with that many cores)@.";
+  let total = 400 in
+  let n_mix = List.length e9_requests in
+  let script n = List.init n (fun i -> List.nth e9_requests (i mod n_mix)) in
+  let cell domains clients =
+    let path =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Fmt.str "adtc-bench-e15-%d-%d-%d.sock" (Unix.getpid ()) domains clients)
+    in
+    let session = Engine.Session.create [ Queue_spec.spec ] in
+    let stop = ref false in
+    let server =
+      Thread.create
+        (fun () ->
+          Engine.Server.serve_socket ~max_clients:64 ~domains
+            ~handle_signals:false ~stop session ~path)
+        ()
+    in
+    let run () =
+      let per = total / clients in
+      let threads =
+        List.init clients (fun _ ->
+            Thread.create (fun () -> e10_client path (script per)) ())
+      in
+      List.iter Thread.join threads
+    in
+    (* warm every domain's interpreter slot before the timed pass *)
+    run ();
+    let (), elapsed = seconds run in
+    stop := true;
+    Thread.join server;
+    e15_cells :=
+      !e15_cells
+      @ [
+          {
+            e15_domains = domains;
+            e15_clients = clients;
+            e15_requests = total;
+            e15_seconds = elapsed;
+          };
+        ];
+    (Fmt.str "e15/serve/domains=%d/clients=%d" domains clients,
+     elapsed *. 1e9 /. float_of_int total)
+  in
+  let rows =
+    List.concat_map
+      (fun d -> List.map (fun k -> cell d k) [ 1; 4; 16 ])
+      [ 1; 2; 4; 8 ]
+  in
+  json_rows := !json_rows @ rows;
+  List.iter
+    (fun (name, ns) -> Fmt.pr "  %-46s %s/op@." name (pretty_ns ns))
+    rows;
+  let find name = List.assoc_opt name !json_rows in
+  (match
+     ( find "e15/serve/domains=1/clients=16",
+       find "e15/serve/domains=8/clients=16" )
+   with
+  | Some one, Some eight when eight > 0. ->
+    Fmt.pr "  throughput at 8 domains vs 1 (16 clients): %.2fx@." (one /. eight)
+  | _ -> ())
+
+(* the saturation curve as its own artifact: one object per grid cell,
+   with absolute throughput, for tracking across revisions *)
+let write_saturation path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc "[\n";
+      let n = List.length !e15_cells in
+      List.iteri
+        (fun i c ->
+          Printf.fprintf oc
+            "  {\"domains\": %d, \"clients\": %d, \"requests\": %d, \
+             \"seconds\": %.6f, \"rps\": %.1f}%s\n"
+            c.e15_domains c.e15_clients c.e15_requests c.e15_seconds
+            (float_of_int c.e15_requests /. c.e15_seconds)
+            (if i = n - 1 then "" else ","))
+        !e15_cells;
+      output_string oc "]\n");
+  Fmt.pr "wrote %d saturation cells to %s@." (List.length !e15_cells) path
+
 (* {1 E14 - spec-derived conformance suites: compile and run cost} *)
 
 let e14_entry spec impl =
@@ -767,12 +879,17 @@ let e14 () =
 let () =
   Fmt.pr "Reproduction benches for Guttag, 'Abstract Data Types and the Development of Data Structures' (CACM 1977)@.";
   let json_path = ref None in
+  let saturation_path = ref None in
   let rec parse_args = function
     | [] -> ()
     | "--json" :: path :: rest ->
       json_path := Some path;
       parse_args rest
     | "--json" :: [] -> failwith "--json requires a file argument"
+    | "--saturation" :: path :: rest ->
+      saturation_path := Some path;
+      parse_args rest
+    | "--saturation" :: [] -> failwith "--saturation requires a file argument"
     | arg :: _ -> failwith (Fmt.str "unknown argument %s" arg)
   in
   parse_args (List.tl (Array.to_list Sys.argv));
@@ -790,5 +907,7 @@ let () =
   e12 ();
   e13 ();
   e14 ();
+  e15 ();
   Option.iter write_json !json_path;
+  Option.iter write_saturation !saturation_path;
   Fmt.pr "@.done.@."

@@ -797,16 +797,30 @@ let serve_cmd =
              the cap is answered $(b,error busy) and closed (only \
              meaningful with $(b,--socket)).")
   in
+  let domains_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "domains" ] ~docv:"N"
+          ~doc:
+            "Size of the accept/worker domain pool (default: one per \
+             core). Each domain runs its own accept loop and worker \
+             threads; admission control and drain stay global (only \
+             meaningful with $(b,--socket)).")
+  in
   let run libs files fuel timeout cache_capacity slowlog_ms slowlog_capacity
-      socket max_clients =
+      socket max_clients domains =
     let session =
       make_session ?slowlog_ms ?slowlog_capacity libs files ~fuel ~timeout
         ~cache_capacity
     in
     match socket with
     | Some path -> (
+      let domains =
+        Option.value ~default:(Domain.recommended_domain_count ()) domains
+      in
       try
-        Engine.Server.serve_socket ~max_clients session ~path;
+        Engine.Server.serve_socket ~max_clients ~domains session ~path;
         0
       with Failure message | Invalid_argument message ->
         Fmt.epr "adtc serve: %s@." message;
@@ -819,16 +833,17 @@ let serve_cmd =
     "Serve normalize/check/skeletons/prove/stats/metrics/slowlog requests \
      over a line-oriented protocol, with a shared bounded normal-form \
      cache, per-request limits, optional tracing and slow-request \
-     logging ($(b,--slowlog-ms)), and (over a socket) one thread per \
-     connection, graceful SIGINT/SIGTERM drain, and busy backpressure \
-     beyond $(b,--max-clients)."
+     logging ($(b,--slowlog-ms)), and (over a socket) a domain pool \
+     ($(b,--domains), one per core by default) each accepting and serving \
+     its own connections, graceful SIGINT/SIGTERM drain, and busy \
+     backpressure beyond $(b,--max-clients)."
   in
   Cmd.v
     (Cmd.info "serve" ~doc)
     Term.(
       const run $ lib_arg $ spec_files_arg $ engine_fuel_arg $ timeout_arg
       $ cache_capacity_arg $ slowlog_ms_arg $ slowlog_capacity_arg
-      $ socket_arg $ max_clients_arg)
+      $ socket_arg $ max_clients_arg $ domains_arg)
 
 let batch_cmd =
   let requests_arg =

@@ -15,6 +15,18 @@ let create ?(fuel = Rewrite.default_fuel) ?(memo = false) ?memo_capacity spec =
        else None);
   }
 
+(* Shares the compiled rewrite system (immutable after of_spec) but owns a
+   fresh memo of the same capacity: each domain forks its own interpreter so
+   memo lookups never cross a domain boundary. *)
+let fork t =
+  {
+    t with
+    memo =
+      Option.map
+        (fun m -> Rewrite.Memo.create ~capacity:(Rewrite.Memo.capacity m) ())
+        t.memo;
+  }
+
 let spec t = t.spec
 let system t = t.system
 let fuel t = t.fuel

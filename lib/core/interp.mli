@@ -21,6 +21,13 @@ val create : ?fuel:int -> ?memo:bool -> ?memo_capacity:int -> Spec.t -> t
     [memo_capacity] bounds the cache ({!Rewrite.Memo.default_capacity}
     entries by default); least recently used normal forms are evicted. *)
 
+val fork : t -> t
+(** A sibling interpreter sharing the compiled rewrite system and spec but
+    owning a fresh, empty memo cache of the same capacity (no memo if the
+    original had none). Forking is how the engine gives each domain its own
+    interpreter: the compiled system is immutable and safely shared, while
+    memo state — the only mutable part — stays domain-local. *)
+
 val spec : t -> Spec.t
 val system : t -> Rewrite.system
 

@@ -29,15 +29,22 @@ let rec sort_of t =
 
 (* {2 Interning}
 
-   A single weak table holds every live term. Keys compare shallowly: two
-   nodes are equal when their heads agree and their children are physically
+   A weak table holds every live term, striped into independently locked
+   shards selected by structural hash. Keys compare shallowly: two nodes
+   are equal when their heads agree and their children are physically
    identical — children are already interned, so this is structural
-   equality one level deep. The table is weak so normal forms dropped by
+   equality one level deep. The tables are weak so normal forms dropped by
    callers can be collected; [tt]/[ff] below pin the common constants.
 
-   The engine serves one systhread per connection, so interning takes a
-   mutex. Construction is the only synchronized operation; reads (equal,
-   hash, view, ...) touch immutable fields only. *)
+   The engine serves a pool of domains, each running many connection
+   threads, so interning synchronizes: equal nodes hash equally and
+   therefore land in the same shard, whose mutex serializes the
+   find-or-insert. Distinct terms usually land in distinct shards, so
+   domains intern in parallel instead of convoying on one global lock.
+   Ids stay dense and unique because they are drawn from one atomic
+   counter, incremented only under a shard lock when a genuinely new node
+   is inserted. Construction is the only synchronized operation; reads
+   (equal, hash, view, ...) touch immutable fields only. *)
 
 module Node_key = struct
   type nonrec t = t
@@ -58,32 +65,47 @@ end
 
 module H = Weak.Make (Node_key)
 
-let table = H.create 4096
-let counter = ref 0
-let lock = Mutex.create ()
+let shard_bits = 4
+let shard_count = 1 lsl shard_bits
+
+type shard = { lock : Mutex.t; table : H.t }
+
+let shards =
+  Array.init shard_count (fun _ ->
+      { lock = Mutex.create (); table = H.create 512 })
+
+let counter = Atomic.make 0
+
+(* Test instrumentation: when set, invoked inside the shard critical
+   section so exception safety of interning is observable from tests. *)
+let intern_fault_hook : (unit -> unit) option ref = ref None
 
 let intern node ~hash ~size ~ground =
   let hash = hash land max_int in
   let candidate = { node; id = 0; hash; size; ground } in
-  Mutex.lock lock;
-  let t =
-    match H.find_opt table candidate with
-    | Some existing -> existing
-    | None ->
-      incr counter;
-      let fresh = { candidate with id = !counter } in
-      H.add table fresh;
-      fresh
-  in
-  Mutex.unlock lock;
-  t
+  let shard = shards.(hash land (shard_count - 1)) in
+  (* Mutex.protect: an exception here (including an asynchronous one) must
+     release the shard lock, or every later construction hashing into this
+     shard deadlocks. *)
+  Mutex.protect shard.lock (fun () ->
+      (match !intern_fault_hook with None -> () | Some f -> f ());
+      match H.find_opt shard.table candidate with
+      | Some existing -> existing
+      | None ->
+        let fresh = { candidate with id = Atomic.fetch_and_add counter 1 + 1 } in
+        H.add shard.table fresh;
+        fresh)
 
 let intern_stats () =
-  Mutex.lock lock;
-  let live = H.count table in
-  let total = !counter in
-  Mutex.unlock lock;
-  (live, total)
+  let live =
+    Array.fold_left
+      (fun acc shard ->
+        acc + Mutex.protect shard.lock (fun () -> H.count shard.table))
+      0 shards
+  in
+  (live, Atomic.get counter)
+
+let intern_shards = shard_count
 
 (* FNV-style mixing of the head tag with child hashes; deterministic across
    runs (never derived from ids). *)

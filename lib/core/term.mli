@@ -4,11 +4,14 @@
     the rewriting engine normalizes terms, implementations are checked by
     mapping their concrete values to terms through the abstraction function.
 
-    Every term is interned in a global (weak) table, so two structurally
-    equal terms are always the same heap value: {!equal} is physical
-    equality, and each term carries a unique {!id}, a precomputed {!hash}
-    and {!size}, and a ground flag — all O(1). Pattern match through
-    {!view}; construct through the smart constructors.
+    Every term is interned in a global (weak) table, striped into
+    independently locked shards selected by structural hash, so two
+    structurally equal terms are always the same heap value — even when
+    constructed from different domains: {!equal} is physical equality, and
+    each term carries a unique {!id} (dense, drawn from one atomic
+    counter), a precomputed {!hash} and {!size}, and a ground flag — all
+    O(1). Pattern match through {!view}; construct through the smart
+    constructors.
 
     Beyond plain variables and applications, two builtin forms mirror the
     paper's notation:
@@ -154,8 +157,17 @@ val fresh_wrt : avoid:(string * Sort.t) list -> string -> Sort.t -> string
     not occur in [avoid]. *)
 
 val intern_stats : unit -> int * int
-(** [(live, total)]: live entries in the intern table and the total number
-    of distinct terms ever created (the current id counter). *)
+(** [(live, total)]: live entries across all intern-table shards and the
+    total number of distinct terms ever created (the current id counter). *)
+
+val intern_shards : int
+(** Number of independently locked stripes of the intern table. *)
+
+val intern_fault_hook : (unit -> unit) option ref
+(** Test instrumentation only: when set, the hook runs inside the intern
+    critical section, so tests can inject a failure there and assert that
+    the shard lock is released (exception safety of {!var}/{!app}/...).
+    Must be [None] in production use. *)
 
 val pp : t Fmt.t
 (** Paper-style concrete syntax:

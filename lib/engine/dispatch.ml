@@ -28,22 +28,21 @@ let parse_term ?vars spec src k =
 
 let charge_fuel ctx session steps =
   ctx.fuel <- ctx.fuel + steps;
-  let metrics = Session.metrics session in
-  Metrics.locked metrics (fun () ->
-      metrics.Metrics.fuel_spent <- metrics.Metrics.fuel_spent + steps)
+  Metrics.add_fuel (Session.metrics session) steps
 
 let do_normalize ctx session entry term_src req_fuel poll =
-  parse_term entry.Session.spec term_src @@ fun term ->
+  parse_term (Session.entry_spec entry) term_src @@ fun term ->
   let fuel = Limits.effective_fuel (Session.limits session) req_fuel in
-  (* the entry lock serializes evaluations on this specification: the
-     shared memo cache is mutated throughout the rewrite, and a poll abort
-     (deadline) must release the lock, which [Mutex.protect] guarantees *)
+  (* with_interp serializes evaluations on this specification's
+     domain-local slot: the memo cache is mutated throughout the rewrite,
+     and a poll abort (deadline) must release the slot lock, which
+     [Session.with_interp] guarantees *)
   let value, steps =
     Obs.Trace.with_span ctx.trace "rewrite" @@ fun () ->
-    Mutex.protect entry.Session.lock (fun () ->
+    Session.with_interp entry (fun interp ->
         Interp.eval_count ~fuel ?poll
           ?on_rule:(Obs.Trace.hook ctx.trace)
-          entry.Session.interp term)
+          interp term)
   in
   charge_fuel ctx session steps;
   match value with
@@ -54,19 +53,21 @@ let do_normalize ctx session entry term_src req_fuel poll =
 
 let do_check ctx entry =
   Obs.Trace.with_span ctx.trace "rewrite" @@ fun () ->
-  let comp = Completeness.check entry.Session.spec in
-  let cons = Consistency.check entry.Session.spec in
+  let spec = Session.entry_spec entry in
+  let comp = Completeness.check spec in
+  let cons = Consistency.check spec in
   ok "check %s complete=%b consistent=%b missing=%d critical_pairs=%d"
-    (Spec.name entry.Session.spec)
+    (Spec.name spec)
     (Completeness.is_complete comp)
-    (Consistency.is_consistent entry.Session.spec cons)
+    (Consistency.is_consistent spec cons)
     (List.length (Completeness.missing comp))
     (List.length cons.Consistency.pairs)
 
 let do_skeletons ctx entry =
   Obs.Trace.with_span ctx.trace "rewrite" @@ fun () ->
-  let name = Spec.name entry.Session.spec in
-  match Heuristics.prompts entry.Session.spec with
+  let spec = Session.entry_spec entry in
+  let name = Spec.name spec in
+  match Heuristics.prompts spec with
   | [] -> ok "skeletons %s missing=0" name
   | prompts ->
     ok "skeletons %s missing=%d: %s" name (List.length prompts)
@@ -81,14 +82,11 @@ let do_skeletons ctx entry =
 let do_lint ctx session entry =
   let diags =
     Obs.Trace.with_span ctx.trace "rewrite" @@ fun () ->
-    Analysis.Lint.run entry.Session.spec
+    Analysis.Lint.run (Session.entry_spec entry)
   in
-  let metrics = Session.metrics session in
-  Metrics.locked metrics (fun () ->
-      List.iter
-        (fun d -> Metrics.record_rule_hit metrics d.Analysis.Diagnostic.code)
-        diags);
-  let name = Spec.name entry.Session.spec in
+  Metrics.record_rule_hits (Session.metrics session)
+    (List.map (fun d -> d.Analysis.Diagnostic.code) diags);
+  let name = Spec.name (Session.entry_spec entry) in
   let header = Fmt.str "lint %s findings=%d" name (List.length diags) in
   ok "%s"
     (String.concat "\n"
@@ -141,13 +139,8 @@ let do_testgen ctx session ~spec ~impl ~count ~seed =
       Testgen.Harness.conformance ~count ~seed entry
     in
     let failures = Testgen.Harness.failures report in
-    let metrics = Session.metrics session in
-    Metrics.locked metrics (fun () ->
-        Metrics.record_testgen_suite metrics;
-        List.iter
-          (fun (axiom, _) ->
-            Metrics.record_testgen_failure metrics (Axiom.name axiom))
-          failures);
+    Metrics.record_testgen_run (Session.metrics session)
+      ~failures:(List.map (fun (axiom, _) -> Axiom.name axiom) failures);
     let line ar =
       match ar.Testgen.Harness.failure with
       | None ->
@@ -172,9 +165,10 @@ let do_testgen ctx session ~spec ~impl ~count ~seed =
          (header :: List.map line report.Testgen.Harness.axiom_reports))
 
 let do_prove ctx session entry vars lhs_src rhs_src req_fuel poll =
+  let spec = Session.entry_spec entry in
   let vars = List.map (fun (name, sort) -> (name, Sort.v sort)) vars in
-  parse_term ~vars entry.Session.spec lhs_src @@ fun lhs ->
-  parse_term ~vars entry.Session.spec rhs_src @@ fun rhs ->
+  parse_term ~vars spec lhs_src @@ fun lhs ->
+  parse_term ~vars spec rhs_src @@ fun rhs ->
   (* the Limits contract: a request's fuel=N may lower the session ceiling,
      never raise it — the prover's own default applies when nothing is
      requested, itself capped by the ceiling *)
@@ -190,11 +184,9 @@ let do_prove ctx session entry vars lhs_src rhs_src req_fuel poll =
     match poll with Some p -> p () | None -> ()
   in
   let config =
-    Proof.config ~fuel ~poll:counting
-      ?on_rule:(Obs.Trace.hook ctx.trace)
-      entry.Session.spec
+    Proof.config ~fuel ~poll:counting ?on_rule:(Obs.Trace.hook ctx.trace) spec
   in
-  let name = Spec.name entry.Session.spec in
+  let name = Spec.name spec in
   let outcome =
     Obs.Trace.with_span ctx.trace "rewrite" @@ fun () ->
     Proof.prove config (lhs, rhs)
@@ -207,34 +199,32 @@ let do_prove ctx session entry vars lhs_src rhs_src req_fuel poll =
   | Proof.Unknown _ -> ok "prove %s unknown" name
 
 let do_stats session verbose =
-  let m = Session.metrics session in
-  let snapshot =
-    Metrics.locked m (fun () ->
-        Fmt.str
-          "stats requests=%d normalize=%d check=%d skeletons=%d lint=%d \
-           testgen=%d prove=%d stats=%d metrics=%d slowlog=%d malformed=%d \
-           errors=%d fuel=%d"
-          m.Metrics.requests m.Metrics.normalize m.Metrics.check
-          m.Metrics.skeletons m.Metrics.lint m.Metrics.testgen m.Metrics.prove
-          m.Metrics.stats m.Metrics.metrics m.Metrics.slowlog
-          m.Metrics.malformed m.Metrics.errors m.Metrics.fuel_spent)
+  let m = Metrics.snapshot (Session.metrics session) in
+  let counters =
+    Fmt.str
+      "stats requests=%d normalize=%d check=%d skeletons=%d lint=%d \
+       testgen=%d prove=%d stats=%d metrics=%d slowlog=%d malformed=%d \
+       errors=%d fuel=%d"
+      m.Metrics.requests m.Metrics.normalize m.Metrics.check
+      m.Metrics.skeletons m.Metrics.lint m.Metrics.testgen m.Metrics.prove
+      m.Metrics.stats m.Metrics.metrics m.Metrics.slowlog m.Metrics.malformed
+      m.Metrics.errors m.Metrics.fuel_spent
   in
   let c = Session.cache_totals session in
   let base =
     Fmt.str
       "%s cache.hits=%d cache.misses=%d cache.evictions=%d cache.entries=%d \
        cache.capacity=%d"
-      snapshot c.Session.hits c.Session.misses c.Session.evictions
+      counters c.Session.hits c.Session.misses c.Session.evictions
       c.Session.entries c.Session.capacity
   in
   (* latency is real time: only printed on demand, so that batch replays
      stay deterministic *)
   if verbose then
     Protocol.Ok_response
-      (Metrics.locked m (fun () ->
-           Fmt.str "%s latency.total_ms=%.3f latency.max_ms=%.3f" base
-             (Metrics.latency_total m *. 1000.)
-             (Metrics.latency_max m *. 1000.)))
+      (Fmt.str "%s latency.total_ms=%.3f latency.max_ms=%.3f" base
+         (Metrics.latency_total m *. 1000.)
+         (Metrics.latency_max m *. 1000.))
   else Protocol.Ok_response base
 
 (* the body is announced by line count on the first line, so line-oriented
@@ -332,23 +322,16 @@ let handle_line_obs session line =
   | Ok None -> (Silent, None)
   | Error message ->
     let trace = trace_for_line () in
-    Metrics.locked metrics (fun () ->
-        metrics.Metrics.requests <- metrics.Metrics.requests + 1;
-        Metrics.record_malformed metrics;
-        metrics.Metrics.errors <- metrics.Metrics.errors + 1);
+    Metrics.record_malformed_request metrics;
     ( Reply (Protocol.render (Protocol.Error_response { code = "protocol"; message })),
       Obs.Trace.finish trace )
   | Ok (Some Protocol.Quit) ->
     let trace = trace_for_line () in
-    Metrics.locked metrics (fun () ->
-        metrics.Metrics.requests <- metrics.Metrics.requests + 1;
-        Metrics.record_kind metrics "quit");
+    Metrics.record_request metrics "quit";
     (Closed, Obs.Trace.finish trace)
   | Ok (Some request) ->
     let trace = trace_for_line () in
-    Metrics.locked metrics (fun () ->
-        metrics.Metrics.requests <- metrics.Metrics.requests + 1;
-        Metrics.record_kind metrics (Protocol.kind_name request));
+    Metrics.record_request metrics (Protocol.kind_name request);
     let ctx = { trace; fuel = 0 } in
     let started = Unix.gettimeofday () in
     let response =
@@ -375,13 +358,13 @@ let handle_line_obs session line =
       | Protocol.Normalize _ | Protocol.Prove _ -> true
       | _ -> false
     in
-    Metrics.locked metrics (fun () ->
-        Metrics.observe_latency metrics elapsed;
-        if fuel_metered then Metrics.observe_fuel metrics ctx.fuel;
-        match response with
-        | Protocol.Error_response _ ->
-          metrics.Metrics.errors <- metrics.Metrics.errors + 1
-        | Protocol.Ok_response _ -> ());
+    Metrics.record_outcome metrics ~latency:elapsed
+      ?fuel:(if fuel_metered then Some ctx.fuel else None)
+      ~error:
+        (match response with
+        | Protocol.Error_response _ -> true
+        | Protocol.Ok_response _ -> false)
+      ();
     let result = Obs.Trace.finish trace in
     feed_slowlog session request ctx elapsed result;
     (Reply rendered, result)

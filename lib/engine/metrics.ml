@@ -1,4 +1,13 @@
-type t = {
+(* Metrics are striped per domain: each stripe is a full set of counters
+   guarded by its own mutex, and recording touches only the stripe of the
+   calling domain — the request path never contends with other domains.
+   Scrapes rebuild the global view by merging every stripe exactly
+   (integers add, histograms merge by the Obs.Hist merge law), so a
+   snapshot after quiescence equals what a single global lock would have
+   counted. Systhreads within one domain share that domain's stripe; the
+   stripe mutex serializes them. *)
+
+type stripe = {
   lock : Mutex.t;
   mutable requests : int;
   mutable normalize : int;
@@ -21,7 +30,31 @@ type t = {
   fuel_hist : Obs.Hist.t;
 }
 
-let create () =
+type t = { stripes : stripe array }
+
+type snapshot = {
+  requests : int;
+  normalize : int;
+  check : int;
+  skeletons : int;
+  lint : int;
+  testgen : int;
+  prove : int;
+  stats : int;
+  metrics : int;
+  slowlog : int;
+  quit : int;
+  malformed : int;
+  errors : int;
+  fuel_spent : int;
+  rule_hits : (string * int) list;
+  testgen_suites : int;
+  testgen_failures : (string * int) list;
+  latency : Obs.Hist.t;
+  fuel_hist : Obs.Hist.t;
+}
+
+let make_stripe () =
   {
     lock = Mutex.create ();
     requests = 0;
@@ -45,61 +78,160 @@ let create () =
     fuel_hist = Obs.Hist.create ~bounds:Obs.Hist.default_fuel_bounds;
   }
 
-let locked t f = Mutex.protect t.lock f
+let default_stripes = min 64 (max 8 (Domain.recommended_domain_count ()))
+
+let create ?(stripes = default_stripes) () =
+  if stripes < 1 then invalid_arg "Metrics.create: stripes must be positive";
+  { stripes = Array.init stripes (fun _ -> make_stripe ()) }
+
+let stripes t = Array.length t.stripes
+
+(* Domain ids are small, dense integers (the main domain is 0), so modular
+   reduction spreads a pool of worker domains evenly over the stripes. *)
+let stripe_of t =
+  t.stripes.((Domain.self () :> int) mod Array.length t.stripes)
+
+let with_stripe t f =
+  let s = stripe_of t in
+  Mutex.protect s.lock (fun () -> f s)
 
 (* total over Protocol.kind_name by construction: a new request kind that
    reaches the fallback is a bug, not a statistic to fold away silently
    (malformed lines have their own counter, recorded by the dispatcher) *)
-let record_kind t = function
-  | "normalize" -> t.normalize <- t.normalize + 1
-  | "check" -> t.check <- t.check + 1
-  | "skeletons" -> t.skeletons <- t.skeletons + 1
-  | "lint" -> t.lint <- t.lint + 1
-  | "testgen" -> t.testgen <- t.testgen + 1
-  | "prove" -> t.prove <- t.prove + 1
-  | "stats" -> t.stats <- t.stats + 1
-  | "metrics" -> t.metrics <- t.metrics + 1
-  | "slowlog" -> t.slowlog <- t.slowlog + 1
-  | "quit" -> t.quit <- t.quit + 1
+let bump_kind (s : stripe) = function
+  | "normalize" -> s.normalize <- s.normalize + 1
+  | "check" -> s.check <- s.check + 1
+  | "skeletons" -> s.skeletons <- s.skeletons + 1
+  | "lint" -> s.lint <- s.lint + 1
+  | "testgen" -> s.testgen <- s.testgen + 1
+  | "prove" -> s.prove <- s.prove + 1
+  | "stats" -> s.stats <- s.stats + 1
+  | "metrics" -> s.metrics <- s.metrics + 1
+  | "slowlog" -> s.slowlog <- s.slowlog + 1
+  | "quit" -> s.quit <- s.quit + 1
   | other -> invalid_arg (Fmt.str "Metrics.record_kind: unknown kind %s" other)
 
-let record_malformed t = t.malformed <- t.malformed + 1
+let record_kind t kind = with_stripe t (fun s -> bump_kind s kind)
 
-let record_rule_hit t code =
-  Hashtbl.replace t.rule_hits code
-    (1 + Option.value ~default:0 (Hashtbl.find_opt t.rule_hits code))
+let record_request t kind =
+  with_stripe t (fun s ->
+      s.requests <- s.requests + 1;
+      bump_kind s kind)
 
-let record_testgen_suite t = t.testgen_suites <- t.testgen_suites + 1
+let record_malformed_request t =
+  with_stripe t (fun s ->
+      s.requests <- s.requests + 1;
+      s.malformed <- s.malformed + 1;
+      s.errors <- s.errors + 1)
 
-let record_testgen_failure t axiom =
-  Hashtbl.replace t.testgen_failures axiom
-    (1 + Option.value ~default:0 (Hashtbl.find_opt t.testgen_failures axiom))
+let record_malformed t = with_stripe t (fun s -> s.malformed <- s.malformed + 1)
+let add_fuel t steps = with_stripe t (fun s -> s.fuel_spent <- s.fuel_spent + steps)
 
-let testgen_failures t =
+let bump_table table key =
+  Hashtbl.replace table key
+    (1 + Option.value ~default:0 (Hashtbl.find_opt table key))
+
+let record_rule_hits t codes =
+  with_stripe t (fun s -> List.iter (bump_table s.rule_hits) codes)
+
+let record_testgen_run t ~failures =
+  with_stripe t (fun s ->
+      s.testgen_suites <- s.testgen_suites + 1;
+      List.iter (bump_table s.testgen_failures) failures)
+
+let record_outcome t ~latency ?fuel ~error () =
+  with_stripe t (fun s ->
+      Obs.Hist.observe s.latency latency;
+      (match fuel with
+      | None -> ()
+      | Some steps -> Obs.Hist.observe s.fuel_hist (float_of_int steps));
+      if error then s.errors <- s.errors + 1)
+
+(* {1 Snapshots} *)
+
+let assoc_of_table table =
   List.sort
     (fun (a, _) (b, _) -> String.compare a b)
-    (Hashtbl.fold (fun axiom n acc -> (axiom, n) :: acc) t.testgen_failures [])
+    (Hashtbl.fold (fun key n acc -> (key, n) :: acc) table [])
 
-let rule_hits t =
-  List.sort
-    (fun (a, _) (b, _) -> String.compare a b)
-    (Hashtbl.fold (fun code n acc -> (code, n) :: acc) t.rule_hits [])
+let snapshot_stripe (s : stripe) =
+  Mutex.protect s.lock (fun () ->
+      {
+        requests = s.requests;
+        normalize = s.normalize;
+        check = s.check;
+        skeletons = s.skeletons;
+        lint = s.lint;
+        testgen = s.testgen;
+        prove = s.prove;
+        stats = s.stats;
+        metrics = s.metrics;
+        slowlog = s.slowlog;
+        quit = s.quit;
+        malformed = s.malformed;
+        errors = s.errors;
+        fuel_spent = s.fuel_spent;
+        rule_hits = assoc_of_table s.rule_hits;
+        testgen_suites = s.testgen_suites;
+        testgen_failures = assoc_of_table s.testgen_failures;
+        latency = Obs.Hist.copy s.latency;
+        fuel_hist = Obs.Hist.copy s.fuel_hist;
+      })
 
-let by_kind t =
+let merge_assoc a b =
+  let table = Hashtbl.create 16 in
+  List.iter (fun (k, n) -> Hashtbl.replace table k n) a;
+  List.iter
+    (fun (k, n) ->
+      Hashtbl.replace table k (n + Option.value ~default:0 (Hashtbl.find_opt table k)))
+    b;
+  assoc_of_table table
+
+let merge a b =
+  {
+    requests = a.requests + b.requests;
+    normalize = a.normalize + b.normalize;
+    check = a.check + b.check;
+    skeletons = a.skeletons + b.skeletons;
+    lint = a.lint + b.lint;
+    testgen = a.testgen + b.testgen;
+    prove = a.prove + b.prove;
+    stats = a.stats + b.stats;
+    metrics = a.metrics + b.metrics;
+    slowlog = a.slowlog + b.slowlog;
+    quit = a.quit + b.quit;
+    malformed = a.malformed + b.malformed;
+    errors = a.errors + b.errors;
+    fuel_spent = a.fuel_spent + b.fuel_spent;
+    rule_hits = merge_assoc a.rule_hits b.rule_hits;
+    testgen_suites = a.testgen_suites + b.testgen_suites;
+    testgen_failures = merge_assoc a.testgen_failures b.testgen_failures;
+    latency = Obs.Hist.merge a.latency b.latency;
+    fuel_hist = Obs.Hist.merge a.fuel_hist b.fuel_hist;
+  }
+
+let stripe_snapshots t = Array.to_list (Array.map snapshot_stripe t.stripes)
+
+(* Merged in stripe order, so float sums are deterministic; with a single
+   stripe the snapshot is byte-for-byte what the stripe recorded. *)
+let snapshot t =
+  match stripe_snapshots t with
+  | [] -> assert false (* create enforces stripes >= 1 *)
+  | first :: rest -> List.fold_left merge first rest
+
+let by_kind snap =
   [
-    ("normalize", t.normalize);
-    ("check", t.check);
-    ("skeletons", t.skeletons);
-    ("lint", t.lint);
-    ("testgen", t.testgen);
-    ("prove", t.prove);
-    ("stats", t.stats);
-    ("metrics", t.metrics);
-    ("slowlog", t.slowlog);
-    ("quit", t.quit);
+    ("normalize", snap.normalize);
+    ("check", snap.check);
+    ("skeletons", snap.skeletons);
+    ("lint", snap.lint);
+    ("testgen", snap.testgen);
+    ("prove", snap.prove);
+    ("stats", snap.stats);
+    ("metrics", snap.metrics);
+    ("slowlog", snap.slowlog);
+    ("quit", snap.quit);
   ]
 
-let observe_latency t seconds = Obs.Hist.observe t.latency seconds
-let observe_fuel t steps = Obs.Hist.observe t.fuel_hist (float_of_int steps)
-let latency_total t = Obs.Hist.sum t.latency
-let latency_max t = Obs.Hist.max_value t.latency
+let latency_total snap = Obs.Hist.sum snap.latency
+let latency_max snap = Obs.Hist.max_value snap.latency

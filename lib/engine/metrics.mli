@@ -1,99 +1,124 @@
-(** Engine metrics.
+(** Engine metrics, striped per domain.
 
     A long-lived evaluation service must be observable: the dispatcher
     counts requests by kind, malformed lines, error responses, rewrite
     steps spent, and summarizes wall-clock latency and per-request fuel
     as fixed-bucket histograms ({!Obs.Hist}) ready for Prometheus
-    exposition. Counters are plain mutable fields shared by every
-    connection thread of the server, so all reads and writes must go
-    through {!locked}; the counter updates are tiny, so one mutex for the
-    whole record costs nothing. They are queryable over the wire through
-    the [stats] and [metrics] requests ({!Dispatch}). *)
+    exposition.
 
-type t = {
-  lock : Mutex.t;  (** Guards every mutable field below. *)
-  mutable requests : int;  (** Every request line, malformed ones included. *)
-  mutable normalize : int;
-  mutable check : int;
-  mutable skeletons : int;
-  mutable lint : int;
-  mutable testgen : int;
-  mutable prove : int;
-  mutable stats : int;
-  mutable metrics : int;
-  mutable slowlog : int;
-  mutable quit : int;
-  mutable malformed : int;
+    The counters are striped: each domain records into its own stripe (a
+    full set of counters behind its own mutex, selected by [Domain.self]),
+    so the request hot path never takes a lock another domain is holding —
+    only the systhreads of one domain share a stripe. Reads go through
+    {!snapshot}, which merges every stripe {e exactly}: integer counters
+    add and histograms combine by the {!Obs.Hist.merge} law, so a snapshot
+    taken after quiescence equals what a single global counter set would
+    have recorded. Metrics are queryable over the wire through the
+    [stats] and [metrics] requests ({!Dispatch}). *)
+
+type t
+
+val create : ?stripes:int -> unit -> t
+(** [stripes] (default: the machine's recommended domain count, at least
+    8) fixes the number of per-domain stripes; domains map onto stripes
+    by [Domain.self mod stripes], so more domains than stripes only
+    shares — never corrupts. Raises [Invalid_argument] when
+    [stripes < 1]. *)
+
+val stripes : t -> int
+
+(** {1 Recording}
+
+    All recording operations lock only the calling domain's stripe and
+    are safe from any thread of any domain. *)
+
+val record_request : t -> string -> unit
+(** Bumps the total request counter and the per-kind counter named by
+    {!Protocol.kind_name}. Total over the kinds that function can
+    return; raises [Invalid_argument] on any other name — adding a
+    protocol verb without its counter is a bug caught immediately, not a
+    silently mis-binned statistic. *)
+
+val record_kind : t -> string -> unit
+(** The per-kind counter alone, without the request total; same totality
+    contract as {!record_request}. *)
+
+val record_malformed_request : t -> unit
+(** One malformed line: counts towards [requests], [malformed], and
+    [errors] atomically (one stripe lock). *)
+
+val record_malformed : t -> unit
+(** The malformed counter alone. *)
+
+val add_fuel : t -> int -> unit
+(** Adds rewrite-rule applications to the running fuel total ([prove]
+    requests included, each rule application inside the proof search
+    counting once). *)
+
+val record_rule_hits : t -> string list -> unit
+(** Bumps the per-rule lint finding counter for each ADTxxx code, under
+    one stripe lock. *)
+
+val record_testgen_run : t -> failures:string list -> unit
+(** One conformance suite executed; [failures] names the axioms it
+    falsified (one bump per occurrence). *)
+
+val record_outcome :
+  t -> latency:float -> ?fuel:int -> error:bool -> unit -> unit
+(** Per-request epilogue: observes wall-clock [latency] seconds, the
+    request's [fuel] steps when it was fuel-metered, and bumps the error
+    counter when the response was an error — all under one stripe
+    lock. *)
+
+(** {1 Snapshots} *)
+
+type snapshot = {
+  requests : int;  (** Every request line, malformed ones included. *)
+  normalize : int;
+  check : int;
+  skeletons : int;
+  lint : int;
+  testgen : int;
+  prove : int;
+  stats : int;
+  metrics : int;
+  slowlog : int;
+  quit : int;
+  malformed : int;
       (** Lines that failed protocol parsing (they also count towards
           [requests] and [errors]). *)
-  mutable errors : int;  (** Error responses sent. *)
-  mutable fuel_spent : int;
-      (** Total rewrite-rule applications across all requests — [prove]
-          requests included, each rule application inside the proof search
-          counting once. *)
-  rule_hits : (string, int) Hashtbl.t;
-      (** Lint findings per ADTxxx rule code, across every [lint] request
-          served. Access through {!record_rule_hit} and {!rule_hits},
-          under {!locked}. *)
-  mutable testgen_suites : int;
-      (** Conformance suites executed (one per [testgen] request
-          served). *)
-  testgen_failures : (string, int) Hashtbl.t;
-      (** Axioms falsified per [testgen] run, keyed by axiom name — the
-          [adtc_testgen_failures_total{axiom}] series. Access through
-          {!record_testgen_failure} and {!testgen_failures}, under
-          {!locked}. *)
+  errors : int;  (** Error responses sent. *)
+  fuel_spent : int;
+  rule_hits : (string * int) list;
+      (** Lint findings per ADTxxx rule code, sorted by code. *)
+  testgen_suites : int;
+  testgen_failures : (string * int) list;
+      (** Axioms falsified per [testgen] run, sorted by axiom name — the
+          [adtc_testgen_failures_total{axiom}] series. *)
   latency : Obs.Hist.t;  (** Per-request wall-clock seconds. *)
   fuel_hist : Obs.Hist.t;
       (** Per-request rewrite steps, observed once per fuel-metered
           request (normalize and prove). *)
 }
 
-val create : unit -> t
+val snapshot : t -> snapshot
+(** The exact merge of every stripe, in stripe order. The result is
+    detached: it never changes as recording continues. *)
 
-val locked : t -> (unit -> 'a) -> 'a
-(** Runs the thunk holding [lock]; released on exception. *)
+val stripe_snapshots : t -> snapshot list
+(** One snapshot per stripe, in stripe order — the decomposition whose
+    {!merge}-fold {!snapshot} returns. Exposed so tests can assert the
+    merge law against per-domain state. *)
 
-val record_kind : t -> string -> unit
-(** Bumps the counter named by {!Protocol.kind_name}. Total over the
-    kinds that function can return; raises [Invalid_argument] on any
-    other name — adding a protocol verb without its counter is a bug
-    caught immediately, not a silently mis-binned statistic. Call under
-    {!locked}. *)
+val merge : snapshot -> snapshot -> snapshot
+(** Exact combination: integer counters add, labelled counters add per
+    label, histograms merge by {!Obs.Hist.merge}. *)
 
-val record_malformed : t -> unit
-(** Call under {!locked}. *)
+val by_kind : snapshot -> (string * int) list
+(** [(kind, count)] for every kind {!record_request} accepts, in
+    protocol order. *)
 
-val record_rule_hit : t -> string -> unit
-(** Bumps the per-rule lint finding counter for an ADTxxx code. Call
-    under {!locked}. *)
+val latency_total : snapshot -> float
+(** Seconds, summed over requests. *)
 
-val rule_hits : t -> (string * int) list
-(** [(code, findings)] for every rule that has hit at least once, sorted
-    by code. Call under {!locked}. *)
-
-val record_testgen_suite : t -> unit
-(** Call under {!locked}. *)
-
-val record_testgen_failure : t -> string -> unit
-(** Bumps the per-axiom falsification counter. Call under {!locked}. *)
-
-val testgen_failures : t -> (string * int) list
-(** [(axiom, failures)] for every axiom falsified at least once, sorted
-    by name. Call under {!locked}. *)
-
-val by_kind : t -> (string * int) list
-(** [(kind, count)] for every kind {!record_kind} accepts, in protocol
-    order. Call under {!locked}. *)
-
-val observe_latency : t -> float -> unit
-(** Call under {!locked}. *)
-
-val observe_fuel : t -> int -> unit
-(** Call under {!locked}. *)
-
-val latency_total : t -> float
-(** Seconds, summed over requests. Call under {!locked}. *)
-
-val latency_max : t -> float
-(** Call under {!locked}. *)
+val latency_max : snapshot -> float

@@ -25,7 +25,8 @@ let default_max_clients = 64
 (* Active connections, so shutdown can drain them: [shutdown SHUTDOWN_RECEIVE]
    forces end-of-file on a worker blocked reading its next request, while a
    worker mid-request finishes and answers before it notices — in-flight work
-   drains, idle connections close. *)
+   drains, idle connections close. The registry is shared by every accept
+   domain, so admission control is global across the pool. *)
 type registry = {
   lock : Mutex.t;
   done_ : Condition.t;  (** Signalled whenever a worker retires. *)
@@ -59,6 +60,10 @@ let drain reg =
         Condition.wait reg.done_ reg.lock
       done)
 
+(* Best-effort write of one protocol line. EINTR is retried — a signal
+   landing mid-refusal must not kill the accept loop that called us — and
+   every other write failure (EPIPE, ECONNRESET, EAGAIN, ...) means the
+   client is gone or unwritable: drop it, the caller closes the fd. *)
 let send_line fd line =
   let bytes = Bytes.of_string (line ^ "\n") in
   let n = Bytes.length bytes in
@@ -66,7 +71,8 @@ let send_line fd line =
     if off < n then
       match Unix.write fd bytes off (n - off) with
       | written -> go (off + written)
-      | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+      | exception Unix.Unix_error _ -> ()
   in
   go 0
 
@@ -80,9 +86,11 @@ let busy_line max_clients =
              max_clients;
        })
 
-(* One client, one thread. A disconnect — mid-response included — must drop
-   this client only: SIGPIPE is ignored process-wide ([serve_socket]), so a
-   write into a closed connection surfaces as an exception caught here. *)
+(* One client, one worker thread (inside some accept domain). A disconnect —
+   mid-response included — must drop this client only: SIGPIPE is ignored
+   process-wide ([serve_socket]), so a write into a closed connection
+   surfaces as an exception caught here. The caller owns the fd's
+   retire/close epilogue. *)
 let handle_client session client =
   let ic = Unix.in_channel_of_descr client in
   let oc = Unix.out_channel_of_descr client in
@@ -92,8 +100,7 @@ let handle_client session client =
     -> ()
   | e ->
     Fmt.epr "adtc engine: client handler died: %s@." (Printexc.to_string e));
-  (try flush oc with Sys_error _ -> ());
-  try Unix.close client with Unix.Unix_error _ -> ()
+  try flush oc with Sys_error _ -> ()
 
 let refuse_non_socket path =
   match Unix.lstat path with
@@ -103,10 +110,12 @@ let refuse_non_socket path =
       (Fmt.str "%s exists and is not a socket; refusing to replace it" path)
   | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
 
-let serve_socket ?(max_clients = default_max_clients) ?(handle_signals = true)
-    ?(stop = ref false) session ~path =
+let serve_socket ?(max_clients = default_max_clients) ?(domains = 1)
+    ?(handle_signals = true) ?(stop = ref false) session ~path =
   if max_clients < 1 then
     invalid_arg "Server.serve_socket: max_clients must be positive";
+  if domains < 1 then
+    invalid_arg "Server.serve_socket: domains must be positive";
   refuse_non_socket path;
   (* without this, a client disconnecting mid-response kills the whole
      engine with SIGPIPE before any exception can be raised *)
@@ -124,7 +133,12 @@ let serve_socket ?(max_clients = default_max_clients) ?(handle_signals = true)
   Fun.protect ~finally:cleanup @@ fun () ->
   Unix.bind sock (Unix.ADDR_UNIX path);
   Unix.listen sock (max 8 max_clients);
-  Fmt.epr "adtc engine: listening on %s (max %d clients)@." path max_clients;
+  (* every domain of the pool accepts on this one fd; non-blocking, so a
+     domain that loses the accept race gets EAGAIN instead of parking on a
+     connection another domain already took *)
+  Unix.set_nonblock sock;
+  Fmt.epr "adtc engine: listening on %s (max %d clients%s)@." path max_clients
+    (if domains = 1 then "" else Fmt.str ", %d domains" domains);
   let reg =
     {
       lock = Mutex.create ();
@@ -133,33 +147,67 @@ let serve_socket ?(max_clients = default_max_clients) ?(handle_signals = true)
       next_id = 0;
     }
   in
-  (* the accept loop wakes at least every 100ms to observe [stop] — signal
-     handlers only set the flag, so no syscall restarts race with shutdown *)
+  (* [stop] is a plain ref for API and signal-handler compatibility; the
+     pool reads this atomic mirror instead, which the watcher loop below
+     keeps in sync — cross-domain visibility of a non-atomic ref is not
+     guaranteed by the memory model *)
+  let stopping = Atomic.make false in
+  let worker reg id client =
+    (* retire strictly before close: drain shuts fds down through the
+       registry, and a retired-late fd number could already be recycled
+       for a different connection. Fun.protect: a raising handler must
+       never leak the admission slot. *)
+    Fun.protect
+      ~finally:(fun () ->
+        retire reg id;
+        try Unix.close client with Unix.Unix_error _ -> ())
+      (fun () -> handle_client session client)
+  in
+  let accept_loop () =
+    while not (Atomic.get stopping) do
+      (* wake at least every 100ms to observe shutdown *)
+      match Unix.select [ sock ] [] [] 0.1 with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      | [], _, _ -> ()
+      | _ :: _, _, _ -> (
+        match Unix.accept sock with
+        | exception
+            Unix.Unix_error
+              ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.ECONNABORTED), _, _)
+          -> ()
+        | client, _ -> (
+          (* the listener's non-blocking flag is inherited on some systems;
+             workers want plain blocking reads *)
+          (try Unix.clear_nonblock client with Unix.Unix_error _ -> ());
+          match admit reg ~max_clients client with
+          | None ->
+            (* backpressure: refuse beyond capacity with a protocol error
+               the client can parse, rather than queueing unboundedly *)
+            send_line client (busy_line max_clients);
+            (try Unix.close client with Unix.Unix_error _ -> ())
+          | Some id -> (
+            match Thread.create (fun () -> worker reg id client) () with
+            | (_ : Thread.t) -> ()
+            | exception _ ->
+              (* thread exhaustion: treat like a refusal, never leak the
+                 admission slot *)
+              retire reg id;
+              (try Unix.close client with Unix.Unix_error _ -> ()))))
+    done
+  in
+  let pool = List.init domains (fun _ -> Domain.spawn accept_loop) in
+  (* the calling thread is the only reader of [stop] (main domain: signal
+     handlers run here); it mirrors the flag for the pool *)
   while not !stop do
-    match Unix.select [ sock ] [] [] 0.1 with
+    match Unix.select [] [] [] 0.05 with
+    | _ -> ()
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
-    | [], _, _ -> ()
-    | _ :: _, _, _ -> (
-      match Unix.accept sock with
-      | exception
-          Unix.Unix_error
-            ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.ECONNABORTED), _, _)
-        -> ()
-      | client, _ -> (
-        match admit reg ~max_clients client with
-        | None ->
-          (* backpressure: refuse beyond capacity with a protocol error the
-             client can parse, rather than queueing unboundedly *)
-          send_line client (busy_line max_clients);
-          (try Unix.close client with Unix.Unix_error _ -> ())
-        | Some id ->
-          ignore
-            (Thread.create
-               (fun () ->
-                 handle_client session client;
-                 retire reg id)
-               ())))
   done;
+  Atomic.set stopping true;
   Fmt.epr "adtc engine: shutting down, draining %d client(s)@."
     (Mutex.protect reg.lock (fun () -> Hashtbl.length reg.active));
-  drain reg
+  (* drain before join: a domain does not terminate until its worker
+     threads do, and an idle worker only unblocks once drain forces
+     end-of-file on its fd *)
+  drain reg;
+  List.iter Domain.join pool

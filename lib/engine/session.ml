@@ -1,11 +1,25 @@
 open Adt
 
-(* Each specification gets one memoizing interpreter guarded by its own
-   lock. The memo underneath is a {!Lru} keyed on hash-consed term ids
-   ([Term.id], physical equality), so a cache probe costs one pointer
-   comparison regardless of term size — terms arriving over different
-   connections intern to the same node and share normal forms. *)
-type entry = { spec : Spec.t; interp : Interp.t; lock : Mutex.t }
+(* Each specification gets a stripe of memoizing interpreters, one per
+   domain slot, forked lazily from a shared prototype: the compiled rewrite
+   system is immutable and shared, while each slot owns its own LRU memo
+   behind its own lock, so domains normalize in parallel without convoying
+   on one cache mutex. The memos are keyed on hash-consed term ids
+   ([Term.id], physical equality) — terms arriving over different
+   connections (and different domains) intern to the same node, so every
+   slot's probes stay one pointer comparison.
+
+   Slots are created on first use by a given domain slot and published
+   through an [Atomic.t], so a single-threaded process only ever has slot 0
+   — exactly the pre-striping behavior, cache capacity included. *)
+
+type slot = { interp : Interp.t; lock : Mutex.t }
+
+type entry = {
+  spec : Spec.t;
+  slots : slot option Atomic.t array;
+  slots_lock : Mutex.t;  (* serializes lazy slot creation only *)
+}
 
 type t = {
   registry : (string * entry) list;  (* registration order, names unique *)
@@ -16,8 +30,10 @@ type t = {
 }
 
 let create ?fuel ?timeout ?cache_capacity ?slowlog_ms ?slowlog_capacity
-    ?tracing specs =
+    ?tracing ?stripes specs =
   let limits = Limits.v ?fuel ?timeout () in
+  let metrics = Metrics.create ?stripes () in
+  let stripes = Metrics.stripes metrics in
   let slowlog =
     Option.map
       (fun ms ->
@@ -34,15 +50,13 @@ let create ?fuel ?timeout ?cache_capacity ?slowlog_ms ?slowlog_capacity
     List.fold_left
       (fun registry spec ->
         let name = Spec.name spec in
-        let entry =
-          {
-            spec;
-            interp =
-              Interp.create ~fuel:limits.Limits.fuel ~memo:true
-                ?memo_capacity:cache_capacity spec;
-            lock = Mutex.create ();
-          }
+        let interp =
+          Interp.create ~fuel:limits.Limits.fuel ~memo:true
+            ?memo_capacity:cache_capacity spec
         in
+        let slots = Array.init stripes (fun _ -> Atomic.make None) in
+        Atomic.set slots.(0) (Some { interp; lock = Mutex.create () });
+        let entry = { spec; slots; slots_lock = Mutex.create () } in
         (* replace an earlier registration of the same name in place *)
         if List.mem_assoc name registry then
           List.map
@@ -51,7 +65,32 @@ let create ?fuel ?timeout ?cache_capacity ?slowlog_ms ?slowlog_capacity
         else registry @ [ (name, entry) ])
       [] specs
   in
-  { registry; limits; metrics = Metrics.create (); slowlog; tracing }
+  { registry; limits; metrics; slowlog; tracing }
+
+let entry_spec entry = entry.spec
+
+let with_interp entry f =
+  let cell =
+    entry.slots.((Domain.self () :> int) mod Array.length entry.slots)
+  in
+  let slot =
+    match Atomic.get cell with
+    | Some slot -> slot
+    | None ->
+      Mutex.protect entry.slots_lock (fun () ->
+          match Atomic.get cell with
+          | Some slot -> slot (* another thread of this slot won the race *)
+          | None ->
+            let proto =
+              match Atomic.get entry.slots.(0) with
+              | Some s -> s.interp
+              | None -> assert false (* slot 0 is created eagerly *)
+            in
+            let slot = { interp = Interp.fork proto; lock = Mutex.create () } in
+            Atomic.set cell (Some slot);
+            slot)
+  in
+  Mutex.protect slot.lock (fun () -> f slot.interp)
 
 let find t name = List.assoc_opt name t.registry
 let spec_names t = List.map fst t.registry
@@ -71,18 +110,24 @@ type cache_totals = {
 let cache_totals t =
   List.fold_left
     (fun acc (_, entry) ->
-      match
-        Mutex.protect entry.lock (fun () -> Interp.memo_stats entry.interp)
-      with
-      | None -> acc
-      | Some s ->
-        {
-          hits = acc.hits + s.Interp.hits;
-          misses = acc.misses + s.Interp.misses;
-          evictions = acc.evictions + s.Interp.evictions;
-          entries = acc.entries + s.Interp.entries;
-          capacity = acc.capacity + s.Interp.capacity;
-        })
+      Array.fold_left
+        (fun acc cell ->
+          match Atomic.get cell with
+          | None -> acc
+          | Some slot -> (
+            match
+              Mutex.protect slot.lock (fun () -> Interp.memo_stats slot.interp)
+            with
+            | None -> acc
+            | Some s ->
+              {
+                hits = acc.hits + s.Interp.hits;
+                misses = acc.misses + s.Interp.misses;
+                evictions = acc.evictions + s.Interp.evictions;
+                entries = acc.entries + s.Interp.entries;
+                capacity = acc.capacity + s.Interp.capacity;
+              }))
+        acc entry.slots)
     { hits = 0; misses = 0; evictions = 0; entries = 0; capacity = 0 }
     t.registry
 
@@ -90,47 +135,47 @@ let cache_totals t =
 
 let prometheus t =
   let buf = Buffer.create 2048 in
-  let m = t.metrics in
+  let m = Metrics.snapshot t.metrics in
   let f = float_of_int in
-  Metrics.locked m (fun () ->
-      Obs.Export.counter buf ~name:"adtc_requests_total"
-        ~help:"Requests received, malformed lines included." (f m.requests);
-      Obs.Export.counter buf ~name:"adtc_requests_kind_total"
-        ~help:"Requests by protocol kind."
-        ~labelled:
-          (List.map
-             (fun (kind, n) -> ([ ("kind", kind) ], f n))
-             (Metrics.by_kind m))
-        0.;
-      Obs.Export.counter buf ~name:"adtc_malformed_requests_total"
-        ~help:"Lines that failed protocol parsing." (f m.malformed);
-      Obs.Export.counter buf ~name:"adtc_errors_total"
-        ~help:"Error responses sent." (f m.errors);
-      Obs.Export.counter buf ~name:"adtc_fuel_steps_total"
-        ~help:"Rewrite-rule applications across all requests."
-        (f m.fuel_spent);
-      Obs.Export.counter buf ~name:"adtc_lint_findings_total"
-        ~help:"Lint findings by ADTxxx rule code, across lint requests."
-        ~labelled:
-          (List.map
-             (fun (code, n) -> ([ ("rule", code) ], f n))
-             (Metrics.rule_hits m))
-        0.;
-      Obs.Export.counter buf ~name:"adtc_testgen_suites_total"
-        ~help:"Conformance suites executed by testgen requests."
-        (f m.testgen_suites);
-      Obs.Export.counter buf ~name:"adtc_testgen_failures_total"
-        ~help:"Axioms falsified by testgen suites, by axiom name."
-        ~labelled:
-          (List.map
-             (fun (axiom, n) -> ([ ("axiom", axiom) ], f n))
-             (Metrics.testgen_failures m))
-        0.;
-      Obs.Export.histogram buf ~name:"adtc_request_latency_seconds"
-        ~help:"Per-request wall-clock latency." m.latency;
-      Obs.Export.histogram buf ~name:"adtc_request_fuel_steps"
-        ~help:"Rewrite steps per fuel-metered request (normalize, prove)."
-        m.fuel_hist);
+  Obs.Export.counter buf ~name:"adtc_requests_total"
+    ~help:"Requests received, malformed lines included."
+    (f m.Metrics.requests);
+  Obs.Export.counter buf ~name:"adtc_requests_kind_total"
+    ~help:"Requests by protocol kind."
+    ~labelled:
+      (List.map
+         (fun (kind, n) -> ([ ("kind", kind) ], f n))
+         (Metrics.by_kind m))
+    0.;
+  Obs.Export.counter buf ~name:"adtc_malformed_requests_total"
+    ~help:"Lines that failed protocol parsing." (f m.Metrics.malformed);
+  Obs.Export.counter buf ~name:"adtc_errors_total"
+    ~help:"Error responses sent." (f m.Metrics.errors);
+  Obs.Export.counter buf ~name:"adtc_fuel_steps_total"
+    ~help:"Rewrite-rule applications across all requests."
+    (f m.Metrics.fuel_spent);
+  Obs.Export.counter buf ~name:"adtc_lint_findings_total"
+    ~help:"Lint findings by ADTxxx rule code, across lint requests."
+    ~labelled:
+      (List.map
+         (fun (code, n) -> ([ ("rule", code) ], f n))
+         m.Metrics.rule_hits)
+    0.;
+  Obs.Export.counter buf ~name:"adtc_testgen_suites_total"
+    ~help:"Conformance suites executed by testgen requests."
+    (f m.Metrics.testgen_suites);
+  Obs.Export.counter buf ~name:"adtc_testgen_failures_total"
+    ~help:"Axioms falsified by testgen suites, by axiom name."
+    ~labelled:
+      (List.map
+         (fun (axiom, n) -> ([ ("axiom", axiom) ], f n))
+         m.Metrics.testgen_failures)
+    0.;
+  Obs.Export.histogram buf ~name:"adtc_request_latency_seconds"
+    ~help:"Per-request wall-clock latency." m.Metrics.latency;
+  Obs.Export.histogram buf ~name:"adtc_request_fuel_steps"
+    ~help:"Rewrite steps per fuel-metered request (normalize, prove)."
+    m.Metrics.fuel_hist;
   let c = cache_totals t in
   Obs.Export.counter buf ~name:"adtc_cache_hits_total"
     ~help:"Normal-form cache hits, summed over specifications." (f c.hits);

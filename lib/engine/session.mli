@@ -2,24 +2,27 @@
 
     A session is what makes the engine better than one-shot CLI calls: the
     specification library is parsed and turned into rewrite systems {e
-    once}, and each specification owns a memoized interpreter whose
-    bounded LRU normal-form cache ({!Adt.Rewrite.Memo}) is shared across
-    every subsequent request — the warm-path payoff measured by benchmark
-    E9. The session also carries the per-request limits and the metrics
+    once}, and each specification owns memoized interpreters whose bounded
+    LRU normal-form caches ({!Adt.Rewrite.Memo}) are shared across every
+    subsequent request — the warm-path payoff measured by benchmark E9.
+    The session also carries the per-request limits and the metrics
     counters.
 
-    A session is shared by every connection thread of the socket server,
-    so its mutable state is mutex-protected: each entry's [lock] guards
-    that specification's memo cache (hold it across any evaluation that
-    reads or fills the cache — {!Dispatch} does), and {!Metrics} carries
-    its own lock. Entries for different specifications evaluate
-    concurrently; the registry itself is immutable after {!create}. *)
+    A session is shared by every connection thread of every domain of the
+    socket server, so its mutable state is striped per domain: each
+    specification entry holds one interpreter slot per domain stripe,
+    forked lazily ({!Adt.Interp.fork}) from a shared prototype so the
+    compiled rewrite system is built once while memo state stays
+    domain-local, and {!Metrics} stripes its counters the same way.
+    Evaluate through {!with_interp}, which picks the calling domain's slot
+    and holds its lock. A single-threaded process only ever materializes
+    slot 0, so it behaves exactly like the pre-striping design (cache
+    capacity included). The registry itself is immutable after
+    {!create}. *)
 
-type entry = {
-  spec : Adt.Spec.t;
-  interp : Adt.Interp.t;
-  lock : Mutex.t;  (** Guards [interp]'s shared memo cache. *)
-}
+type entry
+(** One specification's state: the spec plus its striped interpreter
+    slots. *)
 
 type t
 
@@ -30,12 +33,13 @@ val create :
   ?slowlog_ms:float ->
   ?slowlog_capacity:int ->
   ?tracing:bool ->
+  ?stripes:int ->
   Adt.Spec.t list ->
   t
 (** [fuel] is the per-request step ceiling (default
     {!Adt.Rewrite.default_fuel}); [timeout] the per-request wall-clock
-    budget (default none); [cache_capacity] the per-specification LRU
-    capacity (default {!Adt.Rewrite.Memo.default_capacity}). A later
+    budget (default none); [cache_capacity] the per-slot LRU capacity
+    (default {!Adt.Rewrite.Memo.default_capacity}). A later
     specification with the name of an earlier one replaces it.
 
     [slowlog_ms] switches on the slow-request ring log: requests whose
@@ -45,7 +49,19 @@ val create :
     [slowlog] verb. [tracing] controls whether the dispatcher builds a
     span tree per request; it defaults to whether the slow log is on
     (the log needs span breakdowns), and disabled tracing costs ~nothing
-    (benchmark E11). *)
+    (benchmark E11).
+
+    [stripes] fixes the number of per-domain stripes for both the
+    metrics and the interpreter slots (default: the machine's
+    recommended domain count, at least 8 — see {!Metrics.create}). *)
+
+val entry_spec : entry -> Adt.Spec.t
+
+val with_interp : entry -> (Adt.Interp.t -> 'a) -> 'a
+(** Runs the function on the calling domain's interpreter slot, holding
+    that slot's lock (released on exception): the way every evaluation
+    that reads or fills a memo cache must run. The slot is forked from
+    the entry's prototype on the domain stripe's first use. *)
 
 val find : t -> string -> entry option
 val spec_names : t -> string list
@@ -69,11 +85,13 @@ type cache_totals = {
 }
 
 val cache_totals : t -> cache_totals
-(** Summed over every specification's cache. *)
+(** Summed over every specification's materialized interpreter slots. *)
 
 val prometheus : t -> string
 (** The session's full Prometheus text exposition: request counters (by
     kind), malformed/error totals, latency and fuel histograms
     ([_bucket]/[_sum]/[_count] series), cache hit/miss/eviction and
-    occupancy, and — when enabled — slow-log gauges. Newline-terminated
-    lines; served by the [metrics] verb and [adtc stats --prometheus]. *)
+    occupancy, and — when enabled — slow-log gauges. Counters are the
+    exact merge of every metrics stripe ({!Metrics.snapshot}).
+    Newline-terminated lines; served by the [metrics] verb and
+    [adtc stats --prometheus]. *)

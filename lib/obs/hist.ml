@@ -47,6 +47,15 @@ let cumulative t =
          (b, !acc))
        t.bounds)
 
+let copy t =
+  {
+    bounds = Array.copy t.bounds;
+    counts = Array.copy t.counts;
+    count = t.count;
+    sum = t.sum;
+    max = t.max;
+  }
+
 let merge a b =
   if Array.length a.bounds <> Array.length b.bounds
      || not (Array.for_all2 Float.equal a.bounds b.bounds)

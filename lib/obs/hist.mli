@@ -10,7 +10,8 @@
     ({!Export.histogram}).
 
     A histogram is a plain mutable value with no internal lock: the
-    engine updates it under {!Engine.Metrics.locked}, single-threaded
+    engine keeps one per metrics stripe and updates it under that
+    stripe's lock, merging stripes exactly on scrape; single-threaded
     users need nothing. *)
 
 type t
@@ -41,6 +42,10 @@ val cumulative : t -> (float * int) list
 (** [(upper_bound, observations <= upper_bound)] per bound, in order —
     the [_bucket] series without the trailing [+Inf] entry (which is
     {!count}). *)
+
+val copy : t -> t
+(** An independent snapshot: later observations on either histogram do
+    not affect the other. *)
 
 val merge : t -> t -> t
 (** A fresh histogram combining both operands' observations exactly

@@ -500,13 +500,11 @@ let test_lint_verb_frames_findings () =
           (contains l "ADT002"))
       body
   | [] -> Alcotest.fail "empty reply");
-  let m = Engine.Session.metrics session in
+  let m = Engine.Metrics.snapshot (Engine.Session.metrics session) in
   Alcotest.(check (option int))
     "rule hit counter" (Some 2)
-    (Engine.Metrics.locked m (fun () ->
-         List.assoc_opt "ADT002" (Engine.Metrics.rule_hits m)));
-  Alcotest.(check int) "lint kind counted" 1
-    (Engine.Metrics.locked m (fun () -> m.Engine.Metrics.lint))
+    (List.assoc_opt "ADT002" m.Engine.Metrics.rule_hits);
+  Alcotest.(check int) "lint kind counted" 1 m.Engine.Metrics.lint
 
 let test_lint_verb_unknown_spec () =
   let session = faulty_session () in

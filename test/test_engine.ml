@@ -102,7 +102,7 @@ let test_error_isolation () =
   (* the session is still fully functional *)
   Alcotest.(check string) "still serving" "ok normalize steps=1 true"
     (reply session "normalize Queue IS_EMPTY?(NEW)");
-  let m = Session.metrics session in
+  let m = Metrics.snapshot (Session.metrics session) in
   Alcotest.(check int) "errors counted" 3 m.Metrics.errors;
   Alcotest.(check int) "requests counted" 4 m.Metrics.requests
 
@@ -245,8 +245,7 @@ let test_prove_fuel_clamp () =
     (reply tight goal);
   (* prove charges its rewrite steps to the session metrics like normalize *)
   let spent session =
-    let m = Session.metrics session in
-    Metrics.locked m (fun () -> m.Metrics.fuel_spent)
+    (Metrics.snapshot (Session.metrics session)).Metrics.fuel_spent
   in
   Alcotest.(check bool) "prove charges fuel" true (spent roomy > 0);
   Alcotest.(check bool) "clamped prove still meters" true (spent tight > 0)

@@ -246,9 +246,9 @@ let test_record_kind_total () =
   let m = Metrics.create () in
   (* total: every kind the protocol can name has a counter *)
   List.iter
-    (fun r -> Metrics.locked m (fun () -> Metrics.record_kind m (Protocol.kind_name r)))
+    (fun r -> Metrics.record_kind m (Protocol.kind_name r))
     one_of_each;
-  let by_kind = Metrics.locked m (fun () -> Metrics.by_kind m) in
+  let by_kind = Metrics.by_kind (Metrics.snapshot m) in
   Alcotest.(check int) "by_kind covers every kind" (List.length one_of_each)
     (List.length by_kind);
   List.iter
@@ -260,7 +260,7 @@ let test_record_kind_total () =
         (List.assoc_opt kind by_kind))
     one_of_each;
   (* and nothing else: an unknown kind is a bug, not a silent fold *)
-  match Metrics.locked m (fun () -> Metrics.record_kind m "frobnicate") with
+  match Metrics.record_kind m "frobnicate" with
   | () -> Alcotest.fail "unknown kind accepted"
   | exception Invalid_argument _ -> ()
 
@@ -268,11 +268,10 @@ let test_malformed_counter () =
   let session = queue_session () in
   ignore (reply session "frobnicate Queue NEW");
   ignore (reply session "normalize Queue FRONT(");
-  let m = Session.metrics session in
-  Metrics.locked m (fun () ->
-      Alcotest.(check int) "malformed lines counted" 1 m.Metrics.malformed;
-      Alcotest.(check int) "malformed also errors" 2 m.Metrics.errors;
-      Alcotest.(check int) "malformed also requests" 2 m.Metrics.requests);
+  let m = Metrics.snapshot (Session.metrics session) in
+  Alcotest.(check int) "malformed lines counted" 1 m.Metrics.malformed;
+  Alcotest.(check int) "malformed also errors" 2 m.Metrics.errors;
+  Alcotest.(check int) "malformed also requests" 2 m.Metrics.requests;
   Alcotest.(check bool) "stats line reports malformed" true
     (contains (reply session "stats") "malformed=1")
 
@@ -335,7 +334,7 @@ let test_trace_steps_match_fuel () =
   | _ -> Alcotest.fail "expected a reply");
   let r = Option.get result in
   let m = Session.metrics session in
-  let fuel = Metrics.locked m (fun () -> m.Metrics.fuel_spent) in
+  let fuel = (Metrics.snapshot m).Metrics.fuel_spent in
   Alcotest.(check int) "trace step total is the stats fuel counter" fuel
     r.Obs.Trace.total_steps;
   Alcotest.(check int) "which is the response's step count" 5
@@ -348,7 +347,7 @@ let test_trace_steps_match_fuel () =
       "prove Queue q:Queue,i:Item IS_EMPTY?(REMOVE(ADD(q, i))) == IS_EMPTY?(q)"
   in
   let p = Option.get proved in
-  let fuel' = Metrics.locked m (fun () -> m.Metrics.fuel_spent) in
+  let fuel' = (Metrics.snapshot m).Metrics.fuel_spent in
   Alcotest.(check int) "prove trace steps are its fuel charge"
     (fuel' - fuel) p.Obs.Trace.total_steps;
   Alcotest.(check bool) "the proof search did rewrite" true

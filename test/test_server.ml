@@ -15,14 +15,22 @@ let socket_path () =
     (Filename.get_temp_dir_name ())
     (Fmt.str "adtc-test-%d-%d.sock" (Unix.getpid ()) !socket_counter)
 
-let start_server ?(max_clients = 8) session =
+(* CI runs the whole suite at 1 and N domains (ADTC_TEST_DOMAINS): every
+   server test below exercises the domain pool without a separate matrix
+   of tests *)
+let default_domains =
+  match Sys.getenv_opt "ADTC_TEST_DOMAINS" with
+  | Some s -> ( try max 1 (int_of_string (String.trim s)) with _ -> 1)
+  | None -> 1
+
+let start_server ?(max_clients = 8) ?(domains = default_domains) session =
   let path = socket_path () in
   let stop = ref false in
   let thread =
     Thread.create
       (fun () ->
-        Server.serve_socket ~max_clients ~handle_signals:false ~stop session
-          ~path)
+        Server.serve_socket ~max_clients ~domains ~handle_signals:false ~stop
+          session ~path)
       ()
   in
   (path, stop, thread)
@@ -140,8 +148,12 @@ let test_busy_backpressure () =
     end
     else r
   in
-  Alcotest.(check string) "warm cache across connections"
-    "ok normalize steps=0 true" (served ());
+  (* interpreter memos are per-domain slots: a warm hit (steps=0) is only
+     guaranteed when one domain serves both connections *)
+  if default_domains = 1 then
+    Alcotest.(check string) "warm cache across connections"
+      "ok normalize steps=0 true" (served ())
+  else check_prefix "served across connections" "ok normalize" (served ());
   stop := true;
   Thread.join server
 
@@ -192,6 +204,213 @@ let test_concurrent_tracing () =
   Alcotest.(check int) "concurrent trace ids are distinct" announced
     (List.length (List.sort_uniq String.compare trace_ids))
 
+(* Regression (PR 7): send_line only caught EPIPE/ECONNRESET, so an
+   EINTR/EAGAIN while refusing a busy client propagated into the accept
+   loop and killed the server. It must swallow every write failure and
+   retry EINTR. *)
+let test_send_line_errors () =
+  (* serve_socket installs this process-wide; this test may run first *)
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  (* a vanished client: the peer is closed, the write raises EPIPE or
+     ECONNRESET — send_line must return, not raise *)
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.close b;
+  Server.send_line a "error busy server is at capacity";
+  Server.send_line a "error busy server is at capacity";
+  Unix.close a;
+  (* an unwritable client: the send buffer is full and the fd non-blocking,
+     the write raises EAGAIN — dropped client, not a dead server *)
+  let c, d = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.set_nonblock c;
+  let junk = Bytes.make 65536 'x' in
+  (try
+     while true do
+       ignore (Unix.write c junk 0 (Bytes.length junk))
+     done
+   with Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ());
+  Server.send_line c "error busy server is at capacity";
+  Unix.close c;
+  Unix.close d
+
+(* Regression (PR 7): the busy-refusal write happens on the accept path;
+   a signal storm landing EINTR mid-refusal must not kill the server. *)
+let test_busy_refusal_under_signal_pressure () =
+  let previous = Sys.signal Sys.sigusr1 (Sys.Signal_handle (fun _ -> ())) in
+  Fun.protect ~finally:(fun () -> Sys.set_signal Sys.sigusr1 previous)
+  @@ fun () ->
+  let session = queue_session () in
+  let path, stop, server = start_server ~max_clients:1 session in
+  let a = connect path in
+  send a "normalize Queue IS_EMPTY?(NEW)";
+  check_prefix "slot holder served" "ok normalize" (recv a);
+  let pid = Unix.getpid () in
+  let storming = Atomic.make true in
+  let pounder =
+    Thread.create
+      (fun () ->
+        while Atomic.get storming do
+          Unix.kill pid Sys.sigusr1;
+          Thread.delay 0.0005
+        done)
+      ()
+  in
+  (* every refusal happens while signals fly; each must be a clean busy
+     line + close, and the server must survive all of them *)
+  for i = 1 to 30 do
+    let b = connect path in
+    (match recv b with
+    | r -> check_prefix (Fmt.str "refusal %d" i) "error busy" r
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+    close b
+  done;
+  Atomic.set storming false;
+  Thread.join pounder;
+  (* the accept loop is alive: the slot frees and a new client is served *)
+  send a "quit";
+  Alcotest.(check string) "quit" "ok bye" (recv a);
+  close a;
+  let deadline = Unix.gettimeofday () +. 10. in
+  let rec served () =
+    let c = connect path in
+    send c "normalize Queue IS_EMPTY?(NEW)";
+    let r = recv c in
+    close c;
+    if String.length r >= 10 && String.sub r 0 10 = "error busy" then begin
+      if Unix.gettimeofday () > deadline then
+        Alcotest.fail "server died under signal pressure";
+      Thread.delay 0.01;
+      served ()
+    end
+    else r
+  in
+  check_prefix "served after the storm" "ok normalize" (served ());
+  stop := true;
+  Thread.join server
+
+(* Regression (PR 7): workers closed the client fd before retiring it from
+   the registry, so a drain racing a disconnect could shutdown a recycled
+   descriptor owned by a different connection. Under load, stop mid-traffic:
+   every client must end with a complete answer or a clean EOF, and the
+   server must drain and join. *)
+let test_drain_retire_race_under_load () =
+  let session = queue_session () in
+  let path, stop, server = start_server ~max_clients:16 session in
+  let n = 8 in
+  let anomalies = Array.make n "" in
+  let clients =
+    Array.init n (fun i ->
+        Thread.create
+          (fun () ->
+            (* churn: short-lived connections so fd numbers recycle while
+               drain may be walking the registry *)
+            try
+              while not !stop do
+                let c = connect path in
+                (match send c "normalize Queue FRONT(ADD(NEW, ITEM1))" with
+                | () -> (
+                  match recv c with
+                  | "<eof>" -> () (* drained before the answer was read *)
+                  | r
+                    when String.length r >= 10
+                         && String.equal (String.sub r 0 10) "error busy" ->
+                    (* closed connections linger in the registry until their
+                       worker retires them, so churn can transiently hit the
+                       cap: busy is backpressure, not an anomaly *)
+                    ()
+                  | r -> check_prefix "mid-load answer" "ok normalize" r
+                  | exception Unix.Unix_error (Unix.EINTR, _, _) -> ())
+                | exception Sys_error _ ->
+                  () (* drain closed the connection under our write *));
+                close c
+              done
+            with
+            | Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _) ->
+              () (* the listener is already gone: clean shutdown *)
+            | e -> anomalies.(i) <- Printexc.to_string e)
+          ())
+  in
+  Thread.delay 0.3;
+  stop := true;
+  (* the server must drain every in-flight worker and join its domains *)
+  Thread.join server;
+  Array.iter Thread.join clients;
+  Array.iteri
+    (fun i a ->
+      if not (String.equal a "") then
+        Alcotest.failf "client %d saw an anomaly during drain: %s" i a)
+    anomalies;
+  Alcotest.(check bool) "socket removed after drain" false
+    (Sys.file_exists path)
+
+(* The merge-law acceptance: after a concurrent multi-domain run, the
+   scraped Prometheus counters equal the exact sum of what the clients
+   did — nothing lost to striping, nothing double-counted. *)
+let test_multi_domain_exact_metrics () =
+  let session = Session.create ~stripes:4 [ Queue_spec.spec ] in
+  let path, stop, server = start_server ~domains:4 ~max_clients:32 session in
+  let k = 6 and per = 25 in
+  let workers =
+    List.init k (fun i ->
+        Thread.create
+          (fun () ->
+            let c = connect path in
+            for _ = 1 to per do
+              send c
+                (Fmt.str "normalize Queue FRONT(ADD(NEW, ITEM%d))"
+                   ((i mod 3) + 1));
+              check_prefix "answered" "ok normalize" (recv c)
+            done;
+            close c)
+          ())
+  in
+  List.iter Thread.join workers;
+  let scraper = connect path in
+  send scraper "metrics";
+  let header = recv scraper in
+  let lines =
+    try Scanf.sscanf header "ok metrics lines=%d" Fun.id
+    with Scanf.Scan_failure _ | End_of_file ->
+      Alcotest.failf "unexpected metrics header %S" header
+  in
+  let body = List.init lines (fun _ -> recv scraper) in
+  close scraper;
+  stop := true;
+  Thread.join server;
+  let value_of name =
+    let prefix = name ^ " " in
+    match
+      List.find_opt
+        (fun l ->
+          String.length l > String.length prefix
+          && String.equal (String.sub l 0 (String.length prefix)) prefix)
+        body
+    with
+    | None -> Alcotest.failf "series %s not scraped" name
+    | Some l ->
+      float_of_string
+        (String.sub l (String.length prefix)
+           (String.length l - String.length prefix))
+  in
+  (* k*per normalizes + the metrics request itself, counted before its
+     own snapshot *)
+  Alcotest.(check (float 0.0))
+    "requests_total is the exact sum across stripes"
+    (float_of_int ((k * per) + 1))
+    (value_of "adtc_requests_total");
+  Alcotest.(check (float 0.0))
+    "per-kind normalize counter is exact"
+    (float_of_int (k * per))
+    (value_of "adtc_requests_kind_total{kind=\"normalize\"}");
+  (* the scrape's own latency is observed only after its response was
+     rendered, so the histogram holds exactly the k*per normalizes *)
+  Alcotest.(check (float 0.0))
+    "latency histogram lost no observation"
+    (float_of_int (k * per))
+    (value_of "adtc_request_latency_seconds_count");
+  Alcotest.(check (float 0.0))
+    "no errors under concurrency" 0.
+    (value_of "adtc_errors_total")
+
 let test_refuses_non_socket () =
   let path = Filename.temp_file "adtc-not-a-socket" ".txt" in
   let oc = open_out path in
@@ -219,5 +438,12 @@ let suite =
     Helpers.case "busy backpressure beyond max-clients" test_busy_backpressure;
     Helpers.case "concurrent tracing: distinct ids, nested spans in the slowlog"
       test_concurrent_tracing;
+    Helpers.case "send_line swallows EPIPE/EAGAIN and survives" test_send_line_errors;
+    Helpers.case "busy refusal survives signal pressure"
+      test_busy_refusal_under_signal_pressure;
+    Helpers.case "drain vs retire: no fd race under churn"
+      test_drain_retire_race_under_load;
+    Helpers.case "multi-domain metrics merge exactly on scrape"
+      test_multi_domain_exact_metrics;
     Helpers.case "refuses to unlink a non-socket path" test_refuses_non_socket;
   ]

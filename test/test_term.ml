@@ -152,6 +152,78 @@ let test_ids_stable_under_substitution () =
   Alcotest.(check bool) "untouched branch keeps its id" true
     (Option.get (Term.subterm_at t' [ 1 ]) == right)
 
+(* Regression (PR 7): intern held a raw Mutex.lock across the weak-table
+   probe, so any exception inside the critical section left the lock held
+   and deadlocked every later construction hashing into the same shard.
+   With Mutex.protect, an injected failure propagates — and interning the
+   very same term afterwards still works. *)
+let test_intern_exception_safety () =
+  let fired = ref 0 in
+  Term.intern_fault_hook :=
+    Some
+      (fun () ->
+        incr fired;
+        failwith "injected intern fault");
+  Fun.protect ~finally:(fun () -> Term.intern_fault_hook := None)
+  @@ fun () ->
+  (match Term.var "intern_fault_probe" nat with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "the injected fault did not fire");
+  Alcotest.(check int) "hook fired inside the critical section" 1 !fired;
+  Term.intern_fault_hook := None;
+  (* the shard lock was released: this interns instead of deadlocking *)
+  let t = Term.var "intern_fault_probe" nat in
+  Alcotest.(check bool) "same shard interns after the fault" true
+    (t == Term.var "intern_fault_probe" nat)
+
+(* Domains hammering overlapping constructions must agree on identity:
+   equal terms are pointer-equal across domains (they met in the same
+   shard), distinct terms have distinct ids (one atomic counter). *)
+let test_multi_domain_interning () =
+  let n_domains = 4 and depth = 40 in
+  let build d =
+    (* shared: church numerals every domain builds; private: a variable
+       spine only this domain builds *)
+    let shared = Array.init depth church in
+    let private_ =
+      Array.init depth (fun i -> v (Fmt.str "dom%d_x%d" d i))
+    in
+    (shared, private_)
+  in
+  let results =
+    Array.init n_domains (fun d -> Domain.spawn (fun () -> build d))
+    |> Array.map Domain.join
+  in
+  (* pointer equality across domains on the shared terms *)
+  let shared0, _ = results.(0) in
+  Array.iteri
+    (fun d (shared, _) ->
+      Array.iteri
+        (fun i t ->
+          Alcotest.(check bool)
+            (Fmt.str "church %d from domain %d is the domain-0 node" i d)
+            true (t == shared0.(i)))
+        shared)
+    results;
+  (* id uniqueness across every distinct term built by any domain *)
+  let all_ids =
+    Array.to_list results
+    |> List.concat_map (fun (shared, private_) ->
+           List.map Term.id
+             (List.sort_uniq Term.compare
+                (Array.to_list shared @ Array.to_list private_)))
+  in
+  let distinct_terms =
+    (* shared churches counted once, private spines once per domain *)
+    depth + (n_domains * depth)
+  in
+  Alcotest.(check int) "every distinct term has a distinct id"
+    distinct_terms
+    (List.length (List.sort_uniq Int.compare all_ids));
+  let _, total = Term.intern_stats () in
+  Alcotest.(check bool) "the id counter covers every id" true
+    (List.for_all (fun id -> id >= 1 && id <= total) all_ids)
+
 let test_pp () =
   Alcotest.(check string) "const" "z" (Term.to_string z);
   Alcotest.(check string) "nested" "plus(s(z), x)"
@@ -178,5 +250,8 @@ let suite =
     case "deep signature check" test_check;
     case "hash-consing invariants" test_hash_consing;
     case "ids are stable under substitution" test_ids_stable_under_substitution;
+    case "interning is exception safe (injected fault)" test_intern_exception_safety;
+    case "multi-domain interning: shared pointers, unique ids"
+      test_multi_domain_interning;
     case "printing" test_pp;
   ]
