@@ -876,10 +876,227 @@ let e14 () =
     (List.length reports);
   if killed < List.length reports then failwith "e14: surviving mutants"
 
+(* {1 E16 - persist + docsession: warm restarts and O(edit) sessions} *)
+
+(* Two halves of the same claim — results keyed by content digest
+   survive both a process restart and an edit. The restart half replays
+   the E13 retrieve workload (the heaviest rewriting in the repo) into a
+   store-backed session, then "restarts": a second session over the same
+   directory must answer every query from disk, byte-identically modulo
+   the steps= field (a persistent hit reports steps=0 by convention).
+   The edit half opens a Queue document, re-labels it (nothing may be
+   re-checked), then changes one FRONT axiom (exactly the FRONT cone may
+   be re-checked). *)
+
+type e16_report = {
+  e16_cold_seconds : float;
+  e16_warm_seconds : float;
+  e16_hit_rate : float;
+  e16_open_checked : int;
+  e16_edit_checked : int;
+  e16_edit_reused : int;
+  e16_nf_identical : bool;
+}
+
+let e16_report : e16_report option ref = ref None
+
+let e16_requests =
+  let name = Spec.name Refinement.combined in
+  List.concat_map
+    (fun depth ->
+      List.map
+        (fun q -> Fmt.str "normalize %s %s" name (Term.to_string q))
+        (e13_queries depth))
+    [ 1; 2; 3; 4; 5 ]
+
+(* a persistent hit answers steps=0 where the cold run reported real
+   work; mask the field so the comparison is about normal forms *)
+let e16_mask line =
+  String.concat " "
+    (List.map
+       (fun w ->
+         if String.length w >= 6 && String.sub w 0 6 = "steps=" then "steps=_"
+         else w)
+       (String.split_on_char ' ' line))
+
+let e16_replay session =
+  List.map
+    (fun line ->
+      match Engine.Dispatch.handle_line session line with
+      | Engine.Dispatch.Reply r -> e16_mask r
+      | Engine.Dispatch.Silent | Engine.Dispatch.Closed -> "")
+    e16_requests
+
+let e16_queue_source axiom4 =
+  Fmt.str
+    {|spec Item
+  sort Item
+  ops
+    ITEM1 : -> Item
+    ITEM2 : -> Item
+    ITEM3 : -> Item
+  constructors ITEM1 ITEM2 ITEM3
+end
+
+spec Queue
+  uses Item
+  sort Queue
+  ops
+    NEW : -> Queue
+    ADD : Queue Item -> Queue
+    FRONT : Queue -> Item
+    REMOVE : Queue -> Queue
+    IS_EMPTY? : Queue -> Bool
+  constructors NEW ADD
+  vars
+    q : Queue
+    i : Item
+  axioms
+    [1] IS_EMPTY?(NEW) = true
+    [2] IS_EMPTY?(ADD(q, i)) = false
+    [3] FRONT(NEW) = error
+    [4] %s
+    [5] REMOVE(NEW) = error
+    [6] REMOVE(ADD(q, i)) = if IS_EMPTY?(q) then NEW else ADD(REMOVE(q), i)
+end|}
+    axiom4
+
+let e16 () =
+  Fmt.pr "@.=== E16: on-disk store warm restart + O(edit) sessions ===@.";
+  Fmt.pr
+    "(cold = compute the E13 retrieve workload and record it; warm = a fresh \
+     session@.";
+  Fmt.pr
+    " over the same cache directory, every normal form answered from disk; \
+     then a@.";
+  Fmt.pr
+    " document session where a one-axiom edit re-checks only its \
+     invalidation cone)@.";
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Fmt.str "adtc-bench-e16-%d" (Unix.getpid ()))
+  in
+  let rm_dir () =
+    if Sys.file_exists dir then begin
+      Array.iter
+        (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+        (Sys.readdir dir);
+      try Unix.rmdir dir with Unix.Unix_error _ -> ()
+    end
+  in
+  rm_dir ();
+  Fun.protect ~finally:rm_dir @@ fun () ->
+  (* cold process: compute, record, flush, exit *)
+  let store1 = Persist.Store.open_ dir in
+  let cold = Engine.Session.create ~store:store1 [ Refinement.combined ] in
+  let cold_replies, cold_seconds = seconds (fun () -> e16_replay cold) in
+  Engine.Session.persist_flush cold;
+  Persist.Store.close store1;
+  (* warm process: same directory, nothing computed yet *)
+  let store2 = Persist.Store.open_ dir in
+  let warm = Engine.Session.create ~store:store2 [ Refinement.combined ] in
+  let warm_replies, warm_seconds = seconds (fun () -> e16_replay warm) in
+  let hits, misses =
+    match Engine.Session.persist_totals warm with
+    | Some t -> (t.Engine.Session.hits, t.Engine.Session.misses)
+    | None -> (0, 0)
+  in
+  Persist.Store.close store2;
+  let hit_rate =
+    if hits + misses = 0 then 0.
+    else float_of_int hits /. float_of_int (hits + misses)
+  in
+  let nf_identical = cold_replies = warm_replies in
+  let n = List.length e16_requests in
+  Fmt.pr "  %d requests: cold %.3fs, warm %.3fs (%.2fx), hit-rate %.0f%%@." n
+    cold_seconds warm_seconds
+    (if warm_seconds > 0. then cold_seconds /. warm_seconds else 0.)
+    (100. *. hit_rate);
+  Fmt.pr "  normal forms identical modulo steps=: %b@." nf_identical;
+  json_rows :=
+    !json_rows
+    @ [
+        ("e16/restart/cold", cold_seconds *. 1e9 /. float_of_int n);
+        ("e16/restart/warm", warm_seconds *. 1e9 /. float_of_int n);
+      ];
+  (* the session half *)
+  let mgr = Docsession.Manager.create () in
+  let doc_exn = function
+    | Ok (doc : Docsession.Manager.doc) -> doc
+    | Error e -> failwith (Fmt.str "e16 session: %s" e)
+  in
+  let base =
+    e16_queue_source
+      "FRONT(ADD(q, i)) = if IS_EMPTY?(q) then i else FRONT(q)"
+  in
+  let relabelled =
+    (* same equations, different labels: the empty cone *)
+    String.concat ""
+      (List.map
+         (fun line ->
+           String.concat "0]" (String.split_on_char ']' line) ^ "\n")
+         (String.split_on_char '\n' base))
+  in
+  let edited = e16_queue_source "FRONT(ADD(q, i)) = i" in
+  let v1 = doc_exn (Docsession.Manager.open_doc mgr ~name:"queue" ~source:base) in
+  let v2 =
+    doc_exn (Docsession.Manager.edit mgr ~name:"queue" ~source:relabelled)
+  in
+  let v3 = doc_exn (Docsession.Manager.edit mgr ~name:"queue" ~source:edited) in
+  let s1 = v1.Docsession.Manager.summary
+  and s2 = v2.Docsession.Manager.summary
+  and s3 = v3.Docsession.Manager.summary in
+  Fmt.pr "  session-open: %d obligations checked@." s1.Docsession.Manager.checked;
+  Fmt.pr "  relabel edit: %d checked, %d reused@." s2.Docsession.Manager.checked
+    s2.Docsession.Manager.reused;
+  Fmt.pr "  one-axiom edit: %d checked, %d reused (cone=%d of %d axioms)@."
+    s3.Docsession.Manager.checked s3.Docsession.Manager.reused
+    s3.Docsession.Manager.cone s3.Docsession.Manager.axioms;
+  e16_report :=
+    Some
+      {
+        e16_cold_seconds = cold_seconds;
+        e16_warm_seconds = warm_seconds;
+        e16_hit_rate = hit_rate;
+        e16_open_checked = s1.Docsession.Manager.checked;
+        e16_edit_checked = s3.Docsession.Manager.checked;
+        e16_edit_reused = s3.Docsession.Manager.reused;
+        e16_nf_identical = nf_identical;
+      };
+  (* the acceptance gates, enforced where CI can see them *)
+  if not nf_identical then failwith "e16: warm normal forms differ from cold";
+  if hit_rate < 0.9 then
+    failwith (Fmt.str "e16: warm hit-rate %.2f below 0.9" hit_rate);
+  if s2.Docsession.Manager.checked <> 0 then
+    failwith "e16: a relabelling re-checked obligations";
+  if s3.Docsession.Manager.checked >= s1.Docsession.Manager.checked then
+    failwith "e16: a one-axiom edit did not re-check strictly fewer obligations"
+
+(* the restart artifact: one object, for tracking across revisions *)
+let write_e16 path =
+  match !e16_report with
+  | None -> ()
+  | Some r ->
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        Printf.fprintf oc
+          "{\"cold_seconds\": %.6f, \"warm_seconds\": %.6f, \"hit_rate\": \
+           %.4f,\n\
+          \ \"open_checked\": %d, \"edit_checked\": %d, \"edit_reused\": %d,\n\
+          \ \"nf_identical\": %b}\n"
+          r.e16_cold_seconds r.e16_warm_seconds r.e16_hit_rate
+          r.e16_open_checked r.e16_edit_checked r.e16_edit_reused
+          r.e16_nf_identical);
+    Fmt.pr "wrote the e16 restart report to %s@." path
+
 let () =
   Fmt.pr "Reproduction benches for Guttag, 'Abstract Data Types and the Development of Data Structures' (CACM 1977)@.";
   let json_path = ref None in
   let saturation_path = ref None in
+  let e16_path = ref None in
   let rec parse_args = function
     | [] -> ()
     | "--json" :: path :: rest ->
@@ -890,6 +1107,10 @@ let () =
       saturation_path := Some path;
       parse_args rest
     | "--saturation" :: [] -> failwith "--saturation requires a file argument"
+    | "--e16" :: path :: rest ->
+      e16_path := Some path;
+      parse_args rest
+    | "--e16" :: [] -> failwith "--e16 requires a file argument"
     | arg :: _ -> failwith (Fmt.str "unknown argument %s" arg)
   in
   parse_args (List.tl (Array.to_list Sys.argv));
@@ -908,6 +1129,8 @@ let () =
   e13 ();
   e14 ();
   e15 ();
+  e16 ();
   Option.iter write_json !json_path;
   Option.iter write_saturation !saturation_path;
+  Option.iter write_e16 !e16_path;
   Fmt.pr "@.done.@."

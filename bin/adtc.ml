@@ -713,6 +713,206 @@ let verify_cmd =
   in
   Cmd.v (Cmd.info "verify-symboltable" ~doc) Term.(const run $ proofs_flag)
 
+let cache_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cache-dir" ] ~docv:"DIR"
+        ~doc:
+          "Persistent on-disk result store: normal forms, check/lint \
+           payloads and testgen verdicts are keyed by specification \
+           content digest, loaded when the session starts (the warm \
+           restart) and written back as the session runs. A second live \
+           session on the same directory falls back to read-only.")
+
+let cache_max_bytes_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "cache-max-bytes" ] ~docv:"BYTES"
+        ~doc:
+          "Bound the cache directory: after each write, the oldest entry \
+           files are deleted until the total size fits $(docv).")
+
+let open_store ?max_bytes dir =
+  match Persist.Store.open_ ?max_bytes dir with
+  | store -> store
+  | exception Failure message ->
+    Fmt.epr "adtc: %s@." message;
+    exit 2
+
+let hash_cmd =
+  let json_flag =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "One JSON object per specification, with the signature digest \
+             and per-axiom equation digests.")
+  in
+  let run libs file json =
+    let specs = load_specs ~lib:(load_library libs) file in
+    List.iter
+      (fun spec ->
+        if json then
+          Fmt.pr "{\"spec\":%s,\"digest\":%s,\"signature\":%s,\"axioms\":[%s]}@."
+            (json_str (Adt.Spec.name spec))
+            (json_str (Adt.Spec_digest.spec spec))
+            (json_str (Adt.Spec_digest.signature_digest spec))
+            (String.concat ","
+               (List.map
+                  (fun (name, digest) ->
+                    Fmt.str "{\"axiom\":%s,\"digest\":%s}" (json_str name)
+                      (json_str digest))
+                  (Adt.Spec_digest.axioms spec)))
+        else Fmt.pr "%s  %s@." (Adt.Spec_digest.spec spec) (Adt.Spec.name spec))
+      specs;
+    0
+  in
+  let doc =
+    "Print each specification's canonical content digest — the key the \
+     persistent result store files entries under. The digest covers the \
+     elaborated signature and axioms, so whitespace, comments and axiom \
+     names (or an equivalent $(b,uses) refactoring) do not change it, \
+     while any semantic edit does."
+  in
+  Cmd.v (Cmd.info "hash" ~doc) Term.(const run $ lib_arg $ file_arg $ json_flag)
+
+let cache_cmd =
+  let action_arg =
+    Arg.(
+      required
+      & pos 0
+          (some (enum [ ("stats", `Stats); ("gc", `Gc); ("clear", `Clear) ]))
+          None
+      & info [] ~docv:"ACTION"
+          ~doc:
+            "$(b,stats) reports entry count and bytes; $(b,gc) deletes \
+             oldest entries until the store fits $(b,--cache-max-bytes); \
+             $(b,clear) deletes every entry.")
+  in
+  let dir_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "cache-dir" ] ~docv:"DIR" ~doc:"The store directory.")
+  in
+  let run action dir max_bytes =
+    let store = open_store ?max_bytes dir in
+    Fun.protect ~finally:(fun () -> Persist.Store.close store) @@ fun () ->
+    match action with
+    | `Stats ->
+      let s = Persist.Store.stats store in
+      Fmt.pr "dir=%s files=%d bytes=%d corrupt=%d mode=%s@."
+        (Persist.Store.dir store) s.Persist.Store.files s.Persist.Store.bytes
+        (Persist.Store.corrupt_count store)
+        (match Persist.Store.mode store with
+        | Persist.Store.Read_write -> "read-write"
+        | Persist.Store.Read_only -> "read-only");
+      0
+    | `Gc -> (
+      match max_bytes with
+      | None ->
+        Fmt.epr "adtc cache gc: --cache-max-bytes is required@.";
+        Cmd.Exit.cli_error
+      | Some _ ->
+        let removed = Persist.Store.gc store in
+        let s = Persist.Store.stats store in
+        Fmt.pr "removed=%d files=%d bytes=%d@." removed s.Persist.Store.files
+          s.Persist.Store.bytes;
+        0)
+    | `Clear ->
+      let removed = Persist.Store.clear store in
+      Fmt.pr "removed=%d@." removed;
+      0
+  in
+  let doc =
+    "Administer a persistent result store directory ($(b,--cache-dir)): \
+     report its size, garbage-collect it down to a byte bound, or empty \
+     it. Entries are self-validating, so deleting any of them is always \
+     safe — the next session just recomputes."
+  in
+  Cmd.v
+    (Cmd.info "cache" ~doc)
+    Term.(const run $ action_arg $ dir_arg $ cache_max_bytes_arg)
+
+let session_cmd =
+  let edits_arg =
+    Arg.(
+      value & opt_all file []
+      & info [ "edit" ] ~docv:"FILE"
+          ~doc:
+            "Apply $(docv)'s source as the next version of the document; \
+             repeatable, applied in order.")
+  in
+  let obligations_flag =
+    Arg.(
+      value & flag
+      & info [ "obligations" ]
+          ~doc:"Print one verdict line per axiom obligation after each step.")
+  in
+  let run libs file edits obligations fuel =
+    let lib = load_library libs in
+    let env = Adt.Library.to_env lib in
+    let mgr = Docsession.Manager.create ~env ?fuel () in
+    let print_doc verb (doc : Docsession.Manager.doc) =
+      let s = doc.Docsession.Manager.summary in
+      Fmt.pr
+        "%s %s version=%d axioms=%d sig_changed=%b changed=%d cone=%d \
+         checked=%d reused=%d digest=%s@."
+        verb doc.Docsession.Manager.name s.Docsession.Manager.version
+        s.Docsession.Manager.axioms s.Docsession.Manager.sig_changed
+        s.Docsession.Manager.changed s.Docsession.Manager.cone
+        s.Docsession.Manager.checked s.Docsession.Manager.reused
+        doc.Docsession.Manager.digest;
+      if obligations then
+        List.iter
+          (fun (o : Docsession.Manager.oblig) ->
+            Fmt.pr "  axiom %s status=%s steps=%d findings=%d source=%s@."
+              (if String.equal o.Docsession.Manager.axiom_name "" then "-"
+               else o.Docsession.Manager.axiom_name)
+              (Docsession.Manager.status_name o.Docsession.Manager.status)
+              o.Docsession.Manager.steps o.Docsession.Manager.findings
+              (if o.Docsession.Manager.reused then "reused" else "checked"))
+          doc.Docsession.Manager.obligations
+    in
+    let source = read_file file in
+    match Adt.Parser.parse_spec ~env source with
+    | Error e ->
+      Fmt.epr "%s:%a@." file Adt.Parser.pp_error e;
+      2
+    | Ok spec -> (
+      let name = Adt.Spec.name spec in
+      match Docsession.Manager.open_doc mgr ~name ~source with
+      | Error e ->
+        Fmt.epr "adtc session: %s@." e;
+        2
+      | Ok doc ->
+        print_doc "open" doc;
+        let rec apply = function
+          | [] -> 0
+          | edit :: rest -> (
+            match Docsession.Manager.edit mgr ~name ~source:(read_file edit) with
+            | Error e ->
+              Fmt.epr "adtc session (%s): %s@." edit e;
+              1
+            | Ok doc ->
+              print_doc "edit" doc;
+              apply rest)
+        in
+        apply edits)
+  in
+  let doc =
+    "Replay a document session offline: open the specification, then apply \
+     each $(b,--edit) in order, printing how much of the obligation set \
+     each edit actually re-checked — the O(edit) incremental story of the \
+     engine's $(b,session-open)/$(b,session-edit) verbs, without a server."
+  in
+  Cmd.v
+    (Cmd.info "session" ~doc)
+    Term.(
+      const run $ lib_arg $ file_arg $ edits_arg $ obligations_flag $ fuel_opt)
+
 (* {1 The evaluation engine: serve and batch} *)
 
 let spec_files_arg =
@@ -768,11 +968,15 @@ let slowlog_capacity_arg =
           "Ring capacity of the slow-request log; the oldest entry is \
            overwritten first.")
 
-let make_session ?tracing ?slowlog_ms ?slowlog_capacity libs files ~fuel
-    ~timeout ~cache_capacity =
+let make_session ?tracing ?slowlog_ms ?slowlog_capacity ?cache_dir
+    ?cache_max_bytes libs files ~fuel ~timeout ~cache_capacity =
   let lib = load_library (libs @ files) in
+  let store =
+    Option.map (fun dir -> open_store ?max_bytes:cache_max_bytes dir) cache_dir
+  in
   Engine.Session.create ?fuel ?timeout ?cache_capacity ?slowlog_ms
-    ?slowlog_capacity ?tracing
+    ?slowlog_capacity ?tracing ?store
+    ~env:(Adt.Library.to_env lib)
     (Adt.Library.specs lib)
 
 let serve_cmd =
@@ -809,10 +1013,10 @@ let serve_cmd =
              meaningful with $(b,--socket)).")
   in
   let run libs files fuel timeout cache_capacity slowlog_ms slowlog_capacity
-      socket max_clients domains =
+      cache_dir cache_max_bytes socket max_clients domains =
     let session =
-      make_session ?slowlog_ms ?slowlog_capacity libs files ~fuel ~timeout
-        ~cache_capacity
+      make_session ?slowlog_ms ?slowlog_capacity ?cache_dir ?cache_max_bytes
+        libs files ~fuel ~timeout ~cache_capacity
     in
     match socket with
     | Some path -> (
@@ -843,7 +1047,8 @@ let serve_cmd =
     Term.(
       const run $ lib_arg $ spec_files_arg $ engine_fuel_arg $ timeout_arg
       $ cache_capacity_arg $ slowlog_ms_arg $ slowlog_capacity_arg
-      $ socket_arg $ max_clients_arg $ domains_arg)
+      $ cache_dir_arg $ cache_max_bytes_arg $ socket_arg $ max_clients_arg
+      $ domains_arg)
 
 let batch_cmd =
   let requests_arg =
@@ -853,10 +1058,10 @@ let batch_cmd =
           ~doc:"Request script to replay; $(b,-) (the default) is stdin.")
   in
   let run libs files fuel timeout cache_capacity slowlog_ms slowlog_capacity
-      requests =
+      cache_dir cache_max_bytes requests =
     let session =
-      make_session ?slowlog_ms ?slowlog_capacity libs files ~fuel ~timeout
-        ~cache_capacity
+      make_session ?slowlog_ms ?slowlog_capacity ?cache_dir ?cache_max_bytes
+        libs files ~fuel ~timeout ~cache_capacity
     in
     let ic = if String.equal requests "-" then stdin else open_in requests in
     Fun.protect
@@ -873,7 +1078,7 @@ let batch_cmd =
     Term.(
       const run $ lib_arg $ spec_files_arg $ engine_fuel_arg $ timeout_arg
       $ cache_capacity_arg $ slowlog_ms_arg $ slowlog_capacity_arg
-      $ requests_arg)
+      $ cache_dir_arg $ cache_max_bytes_arg $ requests_arg)
 
 let replay_requests session path =
   let ic = open_in path in
@@ -948,12 +1153,14 @@ let engine_stats_cmd =
              the report covers real traffic rather than an idle session.")
   in
   let run libs files fuel timeout cache_capacity slowlog_ms slowlog_capacity
-      requests prometheus =
+      cache_dir cache_max_bytes requests prometheus =
     let session =
-      make_session ?slowlog_ms ?slowlog_capacity libs files ~fuel ~timeout
-        ~cache_capacity
+      make_session ?slowlog_ms ?slowlog_capacity ?cache_dir ?cache_max_bytes
+        libs files ~fuel ~timeout ~cache_capacity
     in
     Option.iter (replay_requests session) requests;
+    (* stats is often the whole process: make the replay's results durable *)
+    Engine.Session.persist_flush session;
     if prometheus then begin
       print_string (Engine.Session.prometheus session);
       0
@@ -980,7 +1187,7 @@ let engine_stats_cmd =
     Term.(
       const run $ lib_arg $ spec_files_arg $ engine_fuel_arg $ timeout_arg
       $ cache_capacity_arg $ slowlog_ms_arg $ slowlog_capacity_arg
-      $ requests_arg $ prometheus_flag)
+      $ cache_dir_arg $ cache_max_bytes_arg $ requests_arg $ prometheus_flag)
 
 let main =
   let doc = "algebraic specification of abstract data types (Guttag, CACM 1977)" in
@@ -997,6 +1204,9 @@ let main =
       compile_cmd;
       run_cmd;
       verify_cmd;
+      hash_cmd;
+      cache_cmd;
+      session_cmd;
       serve_cmd;
       batch_cmd;
       engine_trace_cmd;

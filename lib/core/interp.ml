@@ -8,7 +8,10 @@ type t = {
 let create ?(fuel = Rewrite.default_fuel) ?(memo = false) ?memo_capacity spec =
   {
     spec;
-    system = Rewrite.of_spec spec;
+    (* keyed by content digest: re-creating an interpreter for an
+       unchanged spec (server restart, session reload) reuses the
+       compiled rule index instead of recompiling it *)
+    system = Rewrite.of_spec_keyed ~key:(Spec_digest.spec spec) spec;
     fuel;
     memo =
       (if memo then Some (Rewrite.Memo.create ?capacity:memo_capacity ())

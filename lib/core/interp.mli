@@ -52,6 +52,12 @@ type value =
                          evidence of insufficient completeness. *)
   | Diverged  (** Fuel exhausted. *)
 
+val classify : Spec.t -> Term.t -> value
+(** How {!eval} reads a normal form: [error] terms are {!Error_value},
+    constructor-ground terms are {!Value}, anything else is {!Stuck}.
+    Exposed so callers holding an already-known normal form (the persist
+    cache) classify it exactly as a fresh evaluation would. *)
+
 val eval : ?fuel:int -> t -> Term.t -> value
 (** Evaluates a ground term (leftmost-innermost). Raises
     [Invalid_argument] on terms with free variables. [fuel] overrides the

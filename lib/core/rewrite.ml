@@ -643,3 +643,60 @@ let normalize_stats ?strategy ?fuel sys term =
     |> List.sort (fun (a, _) (b, _) -> String.compare a b)
   in
   (t, { applications; total = !total })
+
+(* {1 The compiled-system cache}
+
+   Compiling a spec's rule index is pure — the system depends only on the
+   executable axioms in order — so systems are interned by the caller's
+   content key (Spec_digest.spec in practice). Before this cache, every
+   Session spec load and every Interp.create recompiled the two-level
+   index from scratch even when the spec was byte-identical; now a reload
+   of an unchanged spec is one table probe. Sharing a compiled system
+   across interpreters (and domains) is already the forked-interpreter
+   contract: the system is immutable after construction. A full cache
+   simply resets — compilation is cheap enough that eviction bookkeeping
+   would cost more than the occasional cold refill. *)
+
+let compile_cache : (string, system) Hashtbl.t = Hashtbl.create 32
+let compile_cache_lock = Mutex.create ()
+let compile_cache_capacity = 512
+let compile_cache_hits = ref 0
+let compile_cache_misses = ref 0
+
+let of_spec_keyed ~key spec =
+  let cached =
+    Mutex.protect compile_cache_lock (fun () ->
+        match Hashtbl.find_opt compile_cache key with
+        | Some sys ->
+          incr compile_cache_hits;
+          Some sys
+        | None ->
+          incr compile_cache_misses;
+          None)
+  in
+  match cached with
+  | Some sys -> sys
+  | None ->
+    let sys = of_spec spec in
+    Mutex.protect compile_cache_lock (fun () ->
+        if Hashtbl.length compile_cache >= compile_cache_capacity then
+          Hashtbl.reset compile_cache;
+        if not (Hashtbl.mem compile_cache key) then
+          Hashtbl.add compile_cache key sys);
+    sys
+
+type compile_cache_stats = { hits : int; misses : int; entries : int }
+
+let compile_cache_stats () =
+  Mutex.protect compile_cache_lock (fun () ->
+      {
+        hits = !compile_cache_hits;
+        misses = !compile_cache_misses;
+        entries = Hashtbl.length compile_cache;
+      })
+
+let compile_cache_clear () =
+  Mutex.protect compile_cache_lock (fun () ->
+      Hashtbl.reset compile_cache;
+      compile_cache_hits := 0;
+      compile_cache_misses := 0)

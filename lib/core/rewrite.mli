@@ -36,6 +36,21 @@ val of_spec : Spec.t -> system
     skipped — it is an equation the static analyzer reports (ADT011), not a
     rule the rewriter may fire. *)
 
+val of_spec_keyed : key:string -> Spec.t -> system
+(** {!of_spec} through a process-wide compiled-system cache: [key] must
+    identify the specification's executable-axiom list and priority
+    order — {!Spec_digest.spec} is (more than) fine — and equal keys
+    return the {e same} compiled system. Sound to share across threads
+    and domains: a system is immutable after construction (the
+    forked-interpreter contract, {!Interp.fork}). This is what makes
+    reloading an unchanged specification one table probe instead of a
+    from-scratch index compilation. *)
+
+type compile_cache_stats = { hits : int; misses : int; entries : int }
+
+val compile_cache_stats : unit -> compile_cache_stats
+val compile_cache_clear : unit -> unit
+
 val of_rules : rule list -> system
 val add_rules : rule list -> system -> system
 (** Added rules take priority over existing ones with the same head. *)

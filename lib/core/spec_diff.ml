@@ -1,0 +1,74 @@
+type t = {
+  signature_changed : bool;
+  added : Axiom.t list;
+  removed : Axiom.t list;
+}
+
+module Digest_set = Set.Make (String)
+
+let digests axs =
+  List.fold_left
+    (fun s ax -> Digest_set.add (Spec_digest.axiom ax) s)
+    Digest_set.empty axs
+
+let signature_equal a b =
+  Signature.equal (Spec.signature a) (Spec.signature b)
+  && Op.Set.equal (Spec.constructors a) (Spec.constructors b)
+
+let diff ~old_spec ~spec =
+  let old_set = digests (Spec.axioms old_spec) in
+  let new_set = digests (Spec.axioms spec) in
+  {
+    signature_changed = not (signature_equal old_spec spec);
+    added =
+      List.filter
+        (fun ax -> not (Digest_set.mem (Spec_digest.axiom ax) old_set))
+        (Spec.axioms spec);
+    removed =
+      List.filter
+        (fun ax -> not (Digest_set.mem (Spec_digest.axiom ax) new_set))
+        (Spec.axioms old_spec);
+  }
+
+let is_unchanged d =
+  (not d.signature_changed) && d.added = [] && d.removed = []
+
+let mentions ax = Op.Set.union (Term.ops (Axiom.lhs ax)) (Term.ops (Axiom.rhs ax))
+
+let dirty_ops ~spec d =
+  if d.signature_changed then
+    List.fold_left
+      (fun s op -> Op.Set.add op s)
+      (Spec.constructors spec)
+      (Signature.ops (Spec.signature spec))
+  else begin
+    let seed =
+      List.fold_left
+        (fun s ax -> Op.Set.add (Axiom.head ax) s)
+        Op.Set.empty (d.added @ d.removed)
+    in
+    (* fixed point: an op whose defining axioms mention a dirty op is
+       dirty — its behavior routes through changed rules *)
+    let rec close dirty =
+      let next =
+        List.fold_left
+          (fun dirty ax ->
+            if
+              (not (Op.Set.mem (Axiom.head ax) dirty))
+              && not (Op.Set.is_empty (Op.Set.inter (mentions ax) dirty))
+            then Op.Set.add (Axiom.head ax) dirty
+            else dirty)
+          dirty (Spec.axioms spec)
+      in
+      if Op.Set.cardinal next = Op.Set.cardinal dirty then dirty else close next
+    in
+    close seed
+  end
+
+let cone ~spec d =
+  if d.signature_changed then Spec.axioms spec
+  else
+    let dirty = dirty_ops ~spec d in
+    List.filter
+      (fun ax -> not (Op.Set.is_empty (Op.Set.inter (mentions ax) dirty)))
+      (Spec.axioms spec)

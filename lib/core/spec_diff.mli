@@ -1,0 +1,44 @@
+(** Elaboration diff and invalidation cone between two specification
+    versions.
+
+    The document-session layer re-checks an edited specification in
+    O(edit), not O(spec): it diffs the elaborated axiom lists by
+    equation digest ({!Spec_digest.axiom}), seeds a {e dirty} set with
+    the head operations of every added or removed axiom, closes it
+    transitively through the defining-axiom dependency structure (an
+    operation is dirty when any axiom defining it mentions a dirty
+    operation — the same reachability {!Rewrite.of_spec} compiles and
+    the linter's loci report), and declares an obligation invalid
+    exactly when its axiom mentions a dirty operation. Everything
+    outside that cone kept its reachable rule set byte-identical, so a
+    cached verdict for it is still a theorem, not a heuristic.
+
+    A signature change (sorts, operation declarations, constructor set)
+    invalidates everything: sort and arity changes can re-type any
+    term. *)
+
+type t = {
+  signature_changed : bool;
+      (** Sorts, operation declarations, or constructors differ. *)
+  added : Axiom.t list;  (** Equations in the new version only. *)
+  removed : Axiom.t list;  (** Equations in the old version only. *)
+}
+
+val diff : old_spec:Spec.t -> spec:Spec.t -> t
+(** Axioms are matched by equation digest — renaming an axiom or moving
+    whitespace changes nothing; editing either side counts as one
+    removal plus one addition. *)
+
+val is_unchanged : t -> bool
+
+val dirty_ops : spec:Spec.t -> t -> Op.Set.t
+(** The transitive closure described above, computed against the {e
+    new} specification's defining axioms (removed axioms seed their
+    heads too — deleting the last rule of an operation changes its
+    behavior). When [signature_changed] is set this is every operation
+    of the specification. *)
+
+val cone : spec:Spec.t -> t -> Axiom.t list
+(** The invalidation cone: the new version's axioms whose equations
+    mention a dirty operation (added axioms are always inside). In
+    axiom order. *)

@@ -1,0 +1,38 @@
+(* Digests are computed over canonical renderings of the *elaborated*
+   specification, never over source text: two sources that parse and
+   elaborate to the same signature and axiom list digest identically, no
+   matter how they were spelled. *)
+
+let hex s = Digest.to_hex (Digest.string s)
+let term t = Term.to_string t
+let equation ax = term (Axiom.lhs ax) ^ " = " ^ term (Axiom.rhs ax)
+let axiom ax = hex (equation ax)
+
+let signature_render spec =
+  let sg = Spec.signature spec in
+  let buf = Buffer.create 256 in
+  Sort.Set.iter
+    (fun s -> Buffer.add_string buf (Fmt.str "sort %a\n" Sort.pp s))
+    (Signature.sorts sg);
+  (* declaration order: part of the canonical rendering, like axiom order *)
+  List.iter
+    (fun op -> Buffer.add_string buf (Fmt.str "op %a\n" Op.pp_decl op))
+    (Signature.ops sg);
+  Op.Set.iter
+    (fun op -> Buffer.add_string buf ("constructor " ^ Op.name op ^ "\n"))
+    (Spec.constructors spec);
+  Buffer.contents buf
+
+let signature_digest spec = hex (signature_render spec)
+
+let spec s =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (signature_digest s);
+  List.iter
+    (fun ax ->
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf (equation ax))
+    (Spec.axioms s);
+  hex (Buffer.contents buf)
+
+let axioms s = List.map (fun ax -> (Axiom.name ax, axiom ax)) (Spec.axioms s)

@@ -32,36 +32,54 @@ let charge_fuel ctx session steps =
 
 let do_normalize ctx session entry term_src req_fuel poll =
   parse_term (Session.entry_spec entry) term_src @@ fun term ->
-  let fuel = Limits.effective_fuel (Session.limits session) req_fuel in
-  (* with_interp serializes evaluations on this specification's
-     domain-local slot: the memo cache is mutated throughout the rewrite,
-     and a poll abort (deadline) must release the slot lock, which
-     [Session.with_interp] guarantees *)
-  let value, steps =
-    Obs.Trace.with_span ctx.trace "rewrite" @@ fun () ->
-    Session.with_interp entry (fun interp ->
-        Interp.eval_count ~fuel ?poll
-          ?on_rule:(Obs.Trace.hook ctx.trace)
-          interp term)
-  in
-  charge_fuel ctx session steps;
-  match value with
-  | Interp.Diverged -> error "fuel" "normalization exceeded %d rewrite steps" fuel
-  | value ->
-    ok "normalize steps=%d %s" steps
+  match Session.persist_find entry term with
+  | Some (value, _cold_steps) ->
+    (* the persistent store already holds this term's normal form under
+       this specification digest — answer without evaluating, charging no
+       fuel and reporting zero steps (the memo-hit convention) *)
+    ok "normalize steps=0 %s"
       (Protocol.sanitize (Fmt.str "%a" Interp.pp_value value))
+  | None -> (
+    let fuel = Limits.effective_fuel (Session.limits session) req_fuel in
+    (* with_interp serializes evaluations on this specification's
+       domain-local slot: the memo cache is mutated throughout the rewrite,
+       and a poll abort (deadline) must release the slot lock, which
+       [Session.with_interp] guarantees *)
+    let value, steps =
+      Obs.Trace.with_span ctx.trace "rewrite" @@ fun () ->
+      Session.with_interp entry (fun interp ->
+          Interp.eval_count ~fuel ?poll
+            ?on_rule:(Obs.Trace.hook ctx.trace)
+            interp term)
+    in
+    charge_fuel ctx session steps;
+    match value with
+    | Interp.Diverged ->
+      error "fuel" "normalization exceeded %d rewrite steps" fuel
+    | value ->
+      Session.persist_record session entry term value steps;
+      ok "normalize steps=%d %s" steps
+        (Protocol.sanitize (Fmt.str "%a" Interp.pp_value value)))
 
-let do_check ctx entry =
+let do_check ctx session entry =
   Obs.Trace.with_span ctx.trace "rewrite" @@ fun () ->
   let spec = Session.entry_spec entry in
-  let comp = Completeness.check spec in
-  let cons = Consistency.check spec in
-  ok "check %s complete=%b consistent=%b missing=%d critical_pairs=%d"
-    (Spec.name spec)
-    (Completeness.is_complete comp)
-    (Consistency.is_consistent spec cons)
-    (List.length (Completeness.missing comp))
-    (List.length cons.Consistency.pairs)
+  let name = Spec.name spec in
+  match Session.persist_meta_find entry ~kind:"check" ~key:name with
+  | Some payload -> Protocol.Ok_response payload
+  | None ->
+    let comp = Completeness.check spec in
+    let cons = Consistency.check spec in
+    let payload =
+      Fmt.str "check %s complete=%b consistent=%b missing=%d critical_pairs=%d"
+        name
+        (Completeness.is_complete comp)
+        (Consistency.is_consistent spec cons)
+        (List.length (Completeness.missing comp))
+        (List.length cons.Consistency.pairs)
+    in
+    Session.persist_meta_record session entry ~kind:"check" ~key:name payload;
+    Protocol.Ok_response payload
 
 let do_skeletons ctx entry =
   Obs.Trace.with_span ctx.trace "rewrite" @@ fun () ->
@@ -80,20 +98,30 @@ let do_skeletons ctx entry =
 (* like metrics and slowlog, the body is framed by a findings count on the
    first line; each finding is one sanitized diagnostic line *)
 let do_lint ctx session entry =
-  let diags =
-    Obs.Trace.with_span ctx.trace "rewrite" @@ fun () ->
-    Analysis.Lint.run (Session.entry_spec entry)
-  in
-  Metrics.record_rule_hits (Session.metrics session)
-    (List.map (fun d -> d.Analysis.Diagnostic.code) diags);
   let name = Spec.name (Session.entry_spec entry) in
-  let header = Fmt.str "lint %s findings=%d" name (List.length diags) in
-  ok "%s"
-    (String.concat "\n"
-       (header
-       :: List.map
-            (fun d -> Protocol.sanitize (Analysis.Diagnostic.to_line d))
-            diags))
+  match Session.persist_meta_find entry ~kind:"lint" ~key:name with
+  | Some payload ->
+    (* a persisted hit skips the per-rule lint counters: the findings were
+       metered by the run that produced the payload (possibly another
+       process) — rule totals count lint executions, not replays *)
+    Protocol.Ok_response payload
+  | None ->
+    let diags =
+      Obs.Trace.with_span ctx.trace "rewrite" @@ fun () ->
+      Analysis.Lint.run (Session.entry_spec entry)
+    in
+    Metrics.record_rule_hits (Session.metrics session)
+      (List.map (fun d -> d.Analysis.Diagnostic.code) diags);
+    let header = Fmt.str "lint %s findings=%d" name (List.length diags) in
+    let payload =
+      String.concat "\n"
+        (header
+        :: List.map
+             (fun d -> Protocol.sanitize (Analysis.Diagnostic.to_line d))
+             diags)
+    in
+    Session.persist_meta_record session entry ~kind:"lint" ~key:name payload;
+    Protocol.Ok_response payload
 
 (* the conformance suite resolves in the builtin implementation registry,
    not the session's loaded specifications: only OCaml implementations
@@ -131,9 +159,22 @@ let do_testgen ctx session ~spec ~impl ~count ~seed =
   in
   match resolved with
   | Error e -> e
-  | Ok entry ->
+  | Ok entry -> (
     let count = Option.value ~default:100 count in
     let seed = Option.value ~default:414243 seed in
+    (* the suite is deterministic in (impl, count, seed), so the verdict
+       persists under that key — but only when the spec is also loaded in
+       the session, whose digest names the store entry *)
+    let meta_key =
+      Fmt.str "%s|%s|%d|%d" spec (Testgen.Impl.name entry) count seed
+    in
+    let sentry = Session.find session spec in
+    match
+      Option.bind sentry (fun e ->
+          Session.persist_meta_find e ~kind:"testgen" ~key:meta_key)
+    with
+    | Some payload -> Protocol.Ok_response payload
+    | None ->
     let report =
       Obs.Trace.with_span ctx.trace "testgen" @@ fun () ->
       Testgen.Harness.conformance ~count ~seed entry
@@ -160,9 +201,16 @@ let do_testgen ctx session ~spec ~impl ~count ~seed =
         count report.Testgen.Harness.gen_size (List.length failures)
         (List.length report.Testgen.Harness.axiom_reports)
     in
-    ok "%s"
-      (String.concat "\n"
-         (header :: List.map line report.Testgen.Harness.axiom_reports))
+    let payload =
+      String.concat "\n"
+        (header :: List.map line report.Testgen.Harness.axiom_reports)
+    in
+    (match sentry with
+    | Some e ->
+      Session.persist_meta_record session e ~kind:"testgen" ~key:meta_key
+        payload
+    | None -> ());
+    Protocol.Ok_response payload)
 
 let do_prove ctx session entry vars lhs_src rhs_src req_fuel poll =
   let spec = Session.entry_spec entry in
@@ -218,6 +266,18 @@ let do_stats session verbose =
       counters c.Session.hits c.Session.misses c.Session.evictions
       c.Session.entries c.Session.capacity
   in
+  (* persist fields only when a store is attached, so cache-less sessions
+     keep their historical stats line byte-for-byte *)
+  let base =
+    match Session.persist_totals session with
+    | None -> base
+    | Some p ->
+      Fmt.str
+        "%s persist.hits=%d persist.misses=%d persist.corrupt=%d \
+         persist.loaded=%d persist.files=%d persist.read_only=%b"
+        base p.Session.hits p.Session.misses p.Session.corrupt
+        p.Session.loaded p.Session.files p.Session.read_only
+  in
   (* latency is real time: only printed on demand, so that batch replays
      stay deterministic *)
   if verbose then
@@ -267,13 +327,78 @@ let do_slowlog session =
     ok "%s"
       (String.concat "\n" (header :: List.map render_slow_entry entries))
 
-let handle_request ?poll ?ctx session request =
+(* {1 The document-session verbs} *)
+
+let summary_line verb name (doc : Docsession.Manager.doc) =
+  let s = doc.Docsession.Manager.summary in
+  Fmt.str
+    "%s %s version=%d axioms=%d sig_changed=%b changed=%d cone=%d checked=%d \
+     reused=%d digest=%s"
+    verb name s.Docsession.Manager.version s.Docsession.Manager.axioms
+    s.Docsession.Manager.sig_changed s.Docsession.Manager.changed
+    s.Docsession.Manager.cone s.Docsession.Manager.checked
+    s.Docsession.Manager.reused doc.Docsession.Manager.digest
+
+let do_session_open ctx session name =
+  (* the document starts from the loaded specification's canonical
+     source, so the first edit diffs against exactly what the session
+     serves; [uses] are already merged into the elaborated signature *)
+  with_spec session name @@ fun entry ->
+  let source = Pretty.source_of_spec (Session.entry_spec entry) in
+  let result =
+    Obs.Trace.with_span ctx.trace "rewrite" @@ fun () ->
+    Docsession.Manager.open_doc (Session.docs session) ~name ~source
+  in
+  match result with
+  | Error e -> error "parse" "%s" (Protocol.sanitize e)
+  | Ok doc -> ok "%s" (summary_line "session-open" name doc)
+
+let do_session_edit ctx session name body =
+  let result =
+    Obs.Trace.with_span ctx.trace "rewrite" @@ fun () ->
+    Docsession.Manager.edit (Session.docs session) ~name ~source:body
+  in
+  match result with
+  | Error e ->
+    let code =
+      if String.length e >= 2 && String.equal (String.sub e 0 2) "no" then
+        "unknown-spec"
+      else "parse"
+    in
+    error code "%s" (Protocol.sanitize e)
+  | Ok doc -> ok "%s" (summary_line "session-edit" name doc)
+
+let do_session_status session name =
+  match Docsession.Manager.status (Session.docs session) ~name with
+  | None ->
+    error "unknown-spec" "no open document named %s (session-open it first)"
+      name
+  | Some doc ->
+    let line (o : Docsession.Manager.oblig) =
+      Fmt.str "axiom %s status=%s steps=%d findings=%d source=%s"
+        (if String.equal o.Docsession.Manager.axiom_name "" then "-"
+         else o.Docsession.Manager.axiom_name)
+        (Docsession.Manager.status_name o.Docsession.Manager.status)
+        o.Docsession.Manager.steps o.Docsession.Manager.findings
+        (if o.Docsession.Manager.reused then "reused" else "checked")
+    in
+    let obligations = doc.Docsession.Manager.obligations in
+    let header =
+      Fmt.str "session-status %s version=%d axioms=%d obligations=%d digest=%s"
+        name doc.Docsession.Manager.version
+        doc.Docsession.Manager.summary.Docsession.Manager.axioms
+        (List.length obligations) doc.Docsession.Manager.digest
+    in
+    ok "%s" (String.concat "\n" (header :: List.map line obligations))
+
+let handle_request ?poll ?ctx ?body session request =
   let ctx = match ctx with Some c -> c | None -> null_ctx () in
   match request with
   | Protocol.Normalize { spec; term; fuel } ->
     with_spec session spec @@ fun entry ->
     do_normalize ctx session entry term fuel poll
-  | Protocol.Check { spec } -> with_spec session spec (do_check ctx)
+  | Protocol.Check { spec } ->
+    with_spec session spec @@ fun entry -> do_check ctx session entry
   | Protocol.Skeletons { spec } -> with_spec session spec (do_skeletons ctx)
   | Protocol.Lint { spec } ->
     with_spec session spec @@ fun entry -> do_lint ctx session entry
@@ -282,6 +407,16 @@ let handle_request ?poll ?ctx session request =
   | Protocol.Prove { spec; vars; lhs; rhs; fuel } ->
     with_spec session spec @@ fun entry ->
     do_prove ctx session entry vars lhs rhs fuel poll
+  | Protocol.Session_open { spec } -> do_session_open ctx session spec
+  | Protocol.Session_edit { spec; lines } -> (
+    match body with
+    | Some body -> do_session_edit ctx session spec body
+    | None ->
+      error "protocol"
+        "session-edit has no transport to read its %d body lines from \
+         (needs a line-oriented connection)"
+        lines)
+  | Protocol.Session_status { spec } -> do_session_status session spec
   | Protocol.Stats { verbose } -> do_stats session verbose
   | Protocol.Metrics -> do_metrics session
   | Protocol.Slowlog -> do_slowlog session
@@ -302,7 +437,7 @@ let feed_slowlog session request ctx elapsed result =
          })
   | _ -> ()
 
-let handle_line_obs session line =
+let handle_line_obs ?read_line session line =
   let metrics = Session.metrics session in
   let tracing = Session.tracing session in
   (* parse before allocating a tracer, so blank and comment lines consume
@@ -334,20 +469,47 @@ let handle_line_obs session line =
     Metrics.record_request metrics (Protocol.kind_name request);
     let ctx = { trace; fuel = 0 } in
     let started = Unix.gettimeofday () in
+    (* a session-edit body is raw lines read off the same transport,
+       before the deadline starts: reading the client's text is not the
+       request's computation *)
+    let body =
+      match request with
+      | Protocol.Session_edit { lines; _ } -> (
+        match read_line with
+        | None -> Ok None
+        | Some next ->
+          let rec go acc n =
+            if n = 0 then Ok (Some (String.concat "\n" (List.rev acc)))
+            else
+              match next () with
+              | Some l -> go (l :: acc) (n - 1)
+              | None ->
+                Error
+                  (error "protocol"
+                     "session-edit body truncated (connection closed before \
+                      %d lines arrived)"
+                     lines)
+          in
+          go [] lines)
+      | _ -> Ok None
+    in
     let response =
       Obs.Trace.with_span trace "dispatch" @@ fun () ->
-      match
-        Limits.with_deadline (Session.limits session).Limits.timeout
-          (fun poll -> handle_request ?poll ~ctx session request)
-      with
-      | Ok response -> response
-      | Error `Timeout ->
-        error "timeout" "request exceeded %gs of wall-clock time"
-          (Option.get (Session.limits session).Limits.timeout)
-      | exception e ->
-        (* error isolation: an internal failure answers this request and
-           only this request *)
-        error "internal" "%s" (Protocol.sanitize (Printexc.to_string e))
+      match body with
+      | Error resp -> resp
+      | Ok body -> (
+        match
+          Limits.with_deadline (Session.limits session).Limits.timeout
+            (fun poll -> handle_request ?poll ~ctx ?body session request)
+        with
+        | Ok response -> response
+        | Error `Timeout ->
+          error "timeout" "request exceeded %gs of wall-clock time"
+            (Option.get (Session.limits session).Limits.timeout)
+        | exception e ->
+          (* error isolation: an internal failure answers this request and
+             only this request *)
+          error "internal" "%s" (Protocol.sanitize (Printexc.to_string e)))
     in
     let rendered =
       Obs.Trace.with_span trace "respond" (fun () -> Protocol.render response)
@@ -369,4 +531,5 @@ let handle_line_obs session line =
     feed_slowlog session request ctx elapsed result;
     (Reply rendered, result)
 
-let handle_line session line = fst (handle_line_obs session line)
+let handle_line ?read_line session line =
+  fst (handle_line_obs ?read_line session line)

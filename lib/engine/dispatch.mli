@@ -24,13 +24,24 @@ type outcome =
     [fuel_spent] cannot attribute work to a request). *)
 type ctx = { trace : Obs.Trace.t; mutable fuel : int }
 
-val handle_line : Session.t -> string -> outcome
+val handle_line :
+  ?read_line:(unit -> string option) -> Session.t -> string -> outcome
 (** Parse, enforce limits, evaluate, record metrics, render. Never
     raises. Safe to call concurrently from many threads on one session:
     evaluations on the same specification serialize on the entry lock,
-    metrics updates on the metrics lock. *)
+    metrics updates on the metrics lock.
 
-val handle_line_obs : Session.t -> string -> outcome * Obs.Trace.result option
+    [read_line] is the transport's body reader: a [session-edit lines=N]
+    request consumes the next [N] raw lines through it (its replacement
+    source text). Without a reader, body-carrying requests answer a
+    protocol error; [None] from the reader mid-body (connection closed)
+    does too. *)
+
+val handle_line_obs :
+  ?read_line:(unit -> string option) ->
+  Session.t ->
+  string ->
+  outcome * Obs.Trace.result option
 (** {!handle_line} plus the finished trace, when the session traces —
     what [adtc trace] prints as a JSON span tree. The trace's
     [total_steps] equals the fuel the request charged, by construction:
@@ -39,6 +50,7 @@ val handle_line_obs : Session.t -> string -> outcome * Obs.Trace.result option
 val handle_request :
   ?poll:(unit -> unit) ->
   ?ctx:ctx ->
+  ?body:string ->
   Session.t ->
   Protocol.request ->
   Protocol.response
@@ -46,4 +58,5 @@ val handle_request :
     request/error/latency counters (exposed for unit tests). [poll] is
     the deadline hook handed to every metered loop the request runs;
     {!handle_line} obtains it from {!Limits.with_deadline}. [ctx]
-    defaults to a fresh untraced context. *)
+    defaults to a fresh untraced context. [body] is [Session_edit]'s
+    replacement source (already read off the transport). *)

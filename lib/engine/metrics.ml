@@ -19,6 +19,9 @@ type stripe = {
   mutable stats : int;
   mutable metrics : int;
   mutable slowlog : int;
+  mutable session_open : int;
+  mutable session_edit : int;
+  mutable session_status : int;
   mutable quit : int;
   mutable malformed : int;
   mutable errors : int;
@@ -43,6 +46,9 @@ type snapshot = {
   stats : int;
   metrics : int;
   slowlog : int;
+  session_open : int;
+  session_edit : int;
+  session_status : int;
   quit : int;
   malformed : int;
   errors : int;
@@ -67,6 +73,9 @@ let make_stripe () =
     stats = 0;
     metrics = 0;
     slowlog = 0;
+    session_open = 0;
+    session_edit = 0;
+    session_status = 0;
     quit = 0;
     malformed = 0;
     errors = 0;
@@ -108,6 +117,9 @@ let bump_kind (s : stripe) = function
   | "stats" -> s.stats <- s.stats + 1
   | "metrics" -> s.metrics <- s.metrics + 1
   | "slowlog" -> s.slowlog <- s.slowlog + 1
+  | "session-open" -> s.session_open <- s.session_open + 1
+  | "session-edit" -> s.session_edit <- s.session_edit + 1
+  | "session-status" -> s.session_status <- s.session_status + 1
   | "quit" -> s.quit <- s.quit + 1
   | other -> invalid_arg (Fmt.str "Metrics.record_kind: unknown kind %s" other)
 
@@ -167,6 +179,9 @@ let snapshot_stripe (s : stripe) =
         stats = s.stats;
         metrics = s.metrics;
         slowlog = s.slowlog;
+        session_open = s.session_open;
+        session_edit = s.session_edit;
+        session_status = s.session_status;
         quit = s.quit;
         malformed = s.malformed;
         errors = s.errors;
@@ -199,6 +214,9 @@ let merge a b =
     stats = a.stats + b.stats;
     metrics = a.metrics + b.metrics;
     slowlog = a.slowlog + b.slowlog;
+    session_open = a.session_open + b.session_open;
+    session_edit = a.session_edit + b.session_edit;
+    session_status = a.session_status + b.session_status;
     quit = a.quit + b.quit;
     malformed = a.malformed + b.malformed;
     errors = a.errors + b.errors;
@@ -230,6 +248,9 @@ let by_kind snap =
     ("stats", snap.stats);
     ("metrics", snap.metrics);
     ("slowlog", snap.slowlog);
+    ("session-open", snap.session_open);
+    ("session-edit", snap.session_edit);
+    ("session-status", snap.session_status);
     ("quit", snap.quit);
   ]
 

@@ -83,6 +83,9 @@ type snapshot = {
   stats : int;
   metrics : int;
   slowlog : int;
+  session_open : int;
+  session_edit : int;
+  session_status : int;
   quit : int;
   malformed : int;
       (** Lines that failed protocol parsing (they also count towards

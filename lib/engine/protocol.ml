@@ -16,6 +16,9 @@ type request =
       rhs : string;
       fuel : int option;
     }
+  | Session_open of { spec : string }
+  | Session_edit of { spec : string; lines : int }
+  | Session_status of { spec : string }
   | Stats of { verbose : bool }
   | Metrics
   | Slowlog
@@ -195,6 +198,38 @@ let parse line =
               Error
                 "prove expects: prove [fuel=N] SPEC VARS LHS == RHS (VARS \
                  is '-' or name:Sort,...)")
+      | "session-open" ->
+        with_options [] (fun _ args ->
+            match args with
+            | [ spec ] -> Ok (Some (Session_open { spec }))
+            | _ -> Error "session-open expects: session-open NAME")
+      | "session-edit" ->
+        with_options [ "lines" ] (fun opts args ->
+            let* lines =
+              match List.assoc_opt "lines" opts with
+              | Some v -> (
+                match int_of_string_opt v with
+                | Some n when n > 0 -> Ok n
+                | _ ->
+                  Error
+                    (Fmt.str "option lines expects a positive integer, got %s"
+                       v))
+              | None ->
+                Error
+                  "session-edit expects: session-edit lines=N NAME, followed \
+                   by N raw body lines"
+            in
+            match args with
+            | [ spec ] -> Ok (Some (Session_edit { spec; lines }))
+            | _ ->
+              Error
+                "session-edit expects: session-edit lines=N NAME, followed \
+                 by N raw body lines")
+      | "session-status" ->
+        with_options [] (fun _ args ->
+            match args with
+            | [ spec ] -> Ok (Some (Session_status { spec }))
+            | _ -> Error "session-status expects: session-status NAME")
       | "stats" ->
         with_options [ "verbose" ] (fun opts args ->
             let* verbose = bool_option "verbose" opts in
@@ -220,7 +255,8 @@ let parse line =
         Error
           (Fmt.str
              "unknown request %s (expected normalize, check, skeletons, \
-              lint, testgen, prove, stats, metrics, slowlog or quit)"
+              lint, testgen, prove, session-open, session-edit, \
+              session-status, stats, metrics, slowlog or quit)"
              other))
 
 let render = function
@@ -234,6 +270,9 @@ let kind_name = function
   | Lint _ -> "lint"
   | Testgen _ -> "testgen"
   | Prove _ -> "prove"
+  | Session_open _ -> "session-open"
+  | Session_edit _ -> "session-edit"
+  | Session_status _ -> "session-status"
   | Stats _ -> "stats"
   | Metrics -> "metrics"
   | Slowlog -> "slowlog"
@@ -241,6 +280,8 @@ let kind_name = function
 
 let spec_name = function
   | Normalize { spec; _ } | Check { spec } | Skeletons { spec }
-  | Lint { spec } | Testgen { spec; _ } | Prove { spec; _ } ->
+  | Lint { spec } | Testgen { spec; _ } | Prove { spec; _ }
+  | Session_open { spec } | Session_edit { spec; _ }
+  | Session_status { spec } ->
     Some spec
   | Stats _ | Metrics | Slowlog | Quit -> None

@@ -8,7 +8,8 @@
     request    := kind option* arg*
     option     := KEY '=' VALUE            (before the positional args)
     kind       := 'normalize' | 'check' | 'skeletons' | 'lint' | 'testgen'
-                | 'prove' | 'stats' | 'metrics' | 'slowlog' | 'quit'
+                | 'prove' | 'session-open' | 'session-edit'
+                | 'session-status' | 'stats' | 'metrics' | 'slowlog' | 'quit'
 
     normalize [fuel=N] SPEC TERM           evaluate TERM against SPEC
     check     SPEC                         completeness + consistency
@@ -20,6 +21,12 @@
                                            registered implementation
     prove [fuel=N] SPEC VARS LHS == RHS    equational proof; VARS is '-'
                                            or 'q:Queue,i:Item'
+    session-open SPEC                      open the versioned document for
+                                           a loaded spec; full check
+    session-edit lines=N SPEC              replace the document source with
+                                           the N raw lines that follow;
+                                           O(edit) incremental re-check
+    session-status SPEC                    version + per-obligation lines
     stats [verbose=true]                   metrics counters; verbose adds
                                            wall-clock latency
     metrics                                Prometheus text exposition
@@ -67,6 +74,15 @@ type request =
       rhs : string;
       fuel : int option;
     }
+  | Session_open of { spec : string }
+      (** Open (or reset) the versioned document for a loaded
+          specification — checks every obligation. *)
+  | Session_edit of { spec : string; lines : int }
+      (** Replace the document's source with the [lines] raw body lines
+          that follow the request line; only obligations inside the
+          edit's invalidation cone are re-checked. *)
+  | Session_status of { spec : string }
+      (** The document's version and per-obligation verdict lines. *)
   | Stats of { verbose : bool }
   | Metrics  (** Prometheus text-format exposition of the session. *)
   | Slowlog  (** Dump the slow-request ring log. *)

@@ -4,19 +4,29 @@ let serve ?(echo = false) session ic oc =
     output_char oc '\n';
     flush oc
   in
+  (* the dispatcher reads session-edit bodies through this, off the same
+     transport the request line arrived on *)
+  let read_line () =
+    match input_line ic with
+    | line -> Some line
+    | exception End_of_file -> None
+  in
   let rec loop () =
     match input_line ic with
     | exception End_of_file -> ()
     | line -> (
       if echo then say ("> " ^ line);
-      match Dispatch.handle_line session line with
+      match Dispatch.handle_line ~read_line session line with
       | Dispatch.Silent -> loop ()
       | Dispatch.Reply response ->
         say response;
         loop ()
       | Dispatch.Closed -> say "ok bye")
   in
-  loop ()
+  loop ();
+  (* results computed on this connection survive the process: flush the
+     session's buffered store records before the transport goes away *)
+  Session.persist_flush session
 
 (* {1 The concurrent socket server} *)
 
@@ -210,4 +220,7 @@ let serve_socket ?(max_clients = default_max_clients) ?(domains = 1)
      threads do, and an idle worker only unblocks once drain forces
      end-of-file on its fd *)
   drain reg;
-  List.iter Domain.join pool
+  List.iter Domain.join pool;
+  (* workers flush per-connection, but a drain can cut a connection before
+     its epilogue; one final flush makes shutdown durable *)
+  Session.persist_flush session

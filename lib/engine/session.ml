@@ -15,10 +15,29 @@ open Adt
 
 type slot = { interp : Interp.t; lock : Mutex.t }
 
+(* One specification's slice of the persistent store: the normal forms
+   and meta payloads loaded at boot (the warm start) plus everything this
+   process computed since, buffered in [pending] until a flush writes the
+   whole entry back atomically. Keyed in memory by [Term.id] — hash-consed
+   terms make the probe a pointer hash — and on disk by the canonical
+   [Term.to_string] rendering, which survives process restarts. *)
+type persist_state = {
+  digest : string;  (* Spec_digest.spec — the on-disk entry this feeds *)
+  plock : Mutex.t;
+  nf : (int, Term.t * int) Hashtbl.t;  (* term id -> normal form, cold steps *)
+  meta : (string * string, string) Hashtbl.t;  (* (kind, key) -> payload *)
+  mutable pending : Persist.Store.record list;  (* newest first *)
+  mutable hits : int;
+  mutable misses : int;
+  mutable parse_corrupt : int;  (* records that failed re-parsing at load *)
+  loaded : int;  (* records served from disk at boot *)
+}
+
 type entry = {
   spec : Spec.t;
   slots : slot option Atomic.t array;
   slots_lock : Mutex.t;  (* serializes lazy slot creation only *)
+  persist : persist_state option;
 }
 
 type t = {
@@ -27,10 +46,87 @@ type t = {
   metrics : Metrics.t;
   slowlog : Obs.Slowlog.t option;
   tracing : bool;
+  store : Persist.Store.t option;
+  docs : Docsession.Manager.t;
 }
 
+(* {1 The persistent normal-form store}
+
+   On-disk record encodings. A normal form is either error-free or [error]
+   at the top (strict propagation), so two shapes suffice: [T steps term]
+   for constructor/stuck normal forms and [E steps Sort] for errors —
+   [error] alone has no parseable rendering, the sort rebuilds it. *)
+
+let nf_record_value value steps =
+  match value with
+  | Interp.Value nf | Interp.Stuck nf ->
+    Some (Fmt.str "T %d %s" steps (Term.to_string nf))
+  | Interp.Error_value sort -> Some (Fmt.str "E %d %s" steps (Sort.name sort))
+  | Interp.Diverged -> None
+
+let split_word s =
+  match String.index_opt s ' ' with
+  | Some i when i > 0 && i < String.length s - 1 ->
+    Some (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+  | _ -> None
+
+let parse_nf_value spec value =
+  match split_word value with
+  | None -> None
+  | Some (tag, rest) -> (
+    match split_word rest with
+    | None -> None
+    | Some (steps, payload) -> (
+      match (int_of_string_opt steps, tag) with
+      | Some steps, "T" when steps >= 0 -> (
+        match Parser.parse_term spec payload with
+        | Ok nf -> Some (nf, steps)
+        | Error _ -> None)
+      | Some steps, "E" when steps >= 0 -> Some (Term.err (Sort.v payload), steps)
+      | _ -> None))
+
+(* the warm start: every record of the spec's entry re-parses against the
+   {e current} signature — a record that no longer parses (hand-edited
+   store, renamed operation behind an unchanged digest collision) is
+   counted corrupt and skipped, never served *)
+let load_persist store spec =
+  let digest = Spec_digest.spec spec in
+  let nf = Hashtbl.create 256 in
+  let meta = Hashtbl.create 16 in
+  let parse_corrupt = ref 0 in
+  let loaded = ref 0 in
+  List.iter
+    (fun r ->
+      if String.equal r.Persist.Store.kind "nf" then
+        match Parser.parse_term spec r.Persist.Store.key with
+        | Error _ -> incr parse_corrupt
+        | Ok term -> (
+          match parse_nf_value spec r.Persist.Store.value with
+          | None -> incr parse_corrupt
+          | Some cached ->
+            Hashtbl.replace nf (Term.id term) cached;
+            incr loaded)
+      else begin
+        Hashtbl.replace meta
+          (r.Persist.Store.kind, r.Persist.Store.key)
+          r.Persist.Store.value;
+        incr loaded
+      end)
+    (Persist.Store.load store ~digest);
+  {
+    digest;
+    plock = Mutex.create ();
+    nf;
+    meta;
+    pending = [];
+    hits = 0;
+    misses = 0;
+    parse_corrupt = !parse_corrupt;
+    loaded = !loaded;
+  }
+
 let create ?fuel ?timeout ?cache_capacity ?slowlog_ms ?slowlog_capacity
-    ?tracing ?stripes specs =
+    ?tracing ?stripes ?store ?env specs =
   let limits = Limits.v ?fuel ?timeout () in
   let metrics = Metrics.create ?stripes () in
   let stripes = Metrics.stripes metrics in
@@ -56,7 +152,8 @@ let create ?fuel ?timeout ?cache_capacity ?slowlog_ms ?slowlog_capacity
         in
         let slots = Array.init stripes (fun _ -> Atomic.make None) in
         Atomic.set slots.(0) (Some { interp; lock = Mutex.create () });
-        let entry = { spec; slots; slots_lock = Mutex.create () } in
+        let persist = Option.map (fun s -> load_persist s spec) store in
+        let entry = { spec; slots; slots_lock = Mutex.create (); persist } in
         (* replace an earlier registration of the same name in place *)
         if List.mem_assoc name registry then
           List.map
@@ -65,7 +162,15 @@ let create ?fuel ?timeout ?cache_capacity ?slowlog_ms ?slowlog_capacity
         else registry @ [ (name, entry) ])
       [] specs
   in
-  { registry; limits; metrics; slowlog; tracing }
+  {
+    registry;
+    limits;
+    metrics;
+    slowlog;
+    tracing;
+    store;
+    docs = Docsession.Manager.create ?env ~fuel:limits.Limits.fuel ();
+  }
 
 let entry_spec entry = entry.spec
 
@@ -98,6 +203,129 @@ let limits t = t.limits
 let metrics t = t.metrics
 let slowlog t = t.slowlog
 let tracing t = t.tracing
+let store t = t.store
+let docs t = t.docs
+
+(* {1 Persist probes and recording} *)
+
+let flush_locked store p =
+  if p.pending <> [] then begin
+    (* oldest first, so a later record for the same (kind, key) wins the
+       store's replace-on-merge *)
+    Persist.Store.append store ~digest:p.digest (List.rev p.pending);
+    p.pending <- []
+  end
+
+(* writes amortize: a flush rewrites the whole entry file, so batch them *)
+let pending_flush_threshold = 64
+
+let persist_find entry term =
+  match entry.persist with
+  | None -> None
+  | Some p ->
+    Mutex.protect p.plock (fun () ->
+        match Hashtbl.find_opt p.nf (Term.id term) with
+        | Some (nf, steps) ->
+          p.hits <- p.hits + 1;
+          (* classify exactly as a fresh evaluation would *)
+          Some (Interp.classify entry.spec nf, steps)
+        | None ->
+          p.misses <- p.misses + 1;
+          None)
+
+let persist_record t entry term value steps =
+  match (t.store, entry.persist, nf_record_value value steps) with
+  | Some store, Some p, Some encoded ->
+    Mutex.protect p.plock (fun () ->
+        if not (Hashtbl.mem p.nf (Term.id term)) then begin
+          let nf =
+            match value with
+            | Interp.Value nf | Interp.Stuck nf -> nf
+            | Interp.Error_value sort -> Term.err sort
+            | Interp.Diverged -> assert false (* nf_record_value is None *)
+          in
+          Hashtbl.replace p.nf (Term.id term) (nf, steps);
+          p.pending <-
+            { Persist.Store.kind = "nf"; key = Term.to_string term;
+              value = encoded }
+            :: p.pending;
+          if List.length p.pending >= pending_flush_threshold then
+            flush_locked store p
+        end)
+  | _ -> ()
+
+let persist_meta_find entry ~kind ~key =
+  match entry.persist with
+  | None -> None
+  | Some p ->
+    Mutex.protect p.plock (fun () ->
+        match Hashtbl.find_opt p.meta (kind, key) with
+        | Some payload ->
+          p.hits <- p.hits + 1;
+          Some payload
+        | None ->
+          p.misses <- p.misses + 1;
+          None)
+
+let persist_meta_record t entry ~kind ~key payload =
+  match (t.store, entry.persist) with
+  | Some store, Some p ->
+    Mutex.protect p.plock (fun () ->
+        if not (Hashtbl.mem p.meta (kind, key)) then begin
+          Hashtbl.replace p.meta (kind, key) payload;
+          p.pending <-
+            { Persist.Store.kind; key; value = payload } :: p.pending;
+          if List.length p.pending >= pending_flush_threshold then
+            flush_locked store p
+        end)
+  | _ -> ()
+
+let persist_flush t =
+  match t.store with
+  | None -> ()
+  | Some store ->
+    List.iter
+      (fun (_, entry) ->
+        match entry.persist with
+        | None -> ()
+        | Some p -> Mutex.protect p.plock (fun () -> flush_locked store p))
+      t.registry
+
+type persist_totals = {
+  hits : int;
+  misses : int;
+  corrupt : int;
+  loaded : int;
+  files : int;
+  bytes : int;
+  read_only : bool;
+}
+
+let persist_totals t =
+  match t.store with
+  | None -> None
+  | Some store ->
+    let hits, misses, parse_corrupt, loaded =
+      List.fold_left
+        (fun (h, m, c, l) (_, entry) ->
+          match entry.persist with
+          | None -> (h, m, c, l)
+          | Some p ->
+            Mutex.protect p.plock (fun () ->
+                (h + p.hits, m + p.misses, c + p.parse_corrupt, l + p.loaded)))
+        (0, 0, 0, 0) t.registry
+    in
+    let s = Persist.Store.stats store in
+    Some
+      {
+        hits;
+        misses;
+        corrupt = parse_corrupt + Persist.Store.corrupt_count store;
+        loaded;
+        files = s.Persist.Store.files;
+        bytes = s.Persist.Store.bytes;
+        read_only = Persist.Store.mode store = Persist.Store.Read_only;
+      }
 
 type cache_totals = {
   hits : int;
@@ -200,4 +428,31 @@ let prometheus t =
     Obs.Export.gauge buf ~name:"adtc_slowlog_entries"
       ~help:"Entries currently held by the slow-request ring log."
       (f (Obs.Slowlog.length sl)));
+  (match persist_totals t with
+  | None -> ()
+  | Some p ->
+    Obs.Export.counter buf ~name:"adtc_persist_hits_total"
+      ~help:"Requests answered from the persistent on-disk store."
+      (f p.hits);
+    Obs.Export.counter buf ~name:"adtc_persist_misses_total"
+      ~help:"Persistent-store probes that fell through to evaluation."
+      (f p.misses);
+    Obs.Export.counter buf ~name:"adtc_persist_corrupt_total"
+      ~help:
+        "Store records rejected by validation (bad header, checksum, \
+         version, or unparseable payload) and treated as misses."
+      (f p.corrupt);
+    Obs.Export.gauge buf ~name:"adtc_persist_warm_entries"
+      ~help:"Records loaded from disk when the session started (warm start)."
+      (f p.loaded);
+    Obs.Export.gauge buf ~name:"adtc_persist_entries"
+      ~help:"Entry files currently in the store directory." (f p.files);
+    Obs.Export.gauge buf ~name:"adtc_persist_bytes"
+      ~help:"Bytes of entry files currently in the store directory."
+      (f p.bytes);
+    Obs.Export.gauge buf ~name:"adtc_persist_read_only"
+      ~help:
+        "1 when another live session holds the writer lock and this one \
+         fell back to read-only."
+      (if p.read_only then 1. else 0.));
   Buffer.contents buf

@@ -34,6 +34,8 @@ val create :
   ?slowlog_capacity:int ->
   ?tracing:bool ->
   ?stripes:int ->
+  ?store:Persist.Store.t ->
+  ?env:(string -> Adt.Spec.t option) ->
   Adt.Spec.t list ->
   t
 (** [fuel] is the per-request step ceiling (default
@@ -53,7 +55,14 @@ val create :
 
     [stripes] fixes the number of per-domain stripes for both the
     metrics and the interpreter slots (default: the machine's
-    recommended domain count, at least 8 — see {!Metrics.create}). *)
+    recommended domain count, at least 8 — see {!Metrics.create}).
+
+    [store] plugs in the persistent on-disk result store: each
+    specification's entry (keyed by {!Adt.Spec_digest.spec}) is loaded at
+    creation — the warm start — and normal forms, check/lint payloads and
+    testgen verdicts computed during the session are written back through
+    it (see {!persist_flush}). [env] resolves [uses] clauses when
+    document-session edits are parsed ({!docs}). *)
 
 val entry_spec : entry -> Adt.Spec.t
 
@@ -86,6 +95,56 @@ type cache_totals = {
 
 val cache_totals : t -> cache_totals
 (** Summed over every specification's materialized interpreter slots. *)
+
+(** {1 The persistent store}
+
+    When the session was created with a [store], every specification
+    entry carries its slice of the on-disk cache: normal forms keyed by
+    the input term (hash-consed id in memory, canonical rendering on
+    disk) and opaque meta payloads keyed by [(kind, key)]. A hit answers
+    without evaluation — and reports zero steps, the memo-hit
+    convention. All probes and recordings are no-ops without a store. *)
+
+val store : t -> Persist.Store.t option
+
+val persist_find : entry -> Adt.Term.t -> (Adt.Interp.value * int) option
+(** The cached classification of the term's normal form plus the rewrite
+    steps the cold run paid, when the store (or this session, earlier)
+    has seen the term under this specification digest. *)
+
+val persist_record : t -> entry -> Adt.Term.t -> Adt.Interp.value -> int -> unit
+(** Remembers an evaluation outcome. [Diverged] is never recorded — a
+    larger fuel budget could still normalize the term. Buffered; written
+    back in batches and at {!persist_flush}. *)
+
+val persist_meta_find : entry -> kind:string -> key:string -> string option
+val persist_meta_record : t -> entry -> kind:string -> key:string -> string -> unit
+(** Opaque response payloads (check/lint/testgen) under the same
+    digest-keyed entry. The first recording for a [(kind, key)] wins for
+    the life of the process; the store's replace-on-merge keeps the
+    newest across processes. *)
+
+val persist_flush : t -> unit
+(** Writes every entry's buffered records to the store (atomic per
+    entry). Called by the server at end of connection and shutdown; call
+    it before dropping a session whose results should survive. *)
+
+type persist_totals = {
+  hits : int;
+  misses : int;
+  corrupt : int;  (** Validation failures, store- and parse-level. *)
+  loaded : int;  (** Records served from disk at session creation. *)
+  files : int;  (** Entry files on disk now. *)
+  bytes : int;
+  read_only : bool;
+}
+
+val persist_totals : t -> persist_totals option
+(** [None] without a store. *)
+
+val docs : t -> Docsession.Manager.t
+(** The versioned-document layer behind the [session-open] /
+    [session-edit] / [session-status] verbs. *)
 
 val prometheus : t -> string
 (** The session's full Prometheus text exposition: request counters (by

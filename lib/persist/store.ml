@@ -1,0 +1,290 @@
+let magic = "ADTCACHE"
+let format_version = 1
+
+type mode = Read_write | Read_only
+
+type record = { kind : string; key : string; value : string }
+
+type t = {
+  dir : string;
+  canon : string;  (* realpath, the in-process lock registry key *)
+  mode : mode;
+  lock_fd : Unix.file_descr option;
+  max_bytes : int option;
+  mutable corrupt : int;
+  mutable closed : bool;
+  corrupt_lock : Mutex.t;
+}
+
+(* {1 The writer lock}
+
+   [lockf] excludes other processes but not the owning process (POSIX
+   record locks are per-process), so a same-process second open is
+   excluded by this registry instead — the read-only fallback behaves
+   identically either way. *)
+
+let registry_lock = Mutex.create ()
+let locked_dirs : (string, unit) Hashtbl.t = Hashtbl.create 8
+
+let rec mkdirs dir =
+  if not (Sys.file_exists dir) then begin
+    mkdirs (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with
+    | Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+    | Unix.Unix_error (e, _, _) ->
+      failwith
+        (Fmt.str "persist: cannot create %s: %s" dir (Unix.error_message e))
+  end
+  else if not (Sys.is_directory dir) then
+    failwith (Fmt.str "persist: %s exists and is not a directory" dir)
+
+let open_ ?max_bytes dir =
+  mkdirs dir;
+  let canon = try Unix.realpath dir with Unix.Unix_error _ | Sys_error _ -> dir in
+  let lock_path = Filename.concat dir "lock" in
+  let mode, lock_fd =
+    Mutex.protect registry_lock (fun () ->
+        if Hashtbl.mem locked_dirs canon then (Read_only, None)
+        else
+          match
+            Unix.openfile lock_path [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_CLOEXEC ] 0o644
+          with
+          | exception Unix.Unix_error _ -> (Read_only, None)
+          | fd -> (
+            match Unix.lockf fd Unix.F_TLOCK 0 with
+            | () ->
+              Hashtbl.replace locked_dirs canon ();
+              (Read_write, Some fd)
+            | exception Unix.Unix_error _ ->
+              (try Unix.close fd with Unix.Unix_error _ -> ());
+              (Read_only, None)))
+  in
+  {
+    dir;
+    canon;
+    mode;
+    lock_fd;
+    max_bytes;
+    corrupt = 0;
+    closed = false;
+    corrupt_lock = Mutex.create ();
+  }
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    match t.lock_fd with
+    | None -> ()
+    | Some fd ->
+      Mutex.protect registry_lock (fun () -> Hashtbl.remove locked_dirs t.canon);
+      (try Unix.close fd with Unix.Unix_error _ -> ())
+  end
+
+let mode t = t.mode
+let dir t = t.dir
+let max_bytes t = t.max_bytes
+
+let bump_corrupt t = Mutex.protect t.corrupt_lock (fun () -> t.corrupt <- t.corrupt + 1)
+let corrupt_count t = Mutex.protect t.corrupt_lock (fun () -> t.corrupt)
+
+(* {1 The entry format} *)
+
+let suffix = ".adtc"
+
+let check_digest digest =
+  let ok =
+    String.length digest = 32
+    && String.for_all
+         (function '0' .. '9' | 'a' .. 'f' -> true | _ -> false)
+         digest
+  in
+  if not ok then
+    invalid_arg (Fmt.str "persist: %S is not a lowercase hex digest" digest)
+
+let entry_path t ~digest =
+  check_digest digest;
+  Filename.concat t.dir (digest ^ suffix)
+
+exception Corrupt
+
+(* magic | version u16 | digest (32 hex chars) | MD5(body) (16 raw bytes)
+   | body length u32 | body; body = record count u32 then, per record,
+   kind (u16-length-prefixed), key and value (u32-length-prefixed) *)
+let header_len = 8 + 2 + 32 + 16 + 4
+
+let encode ~digest records =
+  let body = Buffer.create 1024 in
+  Buffer.add_int32_be body (Int32.of_int (List.length records));
+  List.iter
+    (fun r ->
+      Buffer.add_uint16_be body (String.length r.kind);
+      Buffer.add_string body r.kind;
+      Buffer.add_int32_be body (Int32.of_int (String.length r.key));
+      Buffer.add_string body r.key;
+      Buffer.add_int32_be body (Int32.of_int (String.length r.value));
+      Buffer.add_string body r.value)
+    records;
+  let body = Buffer.contents body in
+  let out = Buffer.create (String.length body + header_len) in
+  Buffer.add_string out magic;
+  Buffer.add_uint16_be out format_version;
+  Buffer.add_string out digest;
+  Buffer.add_string out (Digest.string body);
+  Buffer.add_int32_be out (Int32.of_int (String.length body));
+  Buffer.add_string out body;
+  Buffer.contents out
+
+let decode ~digest data =
+  if String.length data < header_len then raise Corrupt;
+  if not (String.equal (String.sub data 0 8) magic) then raise Corrupt;
+  if String.get_uint16_be data 8 <> format_version then raise Corrupt;
+  if not (String.equal (String.sub data 10 32) digest) then raise Corrupt;
+  let sum = String.sub data 42 16 in
+  let body_len = Int32.to_int (String.get_int32_be data 58) in
+  if body_len < 0 || String.length data <> header_len + body_len then
+    raise Corrupt;
+  let body = String.sub data header_len body_len in
+  if not (String.equal (Digest.string body) sum) then raise Corrupt;
+  let pos = ref 0 in
+  let need n =
+    if n < 0 || !pos + n > body_len then raise Corrupt;
+    let p = !pos in
+    pos := p + n;
+    p
+  in
+  let u16 () = String.get_uint16_be body (need 2) in
+  let u32 () =
+    let n = Int32.to_int (String.get_int32_be body (need 4)) in
+    if n < 0 then raise Corrupt;
+    n
+  in
+  let str n = String.sub body (need n) n in
+  let count = u32 () in
+  if count > body_len then raise Corrupt;
+  let records = ref [] in
+  for _ = 1 to count do
+    let kind = str (u16 ()) in
+    let key = str (u32 ()) in
+    let value = str (u32 ()) in
+    records := { kind; key; value } :: !records
+  done;
+  if !pos <> body_len then raise Corrupt;
+  List.rev !records
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load t ~digest =
+  let path = entry_path t ~digest in
+  match read_file path with
+  | exception Sys_error _ -> []
+  | data -> (
+    (* any validation failure — foreign magic, version bump, digest
+       mismatch, torn write, flipped bit, truncated record — is a miss *)
+    match decode ~digest data with
+    | records -> records
+    | exception Corrupt ->
+      bump_corrupt t;
+      [])
+
+(* {1 Atomic writes} *)
+
+let write_atomic t ~digest data =
+  let path = entry_path t ~digest in
+  let tmp =
+    Filename.concat t.dir
+      (Fmt.str ".tmp-%s-%d" digest (Unix.getpid ()))
+  in
+  let oc = open_out_bin tmp in
+  (match output_string oc data; close_out oc with
+  | () -> ()
+  | exception Sys_error _ ->
+    close_out_noerr oc;
+    (try Sys.remove tmp with Sys_error _ -> ()));
+  (* rename is atomic on POSIX: readers see the old entry or the new
+     one, never a prefix *)
+  try Unix.rename tmp path
+  with Unix.Unix_error _ -> ( try Sys.remove tmp with Sys_error _ -> ())
+
+(* {1 Size accounting and GC} *)
+
+let entries t =
+  match Sys.readdir t.dir with
+  | exception Sys_error _ -> []
+  | names ->
+    Array.to_list names
+    |> List.filter (fun n -> Filename.check_suffix n suffix)
+    |> List.filter_map (fun n ->
+           let path = Filename.concat t.dir n in
+           match Unix.stat path with
+           | { Unix.st_kind = Unix.S_REG; st_size; st_mtime; _ } ->
+             Some (path, st_size, st_mtime)
+           | _ | (exception Unix.Unix_error _) -> None)
+
+type stats = { files : int; bytes : int }
+
+let stats t =
+  List.fold_left
+    (fun acc (_, size, _) -> { files = acc.files + 1; bytes = acc.bytes + size })
+    { files = 0; bytes = 0 } (entries t)
+
+let gc ?max_bytes t =
+  match (match max_bytes with Some _ -> max_bytes | None -> t.max_bytes) with
+  | None -> 0
+  | Some bound ->
+    let es = entries t in
+    let total = List.fold_left (fun n (_, size, _) -> n + size) 0 es in
+    if total <= bound then 0
+    else begin
+      (* oldest first; mtime ties break on path for determinism *)
+      let oldest =
+        List.sort
+          (fun (pa, _, ma) (pb, _, mb) ->
+            match Float.compare ma mb with
+            | 0 -> String.compare pa pb
+            | c -> c)
+          es
+      in
+      let removed = ref 0 in
+      let remaining = ref total in
+      List.iter
+        (fun (path, size, _) ->
+          if !remaining > bound then begin
+            match Sys.remove path with
+            | () ->
+              incr removed;
+              remaining := !remaining - size
+            | exception Sys_error _ -> ()
+          end)
+        oldest;
+      !removed
+    end
+
+let clear t =
+  List.fold_left
+    (fun n (path, _, _) ->
+      match Sys.remove path with () -> n + 1 | exception Sys_error _ -> n)
+    0 (entries t)
+
+let append t ~digest records =
+  match t.mode with
+  | Read_only -> ()
+  | Read_write ->
+    if records <> [] then begin
+      let existing = load t ~digest in
+      let replaced =
+        List.filter
+          (fun old ->
+            not
+              (List.exists
+                 (fun r ->
+                   String.equal r.kind old.kind && String.equal r.key old.key)
+                 records))
+          existing
+      in
+      write_atomic t ~digest (encode ~digest (replaced @ records));
+      ignore (gc t)
+    end

@@ -1,0 +1,82 @@
+(** Crash-safe on-disk result store, keyed by content digest.
+
+    One store is a directory; one entry file per specification digest
+    ({!Adt.Spec_digest.spec}), holding a flat list of [(kind, key,
+    value)] string records — the store is deliberately dumb: the engine
+    decides that a record is a normal form keyed by a canonical term
+    rendering, a lint payload, or a testgen verdict. Being keyed by
+    content means an entry outlives the process (warm restarts) and is
+    never served for an edited specification (a different digest is a
+    different file).
+
+    {b Crash safety.} Writes build the whole entry file in a temporary
+    sibling and [rename] it into place — readers see either the old
+    complete entry or the new complete entry, never a torn one. Entry
+    files carry a magic header, a format version, the digest they claim
+    to serve, and an MD5 checksum of the body; a short read, a flipped
+    bit, a foreign file, or a format bump all fail validation and are
+    {e counted and treated as a miss — never a crash and never a wrong
+    answer} (the differential suite in [test/test_persist.ml] holds the
+    engine to that).
+
+    {b Single writer.} The first open of a directory (per machine, via
+    [lockf]; per process, via an in-process registry — POSIX record
+    locks do not exclude the owning process) gets read-write mode;
+    every later open falls back to {!Read_only}, where {!append} is a
+    no-op and reads still serve. So a second server pointed at a live
+    cache directory degrades instead of corrupting.
+
+    {b Bounded size.} [max_bytes] garbage-collects oldest-first (entry
+    mtime) after every append; [gc]/[stats]/[clear] back the
+    [adtc cache] commands. *)
+
+type t
+
+type mode = Read_write | Read_only
+
+type record = { kind : string; key : string; value : string }
+
+val magic : string
+val format_version : int
+
+val open_ : ?max_bytes:int -> string -> t
+(** Opens (creating if needed) the store directory. Raises [Failure]
+    when the directory cannot be created; lock contention is not an
+    error — it yields a {!Read_only} store. *)
+
+val close : t -> unit
+(** Releases the writer lock (idempotent). *)
+
+val mode : t -> mode
+val dir : t -> string
+val max_bytes : t -> int option
+
+val entry_path : t -> digest:string -> string
+(** Where the entry for [digest] lives — exposed for the corruption
+    tests. *)
+
+val load : t -> digest:string -> record list
+(** The records of the entry, or [[]] when the entry is absent or fails
+    validation (the latter bumps {!corrupt_count}). *)
+
+val append : t -> digest:string -> record list -> unit
+(** Merges the records into the entry — a new record replaces an
+    existing one with the same [(kind, key)] — and atomically replaces
+    the entry file. A no-op in {!Read_only} mode. Runs the size-bound
+    GC when [max_bytes] was given. *)
+
+val corrupt_count : t -> int
+(** Validation failures observed by this handle (monotone). *)
+
+type stats = { files : int; bytes : int }
+
+val stats : t -> stats
+(** Entry files only (lock and temporary files excluded). *)
+
+val gc : ?max_bytes:int -> t -> int
+(** Deletes oldest entries until the store fits [max_bytes] (default:
+    the bound given at {!open_}; no bound means no deletion). Returns
+    the number of entries removed. *)
+
+val clear : t -> int
+(** Deletes every entry. Returns the number removed. *)

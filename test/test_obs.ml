@@ -236,6 +236,9 @@ let one_of_each =
     Protocol.Testgen { spec = "Queue"; impl = None; count = None; seed = None };
     Protocol.Prove
       { spec = "Queue"; vars = []; lhs = "NEW"; rhs = "NEW"; fuel = None };
+    Protocol.Session_open { spec = "Queue" };
+    Protocol.Session_edit { spec = "Queue"; lines = 1 };
+    Protocol.Session_status { spec = "Queue" };
     Protocol.Stats { verbose = false };
     Protocol.Metrics;
     Protocol.Slowlog;

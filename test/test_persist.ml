@@ -1,0 +1,375 @@
+(* The persistent result store: entry round-trips, every corruption mode
+   (truncation, bit flips, foreign magic, version bumps) degrading to a
+   counted miss, single-writer fallback, the GC bound, and the
+   differential guarantee — a session answering from the store is
+   byte-identical (steps aside) to one that computes everything. *)
+
+open Adt
+open Engine
+
+let unique =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Fmt.str "adtc-test-persist-%d-%d" (Unix.getpid ()) !n)
+
+let rm_dir dir =
+  if Sys.file_exists dir then begin
+    Array.iter
+      (fun name -> try Sys.remove (Filename.concat dir name) with Sys_error _ -> ())
+      (Sys.readdir dir);
+    try Unix.rmdir dir with Unix.Unix_error _ -> ()
+  end
+
+let with_dir f =
+  let dir = unique () in
+  Fun.protect ~finally:(fun () -> rm_dir dir) (fun () -> f dir)
+
+let digest_of s = Digest.to_hex (Digest.string s)
+
+let record kind key value = { Persist.Store.kind; key; value }
+
+let records_t =
+  Alcotest.testable
+    (fun ppf rs ->
+      Fmt.pf ppf "[%s]"
+        (String.concat "; "
+           (List.map
+              (fun r ->
+                Fmt.str "(%s,%s,%s)" r.Persist.Store.kind r.Persist.Store.key
+                  r.Persist.Store.value)
+              rs)))
+    (fun a b ->
+      List.length a = List.length b
+      && List.for_all2
+           (fun x y ->
+             String.equal x.Persist.Store.kind y.Persist.Store.kind
+             && String.equal x.Persist.Store.key y.Persist.Store.key
+             && String.equal x.Persist.Store.value y.Persist.Store.value)
+           a b)
+
+(* {1 Round trips} *)
+
+let test_roundtrip () =
+  with_dir @@ fun dir ->
+  let store = Persist.Store.open_ dir in
+  Fun.protect ~finally:(fun () -> Persist.Store.close store) @@ fun () ->
+  let digest = digest_of "roundtrip" in
+  Alcotest.check records_t "missing entry loads empty" []
+    (Persist.Store.load store ~digest);
+  let rs =
+    [ record "nf" "FRONT(NEW)" "E 1 Item"; record "lint" "Queue" "findings=0" ]
+  in
+  Persist.Store.append store ~digest rs;
+  Alcotest.check records_t "round trip" rs (Persist.Store.load store ~digest);
+  Alcotest.(check int) "no corruption" 0 (Persist.Store.corrupt_count store)
+
+let test_merge_replaces () =
+  with_dir @@ fun dir ->
+  let store = Persist.Store.open_ dir in
+  Fun.protect ~finally:(fun () -> Persist.Store.close store) @@ fun () ->
+  let digest = digest_of "merge" in
+  Persist.Store.append store ~digest [ record "nf" "k" "old"; record "m" "k" "x" ];
+  Persist.Store.append store ~digest [ record "nf" "k" "new" ];
+  Alcotest.check records_t "same (kind,key) replaced, others kept"
+    [ record "m" "k" "x"; record "nf" "k" "new" ]
+    (Persist.Store.load store ~digest)
+
+let test_bad_digest_rejected () =
+  with_dir @@ fun dir ->
+  let store = Persist.Store.open_ dir in
+  Fun.protect ~finally:(fun () -> Persist.Store.close store) @@ fun () ->
+  List.iter
+    (fun digest ->
+      match Persist.Store.entry_path store ~digest with
+      | (_ : string) -> Alcotest.failf "digest %S accepted" digest
+      | exception Invalid_argument _ -> ())
+    [ "short"; String.make 32 'G'; "../../../../../../etc/passwd"; "" ]
+
+(* {1 Corruption: always a counted miss, never a crash} *)
+
+let entry_bytes path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_bytes path data =
+  let oc = open_out_bin path in
+  output_string oc data;
+  close_out oc
+
+let corruption_case mutate =
+  with_dir @@ fun dir ->
+  let store = Persist.Store.open_ dir in
+  Fun.protect ~finally:(fun () -> Persist.Store.close store) @@ fun () ->
+  let digest = digest_of "victim" in
+  Persist.Store.append store ~digest
+    [ record "nf" "some key" "some value"; record "check" "k" "v" ];
+  let path = Persist.Store.entry_path store ~digest in
+  write_bytes path (mutate (entry_bytes path));
+  let before = Persist.Store.corrupt_count store in
+  Alcotest.check records_t "corrupt entry is a miss" []
+    (Persist.Store.load store ~digest);
+  Alcotest.(check int) "and is counted" (before + 1)
+    (Persist.Store.corrupt_count store)
+
+let test_truncated () =
+  corruption_case (fun data -> String.sub data 0 (String.length data - 3));
+  (* truncated into the header, too *)
+  corruption_case (fun data -> String.sub data 0 5)
+
+let test_bit_flip () =
+  corruption_case (fun data ->
+      let b = Bytes.of_string data in
+      let i = Bytes.length b - 4 in
+      Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x40));
+      Bytes.to_string b)
+
+let test_wrong_magic () =
+  corruption_case (fun data -> "NOTCACHE" ^ String.sub data 8 (String.length data - 8))
+
+let test_version_bump () =
+  corruption_case (fun data ->
+      let b = Bytes.of_string data in
+      Bytes.set_uint16_be b 8 (Persist.Store.format_version + 1);
+      Bytes.to_string b)
+
+let test_wrong_digest_claim () =
+  (* an entry renamed onto another digest's path must not be served *)
+  with_dir @@ fun dir ->
+  let store = Persist.Store.open_ dir in
+  Fun.protect ~finally:(fun () -> Persist.Store.close store) @@ fun () ->
+  let d1 = digest_of "one" and d2 = digest_of "two" in
+  Persist.Store.append store ~digest:d1 [ record "nf" "k" "v" ];
+  Sys.rename
+    (Persist.Store.entry_path store ~digest:d1)
+    (Persist.Store.entry_path store ~digest:d2);
+  Alcotest.check records_t "foreign entry is a miss" []
+    (Persist.Store.load store ~digest:d2);
+  Alcotest.(check int) "counted" 1 (Persist.Store.corrupt_count store)
+
+(* {1 Single writer} *)
+
+let test_second_open_read_only () =
+  with_dir @@ fun dir ->
+  let first = Persist.Store.open_ dir in
+  let second = Persist.Store.open_ dir in
+  Alcotest.(check bool) "first open writes" true
+    (Persist.Store.mode first = Persist.Store.Read_write);
+  Alcotest.(check bool) "second open degrades to read-only" true
+    (Persist.Store.mode second = Persist.Store.Read_only);
+  let digest = digest_of "writer" in
+  Persist.Store.append second ~digest [ record "nf" "k" "v" ];
+  Alcotest.check records_t "read-only append is a no-op" []
+    (Persist.Store.load second ~digest);
+  Persist.Store.append first ~digest [ record "nf" "k" "v" ];
+  Alcotest.check records_t "read-only handle still reads"
+    [ record "nf" "k" "v" ]
+    (Persist.Store.load second ~digest);
+  Persist.Store.close second;
+  Persist.Store.close first;
+  (* the lock is released on close: a fresh open writes again *)
+  let third = Persist.Store.open_ dir in
+  Fun.protect ~finally:(fun () -> Persist.Store.close third) @@ fun () ->
+  Alcotest.(check bool) "lock released on close" true
+    (Persist.Store.mode third = Persist.Store.Read_write)
+
+(* {1 The size bound} *)
+
+let test_gc_bound () =
+  with_dir @@ fun dir ->
+  let store = Persist.Store.open_ dir in
+  Fun.protect ~finally:(fun () -> Persist.Store.close store) @@ fun () ->
+  let payload = String.make 200 'x' in
+  List.iteri
+    (fun i digest ->
+      Persist.Store.append store ~digest [ record "nf" "k" payload ];
+      (* distinct mtimes, so "oldest" is well-defined on coarse clocks *)
+      let path = Persist.Store.entry_path store ~digest in
+      let t = Unix.time () -. float_of_int (100 - i) in
+      Unix.utimes path t t)
+    [ digest_of "a"; digest_of "b"; digest_of "c"; digest_of "d" ];
+  let before = Persist.Store.stats store in
+  Alcotest.(check int) "four entries" 4 before.Persist.Store.files;
+  let bound = (before.Persist.Store.bytes / 4 * 2) + 1 in
+  let removed = Persist.Store.gc ~max_bytes:bound store in
+  let after = Persist.Store.stats store in
+  Alcotest.(check int) "oldest two collected" 2 removed;
+  Alcotest.(check bool)
+    (Fmt.str "bytes %d fit the bound %d" after.Persist.Store.bytes bound)
+    true
+    (after.Persist.Store.bytes <= bound);
+  (* the newest entries survived *)
+  Alcotest.check records_t "newest survives"
+    [ record "nf" "k" payload ]
+    (Persist.Store.load store ~digest:(digest_of "d"));
+  Alcotest.check records_t "oldest gone" []
+    (Persist.Store.load store ~digest:(digest_of "a"));
+  Alcotest.(check int) "a GC'd entry is a miss, not corruption" 0
+    (Persist.Store.corrupt_count store)
+
+let test_clear () =
+  with_dir @@ fun dir ->
+  let store = Persist.Store.open_ dir in
+  Fun.protect ~finally:(fun () -> Persist.Store.close store) @@ fun () ->
+  Persist.Store.append store ~digest:(digest_of "a") [ record "nf" "k" "v" ];
+  Persist.Store.append store ~digest:(digest_of "b") [ record "nf" "k" "v" ];
+  Alcotest.(check int) "clear removes every entry" 2 (Persist.Store.clear store);
+  Alcotest.(check int) "empty after clear" 0
+    (Persist.Store.stats store).Persist.Store.files
+
+(* {1 The differential guarantee}
+
+   A session with a store — cold, warm-restarted, or re-keyed by an edit —
+   answers normalize requests with the same normal forms as a storeless
+   session. Steps differ by design (a persistent hit reports 0), so the
+   comparison masks them. *)
+
+let mask_steps line =
+  String.concat " "
+    (List.map
+       (fun w ->
+         if String.length w >= 6 && String.equal (String.sub w 0 6) "steps=" then
+           "steps=_"
+         else w)
+       (String.split_on_char ' ' line))
+
+let reply session line =
+  match Dispatch.handle_line session line with
+  | Dispatch.Reply r -> r
+  | Dispatch.Silent | Dispatch.Closed -> Alcotest.failf "no reply for %S" line
+
+let queue_requests =
+  (* random constructor queues under each observer, plus repeats so the
+     warm run exercises genuine hits *)
+  let spec = Adt_specs.Queue_spec.spec in
+  let universe = Enum.universe spec in
+  let rng = Random.State.make [| 0x5eed |] in
+  let qs =
+    List.init 12 (fun i ->
+        match
+          Enum.random_term universe (Sort.v "Queue") ~size:(2 + (i mod 5)) rng
+        with
+        | Some q -> q
+        | None -> Alcotest.fail "Queue has generators")
+  in
+  List.concat_map
+    (fun q ->
+      List.map
+        (fun op -> Fmt.str "normalize Queue %s(%s)" op (Term.to_string q))
+        [ "FRONT"; "REMOVE"; "IS_EMPTY?" ])
+    qs
+
+let test_differential_cold_warm () =
+  with_dir @@ fun dir ->
+  let specs = [ Adt_specs.Queue_spec.spec ] in
+  let bare = Session.create specs in
+  let expected = List.map (fun r -> mask_steps (reply bare r)) queue_requests in
+  (* cold: computes and records *)
+  let store1 = Persist.Store.open_ dir in
+  let cold = Session.create ~store:store1 specs in
+  let cold_got = List.map (fun r -> mask_steps (reply cold r)) queue_requests in
+  Alcotest.(check (list string)) "cold = uncached" expected cold_got;
+  Session.persist_flush cold;
+  Persist.Store.close store1;
+  (* warm: a new process would start exactly here *)
+  let store2 = Persist.Store.open_ dir in
+  let warm = Session.create ~store:store2 specs in
+  let warm_got = List.map (fun r -> mask_steps (reply warm r)) queue_requests in
+  Alcotest.(check (list string)) "warm = uncached" expected warm_got;
+  (match Session.persist_totals warm with
+  | None -> Alcotest.fail "warm session has a store"
+  | Some t ->
+    Alcotest.(check bool)
+      (Fmt.str "warm run hits (%d hits, %d misses)" t.Session.hits
+         t.Session.misses)
+      true
+      (t.Session.hits > 0 && t.Session.misses = 0);
+    Alcotest.(check int) "nothing corrupt" 0 t.Session.corrupt;
+    Alcotest.(check bool) "warm entries loaded" true (t.Session.loaded > 0));
+  Persist.Store.close store2
+
+let edited_queue_source =
+  {|spec Item
+  sort Item
+  ops
+    ITEM1 : -> Item
+    ITEM2 : -> Item
+    ITEM3 : -> Item
+  constructors ITEM1 ITEM2 ITEM3
+end
+
+spec Queue
+  uses Item
+  sort Queue
+  ops
+    NEW : -> Queue
+    ADD : Queue Item -> Queue
+    FRONT : Queue -> Item
+    REMOVE : Queue -> Queue
+    IS_EMPTY? : Queue -> Bool
+  constructors NEW ADD
+  vars
+    q : Queue
+    i : Item
+  axioms
+    [1] IS_EMPTY?(NEW) = true
+    [2] IS_EMPTY?(ADD(q, i)) = false
+    [3] FRONT(NEW) = error
+    [4] FRONT(ADD(q, i)) = i
+    [5] REMOVE(NEW) = error
+    [6] REMOVE(ADD(q, i)) = if IS_EMPTY?(q) then NEW else ADD(REMOVE(q), i)
+end|}
+
+let test_differential_post_edit () =
+  (* a semantic edit changes the digest: a store warmed by the original
+     specification must never serve its normal forms to the edited one
+     (FRONT now reads the back of the queue) *)
+  with_dir @@ fun dir ->
+  let edited =
+    match Parser.parse_spec edited_queue_source with
+    | Ok spec -> spec
+    | Error e -> Alcotest.failf "edited source: %a" Parser.pp_error e
+  in
+  let store1 = Persist.Store.open_ dir in
+  let cold = Session.create ~store:store1 [ Adt_specs.Queue_spec.spec ] in
+  List.iter (fun r -> ignore (reply cold r)) queue_requests;
+  Session.persist_flush cold;
+  Persist.Store.close store1;
+  let bare = Session.create [ edited ] in
+  let expected = List.map (fun r -> mask_steps (reply bare r)) queue_requests in
+  let store2 = Persist.Store.open_ dir in
+  let after = Session.create ~store:store2 [ edited ] in
+  let got = List.map (fun r -> mask_steps (reply after r)) queue_requests in
+  Alcotest.(check (list string)) "post-edit = uncached on the edit" expected
+    got;
+  (match Session.persist_totals after with
+  | None -> Alcotest.fail "edited session has a store"
+  | Some t ->
+    Alcotest.(check int) "no stale hits across the edit" 0 t.Session.hits);
+  Persist.Store.close store2
+
+let suite =
+  [
+    Alcotest.test_case "entry round trip" `Quick test_roundtrip;
+    Alcotest.test_case "merge replaces same (kind,key)" `Quick test_merge_replaces;
+    Alcotest.test_case "digest validation" `Quick test_bad_digest_rejected;
+    Alcotest.test_case "truncated entry is a counted miss" `Quick test_truncated;
+    Alcotest.test_case "bit flip is a counted miss" `Quick test_bit_flip;
+    Alcotest.test_case "foreign magic is a counted miss" `Quick test_wrong_magic;
+    Alcotest.test_case "version bump is a counted miss" `Quick test_version_bump;
+    Alcotest.test_case "renamed entry is a counted miss" `Quick
+      test_wrong_digest_claim;
+    Alcotest.test_case "second open falls back to read-only" `Quick
+      test_second_open_read_only;
+    Alcotest.test_case "gc enforces the byte bound oldest-first" `Quick
+      test_gc_bound;
+    Alcotest.test_case "clear empties the store" `Quick test_clear;
+    Alcotest.test_case "differential: cold and warm match uncached" `Quick
+      test_differential_cold_warm;
+    Alcotest.test_case "differential: an edit never sees stale entries" `Quick
+      test_differential_post_edit;
+  ]
