@@ -1092,6 +1092,61 @@ let write_e16 path =
           r.e16_nf_identical);
     Fmt.pr "wrote the e16 restart report to %s@." path
 
+(* {1 E17 - verification wall-clock: ADT020/021/022 per corpus spec} *)
+
+(* One [Verify.summarize] per specification: the Maranget usefulness
+   matrix behind sufficient completeness, the greedy RPO precedence
+   search behind termination, and the critical-pair joinability check
+   behind confluence. `adtc check` and the ADT02x lint rules pay exactly
+   this on every run, so the per-spec cost is the interactive latency
+   floor for the decision passes. *)
+
+let e17 () =
+  Fmt.pr "@.=== E17: verification cost (completeness + termination + confluence) ===@.";
+  Fmt.pr
+    "(one Verify.summarize per specification = the Maranget matrix + the RPO@.";
+  Fmt.pr
+    " precedence search + critical-pair joinability; adtc check/lint pay this@.";
+  Fmt.pr " on every run)@.";
+  let specs = Corpus.all in
+  let summaries = List.map Analysis.Verify.summarize specs in
+  let verified = List.filter Analysis.Verify.verified summaries in
+  Fmt.pr "  builtin library: %d specification(s), %d fully verified@."
+    (List.length specs) (List.length verified);
+  let reps = 25 in
+  let rows =
+    List.map
+      (fun spec ->
+        let (), elapsed =
+          seconds (fun () ->
+              for _ = 1 to reps do
+                ignore (Analysis.Verify.summarize spec)
+              done)
+        in
+        ( Fmt.str "e17/verify/%s" (String.lowercase_ascii (Spec.name spec)),
+          elapsed *. 1e9 /. float_of_int reps ))
+      specs
+  in
+  let (), library_elapsed =
+    seconds (fun () ->
+        for _ = 1 to reps do
+          List.iter (fun s -> ignore (Analysis.Verify.summarize s)) specs
+        done)
+  in
+  let rows =
+    rows
+    @ [ ("e17/verify/builtin-library", library_elapsed *. 1e9 /. float_of_int reps) ]
+  in
+  json_rows := !json_rows @ rows;
+  List.iter
+    (fun (name, ns) -> Fmt.pr "  %-46s %s/op@." name (pretty_ns ns))
+    rows;
+  (* the acceptance gate: the shipped library must decide clean *)
+  if List.length verified <> List.length specs then
+    failwith
+      (Fmt.str "e17: %d corpus specification(s) failed verification"
+         (List.length specs - List.length verified))
+
 let () =
   Fmt.pr "Reproduction benches for Guttag, 'Abstract Data Types and the Development of Data Structures' (CACM 1977)@.";
   let json_path = ref None in
@@ -1130,6 +1185,7 @@ let () =
   e14 ();
   e15 ();
   e16 ();
+  e17 ();
   Option.iter write_json !json_path;
   Option.iter write_saturation !saturation_path;
   Option.iter write_e16 !e16_path;

@@ -1,8 +1,9 @@
 (* adtc — command-line front end for the algebraic specification toolkit.
 
    Subcommands:
-     check       parse a .adt file, report sufficient-completeness and
-                 consistency
+     check       parse a .adt file, report sufficient-completeness,
+                 consistency and the verification verdict (completeness /
+                 termination / confluence)
      lint        run every ADTxxx lint rule; text, JSON-lines or SARIF
      testgen     run a spec's generated conformance suite against a
                  registered OCaml implementation (or the mutation corpus)
@@ -103,18 +104,25 @@ let check_cmd =
           Fmt.pr "%a@." Adt.Completeness.pp_report comp;
           let cons = Adt.Consistency.check spec in
           Fmt.pr "%a@." Adt.Consistency.pp_report cons;
-          (* the static lint rules (ADT010..ADT014) catch defects the two
-             semantic reports above cannot: a full lint run is `adtc lint` *)
-          let static = Analysis.Lint.static spec in
+          (* the verification verdict: pattern-matrix sufficient
+             completeness, RPO termination, critical-pair confluence *)
+          let summary = Analysis.Verify.summarize spec in
+          Fmt.pr "%s@." (Fmt.str "%a" Analysis.Verify.pp_summary summary);
+          (* the static lint rules (ADT010..ADT014) and the verification
+             rules (ADT020..ADT022) catch defects the two semantic reports
+             above cannot: a full lint run is `adtc lint` *)
+          let findings =
+            Analysis.Lint.static spec @ Analysis.Lint.verify spec
+          in
           List.iter
             (fun d -> Fmt.pr "%s@." (Analysis.Diagnostic.to_line d))
-            static;
+            findings;
           let lint_ok =
             not
               (List.exists
                  (fun d ->
                    d.Analysis.Diagnostic.severity = Analysis.Diagnostic.Error)
-                 static)
+                 findings)
           in
           let ok =
             Adt.Completeness.is_complete comp
@@ -128,8 +136,10 @@ let check_cmd =
     if failures > 0 then 1 else 0
   in
   let doc =
-    "Check sufficient-completeness and consistency of specifications (plus \
-     the static ADTxxx lint rules; error-severity findings fail the check)."
+    "Check sufficient-completeness and consistency of specifications, with \
+     a verification verdict (pattern-matrix completeness, RPO termination, \
+     critical-pair confluence) plus the static ADTxxx lint rules; \
+     error-severity findings fail the check."
   in
   Cmd.v
     (Cmd.info "check" ~doc ~exits:analysis_exits)
@@ -245,9 +255,11 @@ let lint_cmd =
   in
   let doc =
     "Run every ADTxxx lint rule over specifications: the sufficient-\
-     completeness and critical-pair analyses (ADT001, ADT002) plus the \
-     static rules (non-left-linear axioms, free right-hand-side variables, \
-     dead axioms, unreachable sorts, error-matching axioms)."
+     completeness and critical-pair analyses (ADT001, ADT002), the static \
+     rules (non-left-linear axioms, free right-hand-side variables, dead \
+     axioms, unreachable sorts, error-matching axioms), and the \
+     verification passes (ADT020 pattern-matrix completeness, ADT021 RPO \
+     termination, ADT022 critical-pair confluence)."
   in
   Cmd.v
     (Cmd.info "lint" ~doc ~exits:analysis_exits)

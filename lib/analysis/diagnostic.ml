@@ -93,6 +93,35 @@ let rules =
          propagation is builtin and rewrites the argument first, so the \
          axiom can never fire.";
     };
+    {
+      rule_code = "ADT020";
+      slug = "sufficient-completeness";
+      default_severity = Error;
+      summary =
+        "A pattern-matrix usefulness check found a ground constructor \
+         context no executable axiom matches at the root: the \
+         specification is decided not sufficiently complete, and the \
+         uncovered context is reported as the witness.";
+    };
+    {
+      rule_code = "ADT021";
+      slug = "termination";
+      default_severity = Error;
+      summary =
+        "No recursive path ordering found by greedy precedence search \
+         orients every executable axiom: termination of the rewrite \
+         system is unproven, and the non-orientable axioms are reported.";
+    };
+    {
+      rule_code = "ADT022";
+      slug = "confluence";
+      default_severity = Error;
+      summary =
+        "Critical-pair analysis over proper subterm overlaps with fueled \
+         joinability could not establish confluence: either a pair \
+         diverges (not locally confluent), or local confluence holds but \
+         termination is unproven so Newman's lemma does not apply.";
+    };
   ]
 
 let codes = List.map (fun r -> r.rule_code) rules

@@ -65,7 +65,13 @@ val rules : rule_info list
     - [ADT011 free-rhs-variable] (error) — non-executable axiom
     - [ADT012 dead-axiom] (warning) — axiom shadowed by an earlier one
     - [ADT013 unreachable-sort] (error) — constructed sort with no ground term
-    - [ADT014 non-strict-error] (warning) — axiom pattern-matches on [error] *)
+    - [ADT014 non-strict-error] (warning) — axiom pattern-matches on [error]
+    - [ADT020 sufficient-completeness] (error) — uncovered constructor
+      context decided by pattern-matrix usefulness
+    - [ADT021 termination] (error) — axiom no searched recursive path
+      ordering orients
+    - [ADT022 confluence] (error) — confluence refuted or not established
+      by critical pairs + Newman *)
 
 val codes : string list
 (** The codes of {!rules}, in order. *)

@@ -27,53 +27,15 @@ let missing_cases spec =
            p.question))
     (Heuristics.prompts spec)
 
-(* ADT002: adapt the critical-pair analysis. Distinct value normal forms
-   prove inconsistency (error); divergence between non-value terms is a
-   warning; a joinability-search timeout is informational. *)
-let critical_pairs ?fuel spec =
-  let report = Consistency.check ?fuel spec in
-  let is_value t = Spec.is_constructor_ground_term spec t || Term.is_error t in
-  let op_of_peak t =
-    match Term.view t with Term.App (op, _) -> Some (Op.name op) | _ -> None
-  in
-  List.filter_map
-    (fun ((cp : Consistency.cp), verdict) ->
-      let mk severity message suggestion =
-        Some
-          (Diagnostic.v ~code:"ADT002" ~severity ~spec:(Spec.name spec)
-             ?op:(op_of_peak cp.Consistency.peak)
-             ~axiom:cp.Consistency.rule1 ~suggestion message)
-      in
-      match verdict with
-      | Consistency.Joinable _ -> None
-      | Consistency.Diverges (l, r) when is_value l && is_value r ->
-        mk Diagnostic.Error
-          (Fmt.str
-             "axioms [%s] and [%s] rewrite %a to distinct values %a and %a: \
-              the axiomatisation is inconsistent"
-             cp.Consistency.rule1 cp.Consistency.rule2 Term.pp
-             cp.Consistency.peak Term.pp l Term.pp r)
-          (Fmt.str "reconcile the overlapping axioms [%s] and [%s]"
-             cp.Consistency.rule1 cp.Consistency.rule2)
-      | Consistency.Diverges (l, r) ->
-        mk Diagnostic.Warning
-          (Fmt.str
-             "axioms [%s] and [%s] rewrite %a to distinct normal forms %a \
-              and %a; local confluence fails"
-             cp.Consistency.rule1 cp.Consistency.rule2 Term.pp
-             cp.Consistency.peak Term.pp l Term.pp r)
-          (Fmt.str "add an axiom joining %a and %a" Term.pp l Term.pp r)
-      | Consistency.Timeout ->
-        mk Diagnostic.Info
-          (Fmt.str
-             "joinability of the critical pair of [%s] and [%s] at %a was \
-              not decided within the fuel budget"
-             cp.Consistency.rule1 cp.Consistency.rule2 Term.pp
-             cp.Consistency.peak)
-          "re-run with a larger fuel budget")
-    report.Consistency.pairs
+(* the analysis pass-version, persisted into the engine's lint record kind:
+   bumping it invalidates every cached lint verdict produced by an older
+   pass set (counted as store misses, never served stale). Bump on any
+   change to the rule set or to a rule's semantics. Version 2 added the
+   verification passes ADT020-ADT022. *)
+let pass_version = 2
 
 let static_codes = [ "ADT010"; "ADT011"; "ADT012"; "ADT013"; "ADT014" ]
+let verify_codes = [ "ADT020"; "ADT021"; "ADT022" ]
 
 let pass_of_code = function
   | "ADT010" -> Left_linear.check
@@ -95,17 +57,26 @@ let run ?(config = default_config) spec =
         codes;
       List.mem code codes
   in
+  (* ADT002, ADT021 and ADT022 all consume the same critical-pair and
+     precedence-search analysis, computed once per run — the rules cannot
+     disagree about which pairs exist, whether they join, or whether the
+     system terminates *)
+  let analysis = lazy (Verify.analyze ?fuel:config.fuel spec) in
   List.concat_map
     (fun (r : Diagnostic.rule_info) ->
       if not (wanted r.Diagnostic.rule_code) then []
       else
         match r.Diagnostic.rule_code with
         | "ADT001" -> missing_cases spec
-        | "ADT002" -> critical_pairs ?fuel:config.fuel spec
+        | "ADT002" -> Verify.adt002 (Lazy.force analysis)
+        | "ADT020" -> Verify.adt020 spec
+        | "ADT021" -> Verify.adt021 (Lazy.force analysis)
+        | "ADT022" -> Verify.adt022 (Lazy.force analysis)
         | code -> pass_of_code code spec)
     Diagnostic.rules
 
 let static spec = run ~config:{ only = Some static_codes; fuel = None } spec
+let verify spec = run ~config:{ only = Some verify_codes; fuel = None } spec
 
 let counts_by_rule diags =
   List.map

@@ -3,17 +3,21 @@
 
     Two rules adapt existing semantic analyses — ADT001 wraps
     {!Adt.Heuristics.prompts} (sufficient completeness) and ADT002 wraps
-    {!Adt.Consistency.check} (critical pairs) — while the ADT01x rules are
-    purely syntactic passes over the axiom list. [static] runs only the
-    syntactic passes; [adtc check] uses it to avoid re-reporting
-    completeness and consistency results it already prints itself. *)
+    the critical-pair analysis — the ADT01x rules are purely syntactic
+    passes over the axiom list, and the ADT02x rules are the {!Verify}
+    decision passes (pattern-matrix completeness, RPO termination,
+    critical-pair confluence). ADT002, ADT021 and ADT022 share one
+    {!Verify.analyze} computation per run, so their verdicts can never
+    disagree. [static] runs only the syntactic passes and [verify] only
+    the decision passes; [adtc check] uses both alongside the completeness
+    and consistency reports it prints itself. *)
 
 type config = {
   only : string list option;
       (** Restrict to these rule codes; [None] runs every rule. Unknown
           codes raise [Invalid_argument] in {!run}. *)
   fuel : int option;
-      (** Fuel for the ADT002 joinability search ([None] = the
+      (** Fuel for the ADT002/ADT022 joinability search ([None] = the
           {!Adt.Consistency.check} default). *)
 }
 
@@ -28,6 +32,18 @@ val static_codes : string list
 
 val static : Adt.Spec.t -> Diagnostic.t list
 (** [run] restricted to {!static_codes}. *)
+
+val verify_codes : string list
+(** The decision passes: ADT020, ADT021, ADT022. *)
+
+val verify : Adt.Spec.t -> Diagnostic.t list
+(** [run] restricted to {!verify_codes}. *)
+
+val pass_version : int
+(** Version of the analysis pass set, baked into the engine's persisted
+    lint record kind: a cached lint verdict produced under a different
+    pass version is invalidated (a counted store miss) rather than served
+    stale. Bumped whenever the rule set or a rule's semantics changes. *)
 
 val counts_by_rule : Diagnostic.t list -> (string * int) list
 (** Findings per rule code, every published code present (zero included),

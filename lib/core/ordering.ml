@@ -21,7 +21,7 @@ let of_list names =
   in
   of_ranks ~rank
 
-let dependency spec =
+let dependency_table spec =
   let ops = Signature.ops (Spec.signature spec) in
   let n = List.length ops in
   let tbl : (string, int) Hashtbl.t = Hashtbl.create 32 in
@@ -51,6 +51,11 @@ let dependency spec =
           called)
       deps
   done;
+  tbl
+
+let dependency spec =
+  let tbl = dependency_table spec in
+  let rank name = Option.value ~default:0 (Hashtbl.find_opt tbl name) in
   of_ranks ~rank:(fun op -> rank (Op.name op))
 
 type head = Err_h | If_h | Op_h of Op.t
@@ -122,3 +127,64 @@ let orients_all prec axioms =
       if lpo_gt prec (Axiom.lhs ax) (Axiom.rhs ax) then go rest else Error ax
   in
   go axioms
+
+type search_result = {
+  ranks : (string * int) list;
+  unoriented : Axiom.t list;
+}
+
+let search_precedence sr =
+  let rank op =
+    Option.value ~default:0 (List.assoc_opt (Op.name op) sr.ranks)
+  in
+  of_ranks ~rank
+
+let oriented sr = sr.unoriented = []
+
+(* Greedy precedence search: start from the call-graph ranks (which orient
+   every hierarchical specification already) and, while some executable
+   axiom fails to decrease, raise its head's rank just above every
+   operation of its right-hand side. Ranks only grow and are capped, so
+   the repair loop terminates; it stops with the axioms that still resist
+   — precedence bumps cannot help an equation like UNION(a,b) = UNION(b,a),
+   whose two sides compare lexicographically under any precedence. Unlike
+   [dependency], the search may promote a constructor above another when
+   the specification rewrites constructor terms (non-free types such as a
+   wrapping counter). *)
+let search spec =
+  let axioms = List.filter Axiom.is_executable (Spec.axioms spec) in
+  let tbl = dependency_table spec in
+  let rank_name name = Option.value ~default:0 (Hashtbl.find_opt tbl name) in
+  let prec () = of_ranks ~rank:(fun op -> rank_name (Op.name op)) in
+  let cap = 2 * (Hashtbl.length tbl + 1) in
+  let unoriented p =
+    List.filter (fun ax -> not (lpo_gt p (Axiom.lhs ax) (Axiom.rhs ax))) axioms
+  in
+  let bump ax =
+    let hd = Op.name (Axiom.head ax) in
+    let wanted =
+      Op.Set.fold
+        (fun g acc ->
+          if String.equal (Op.name g) hd then acc
+          else max acc (1 + rank_name (Op.name g)))
+        (Term.ops (Axiom.rhs ax))
+        (rank_name hd)
+    in
+    let wanted = min cap wanted in
+    if wanted > rank_name hd then begin
+      Hashtbl.replace tbl hd wanted;
+      true
+    end
+    else false
+  in
+  let rec loop () =
+    match unoriented (prec ()) with
+    | [] -> []
+    | failing -> if List.exists bump failing then loop () else failing
+  in
+  let unoriented = loop () in
+  let ranks =
+    Hashtbl.fold (fun name r acc -> (name, r) :: acc) tbl []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  { ranks; unoriented }

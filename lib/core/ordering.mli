@@ -41,3 +41,32 @@ val orients_all : precedence -> Axiom.t list -> (unit, Axiom.t) result
 (** Checks every axiom decreases left to right — a termination certificate
     for the specification's rewrite system. Returns the first offending
     axiom on failure. *)
+
+(** {1 Precedence search}
+
+    The recursive-path-ordering prover behind the ADT021 termination pass:
+    rather than fixing one precedence up front, search for one that
+    orients every executable axiom. *)
+
+type search_result = {
+  ranks : (string * int) list;
+      (** The searched precedence as operation-name ranks, sorted by name. *)
+  unoriented : Axiom.t list;
+      (** Executable axioms no searched precedence bump could orient;
+          empty on success. *)
+}
+
+val search : Spec.t -> search_result
+(** Greedy precedence search seeded from the {!dependency} call-graph
+    ranks: while an executable axiom fails to decrease under the current
+    LPO, raise its head operation's rank just above every operation of its
+    right-hand side, until every axiom orients or no bump makes progress
+    (ranks are capped, so the search terminates). [unoriented = []] is a
+    termination certificate for the specification's rewrite system under
+    {!search_precedence}. *)
+
+val search_precedence : search_result -> precedence
+(** The precedence the search settled on ({!of_ranks} over [ranks]). *)
+
+val oriented : search_result -> bool
+(** [unoriented = []]. *)

@@ -1,0 +1,69 @@
+(** Maranget-style pattern matrices: usefulness and exhaustiveness over
+    constructor patterns.
+
+    A {e pattern} here is a term whose applications are constructor
+    applications and whose variables are wildcards; a {e row} is one
+    pattern per column. The two classic questions over a matrix [P]:
+
+    - {e usefulness} — is there a vector of ground constructor terms that
+      matches a query row [q] but no row of [P]? ("would adding [q] below
+      [P] ever fire?")
+    - {e exhaustiveness} — is the all-wildcard query useless, i.e. does
+      every vector of ground constructor terms match some row?
+
+    Both reduce to the same recursion on the first column: specialize the
+    matrix by each constructor the column's sort declares, or drop to the
+    default matrix when the column's head constructors do not span the
+    signature (Maranget, {e Warnings for pattern matching}, JFP 2007).
+
+    The sufficient-completeness verifier (ADT020 in [lib/analysis]) asks
+    exhaustiveness of each observer's defining left-hand sides and reports
+    the witness; the ROADMAP's decision-tree rule compiler asks usefulness
+    to prune unreachable rules. Both share this module.
+
+    Caveats, enforced by construction rather than checks:
+
+    - Rows must be {e left-linear}: a repeated variable is treated as a
+      plain wildcard, which over-approximates what the row matches.
+      Callers that admit non-linear rows must compensate (the verifier
+      excludes them and re-checks witnesses by ground enumeration).
+    - Patterns whose head is not a constructor of the matrix's
+      specification — an observer application, [error], [if-then-else] —
+      never match a ground constructor vector and simply never specialize:
+      such rows contribute nothing to coverage.
+    - A sort with no declared constructors (a parameter sort such as
+      [Item]) behaves as an infinite signature: no head set spans it, so
+      only wildcard rows cover it. *)
+
+type t
+(** A matrix: column sorts plus rows, against a fixed specification. *)
+
+val create : Spec.t -> sorts:Sort.t list -> rows:Term.t list list -> t
+(** Raises [Invalid_argument] when a row's width differs from the number
+    of column sorts. *)
+
+val rows : t -> Term.t list list
+val sorts : t -> Sort.t list
+
+val useful : t -> Term.t list -> bool
+(** [useful m q] — some ground constructor instance of [q] (wildcards
+    free) is matched by no row of [m]. Raises [Invalid_argument] on a
+    width mismatch. *)
+
+val exhaustive : t -> bool
+(** Every vector of ground constructor terms over the column sorts matches
+    some row: [not (useful m all-wildcards)]. *)
+
+val uncovered : t -> Term.t list option
+(** [None] when the matrix is exhaustive; otherwise a witness vector no
+    row matches. Constrained positions carry the missing constructor;
+    unconstrained positions are instantiated through
+    {!instantiate_wildcards} (first constructor of the sort, recursively,
+    or a fresh variable for parameter sorts), so the witness is a concrete
+    constructor context like [FRONT(NEW)] rather than [FRONT(_)]. *)
+
+val instantiate_wildcards : Spec.t -> Term.t -> Term.t
+(** Replaces each variable of a sort with declared constructors by that
+    sort's first constructor, recursively (depth-bounded; positions the
+    bound leaves unfilled stay variables). Variables of parameter sorts
+    are kept. *)

@@ -375,4 +375,13 @@ let rec pp ppf t =
   | Ite (c, t, e) ->
     Fmt.pf ppf "@[<hv>if %a@ then %a@ else %a@]" pp c pp t pp e
 
-let to_string t = Fmt.str "%a" pp t
+(* the canonical rendering is single-line whatever the term size: it keys
+   the persist store and is embedded in diagnostic messages, where a
+   margin-driven line break would corrupt the framing *)
+let to_string t =
+  let buf = Buffer.create 64 in
+  let ppf = Format.formatter_of_buffer buf in
+  Format.pp_set_margin ppf 1_000_000;
+  pp ppf t;
+  Format.pp_print_flush ppf ();
+  Buffer.contents buf

@@ -95,11 +95,17 @@ let do_skeletons ctx entry =
               Protocol.sanitize (Fmt.str "%a" Term.pp p.Heuristics.missing_lhs))
             prompts))
 
+(* the lint record kind carries the analysis pass version: a verdict
+   persisted by an older rule set (say, before the ADT020-022 verification
+   passes existed) lives under a different kind, is never found, and so is
+   re-analysed — the stale record counts as an ordinary store miss *)
+let lint_kind = Fmt.str "lint/p%d" Analysis.Lint.pass_version
+
 (* like metrics and slowlog, the body is framed by a findings count on the
    first line; each finding is one sanitized diagnostic line *)
 let do_lint ctx session entry =
   let name = Spec.name (Session.entry_spec entry) in
-  match Session.persist_meta_find entry ~kind:"lint" ~key:name with
+  match Session.persist_meta_find entry ~kind:lint_kind ~key:name with
   | Some payload ->
     (* a persisted hit skips the per-rule lint counters: the findings were
        metered by the run that produced the payload (possibly another
@@ -120,7 +126,7 @@ let do_lint ctx session entry =
              (fun d -> Protocol.sanitize (Analysis.Diagnostic.to_line d))
              diags)
     in
-    Session.persist_meta_record session entry ~kind:"lint" ~key:name payload;
+    Session.persist_meta_record session entry ~kind:lint_kind ~key:name payload;
     Protocol.Ok_response payload
 
 (* the conformance suite resolves in the builtin implementation registry,
@@ -235,16 +241,33 @@ let do_prove ctx session entry vars lhs_src rhs_src req_fuel poll =
     Proof.config ~fuel ~poll:counting ?on_rule:(Obs.Trace.hook ctx.trace) spec
   in
   let name = Spec.name spec in
-  let outcome =
-    Obs.Trace.with_span ctx.trace "rewrite" @@ fun () ->
-    Proof.prove config (lhs, rhs)
+  (* a proof, once found, stays valid under any fuel budget, so Proved
+     replies persist under the canonical goal rendering; Unknown is never
+     recorded — a later run with more fuel may still succeed *)
+  let meta_key =
+    let var ppf (n, s) = Fmt.pf ppf "%s:%s" n (Sort.name s) in
+    Fmt.str "%a|%a=%a"
+      (Fmt.list ~sep:Fmt.comma var)
+      (List.sort compare vars) Term.pp lhs Term.pp rhs
   in
-  charge_fuel ctx session !steps;
-  match outcome with
-  | Proof.Proved proof ->
-    ok "prove %s proved size=%d depth=%d" name (Proof.proof_size proof)
-      (Proof.proof_depth proof)
-  | Proof.Unknown _ -> ok "prove %s unknown" name
+  match Session.persist_meta_find entry ~kind:"proof" ~key:meta_key with
+  | Some payload -> Protocol.Ok_response payload
+  | None -> (
+    let outcome =
+      Obs.Trace.with_span ctx.trace "rewrite" @@ fun () ->
+      Proof.prove config (lhs, rhs)
+    in
+    charge_fuel ctx session !steps;
+    match outcome with
+    | Proof.Proved proof ->
+      let payload =
+        Fmt.str "prove %s proved size=%d depth=%d" name
+          (Proof.proof_size proof) (Proof.proof_depth proof)
+      in
+      Session.persist_meta_record session entry ~kind:"proof" ~key:meta_key
+        payload;
+      Protocol.Ok_response payload
+    | Proof.Unknown _ -> ok "prove %s unknown" name)
 
 let do_stats session verbose =
   let m = Metrics.snapshot (Session.metrics session) in

@@ -153,6 +153,57 @@ spec Sink
 end
 |}
 
+let blend_incomplete_src =
+  {|
+spec Light
+  sort Light
+  ops
+    RED : -> Light
+    GREEN : -> Light
+    BLEND : Light Light -> Light
+  constructors RED GREEN
+  vars
+    l : Light
+  axioms
+    [rr] BLEND(RED, RED) = RED
+    [rg] BLEND(RED, GREEN) = GREEN
+    [gr] BLEND(GREEN, RED) = GREEN
+end
+|}
+
+let unorientable_src =
+  {|
+spec Flow
+  sort Flow
+  ops
+    SRC : -> Flow
+    PIPE : Flow -> Flow
+    MERGE : Flow Flow -> Flow
+  constructors SRC PIPE
+  vars
+    a : Flow
+    b : Flow
+  axioms
+    [comm] MERGE(a, b) = MERGE(b, a)
+end
+|}
+
+let nonconfluent_src =
+  {|
+spec Tally
+  sort Tally
+  ops
+    Z : -> Tally
+    S : Tally -> Tally
+  constructors Z S
+  vars
+    x : Tally
+  axioms
+    [wrap3] S(S(S(x))) = Z
+    [drop2] S(S(x)) = x
+end
+|}
+
 let codes_of diags = List.map (fun d -> d.Diagnostic.code) diags
 
 let count code diags =
@@ -180,7 +231,10 @@ let test_severity_order () =
 let test_rule_table () =
   Alcotest.(check (list string))
     "published codes"
-    [ "ADT001"; "ADT002"; "ADT010"; "ADT011"; "ADT012"; "ADT013"; "ADT014" ]
+    [
+      "ADT001"; "ADT002"; "ADT010"; "ADT011"; "ADT012"; "ADT013"; "ADT014";
+      "ADT020"; "ADT021"; "ADT022";
+    ]
     Diagnostic.codes;
   Alcotest.(check string) "slug" "dead-axiom" (Diagnostic.slug_of_code "ADT012")
 
@@ -330,6 +384,9 @@ let test_every_rule_fires_on_its_faulty_input () =
       (dead_axiom_src, "ADT012");
       (unreachable_src, "ADT013");
       (strict_error_src, "ADT014");
+      (blend_incomplete_src, "ADT020");
+      (unorientable_src, "ADT021");
+      (nonconfluent_src, "ADT022");
     ]
 
 let test_silent_on_the_paper_corpus () =
@@ -391,8 +448,9 @@ let test_text_render () =
   let groups = [ ("f.adt", Lint.run (parse nonlinear_src)) ] in
   let out = Render.text groups in
   Alcotest.(check bool) "file prefix" true (contains out "f.adt: ADT");
+  (* ADT001 + ADT020 (errors) and ADT010 (warning) on the nonlinear seed *)
   Alcotest.(check bool) "summary" true
-    (contains out "2 findings (1 error, 1 warning, 0 info)")
+    (contains out "3 findings (2 errors, 1 warning, 0 info)")
 
 let test_json_render_escapes () =
   let d =
@@ -490,20 +548,25 @@ let test_lint_verb_frames_findings () =
   let session = faulty_session () in
   let r = reply session "lint Toggle" in
   let lines = String.split_on_char '\n' r in
+  (* Toggle: two divergent critical pairs (ADT002) plus the confluence
+     verdict they refute (ADT022) *)
   (match lines with
   | header :: body ->
-    Alcotest.(check string) "header" "ok lint Toggle findings=2" header;
-    Alcotest.(check int) "framed body" 2 (List.length body);
+    Alcotest.(check string) "header" "ok lint Toggle findings=3" header;
+    Alcotest.(check int) "framed body" 3 (List.length body);
     List.iter
       (fun l ->
         Alcotest.(check bool) "body lines are diagnostics" true
-          (contains l "ADT002"))
+          (contains l "ADT0"))
       body
   | [] -> Alcotest.fail "empty reply");
   let m = Engine.Metrics.snapshot (Engine.Session.metrics session) in
   Alcotest.(check (option int))
     "rule hit counter" (Some 2)
     (List.assoc_opt "ADT002" m.Engine.Metrics.rule_hits);
+  Alcotest.(check (option int))
+    "confluence rule hit counter" (Some 1)
+    (List.assoc_opt "ADT022" m.Engine.Metrics.rule_hits);
   Alcotest.(check int) "lint kind counted" 1 m.Engine.Metrics.lint
 
 let test_lint_verb_unknown_spec () =

@@ -352,6 +352,78 @@ let test_differential_post_edit () =
     Alcotest.(check int) "no stale hits across the edit" 0 t.Session.hits);
   Persist.Store.close store2
 
+(* {1 Proof and lint persistence} *)
+
+let contains = Astring_contains.contains
+
+let test_proof_persists_warm () =
+  with_dir @@ fun dir ->
+  let specs = [ Adt_specs.Queue_spec.spec ] in
+  let goal =
+    "prove Queue q:Queue,i:Item IS_EMPTY?(REMOVE(ADD(q, i))) == IS_EMPTY?(q)"
+  in
+  let open_goal = "prove Queue q:Queue IS_EMPTY?(q) == true" in
+  let store1 = Persist.Store.open_ dir in
+  let cold = Session.create ~store:store1 specs in
+  let cold_reply = reply cold goal in
+  Alcotest.(check bool) "cold run proves the goal" true
+    (contains cold_reply "proved");
+  Alcotest.(check bool) "open goal stays unknown" true
+    (contains (reply cold open_goal) "unknown");
+  Session.persist_flush cold;
+  Persist.Store.close store1;
+  let store2 = Persist.Store.open_ dir in
+  let warm = Session.create ~store:store2 specs in
+  Alcotest.(check string) "warm reply byte-identical" cold_reply
+    (reply warm goal);
+  (match Session.persist_totals warm with
+  | None -> Alcotest.fail "warm session has a store"
+  | Some t ->
+    Alcotest.(check int) "the proof answered from the store" 1 t.Session.hits);
+  (* Unknown is never recorded — a bigger fuel budget might still prove
+     the goal, so the warm retry recomputes (a counted miss) *)
+  Alcotest.(check bool) "unknown recomputed warm" true
+    (contains (reply warm open_goal) "unknown");
+  (match Session.persist_totals warm with
+  | None -> Alcotest.fail "warm session has a store"
+  | Some t -> Alcotest.(check bool) "miss counted" true (t.Session.misses > 0));
+  Persist.Store.close store2
+
+let test_lint_pass_version_invalidates () =
+  with_dir @@ fun dir ->
+  let spec = Adt_specs.Queue_spec.spec in
+  let digest = Spec_digest.spec spec in
+  (* a verdict persisted by the previous analysis pass set lives under its
+     own versioned kind; the current engine must re-analyse, not replay *)
+  let stale_kind = Fmt.str "lint/p%d" (Analysis.Lint.pass_version - 1) in
+  let store1 = Persist.Store.open_ dir in
+  Persist.Store.append store1 ~digest
+    [ record stale_kind "Queue" "lint Queue findings=999" ];
+  Persist.Store.close store1;
+  let store2 = Persist.Store.open_ dir in
+  let session = Session.create ~store:store2 [ spec ] in
+  let r = reply session "lint Queue" in
+  Alcotest.(check bool) "stale verdict not served" false
+    (contains r "findings=999");
+  Alcotest.(check bool) "re-analysed clean" true (contains r "findings=0");
+  (match Session.persist_totals session with
+  | None -> Alcotest.fail "session has a store"
+  | Some t ->
+    Alcotest.(check int) "no hit from the old pass version" 0 t.Session.hits;
+    Alcotest.(check bool) "the stale record is a counted miss" true
+      (t.Session.misses > 0));
+  Session.persist_flush session;
+  Persist.Store.close store2;
+  (* the fresh verdict persisted under the current pass kind serves warm *)
+  let store3 = Persist.Store.open_ dir in
+  let warm = Session.create ~store:store3 [ spec ] in
+  Alcotest.(check string) "current kind serves warm" r
+    (reply warm "lint Queue");
+  (match Session.persist_totals warm with
+  | None -> Alcotest.fail "warm session has a store"
+  | Some t -> Alcotest.(check int) "warm hit" 1 t.Session.hits);
+  Persist.Store.close store3
+
 let suite =
   [
     Alcotest.test_case "entry round trip" `Quick test_roundtrip;
@@ -372,4 +444,8 @@ let suite =
       test_differential_cold_warm;
     Alcotest.test_case "differential: an edit never sees stale entries" `Quick
       test_differential_post_edit;
+    Alcotest.test_case "proved goals persist; unknown never does" `Quick
+      test_proof_persists_warm;
+    Alcotest.test_case "a lint pass-version bump invalidates cached verdicts"
+      `Quick test_lint_pass_version_invalidates;
   ]
