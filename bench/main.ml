@@ -1,7 +1,7 @@
 (* Benchmark harness: one section per experiment of DESIGN.md / EXPERIMENTS.md.
 
    The paper (Guttag, CACM 1977) has no quantitative tables; its measurable
-   claims and exhibited artifacts are reproduced here as experiments E1-E14.
+   claims and exhibited artifacts are reproduced here as experiments E1-E18.
    Sections print the artifact reproductions (the ring-buffer figures, the
    mechanical proof, the prompting transcript, the axiom diff) and time the
    claims that are about cost (symbolic interpretation overhead,
@@ -24,10 +24,9 @@ let ols =
 
 let instance = Instance.monotonic_clock
 
-let run_tests tests =
+let run_tests ?(stabilize = false) tests =
   let cfg =
-    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None
-      ~stabilize:false ()
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None ~stabilize ()
   in
   let raw = Benchmark.all cfg [ instance ] (Test.make_grouped ~name:"" tests) in
   Analyze.all ols instance raw
@@ -41,9 +40,9 @@ let pretty_ns ns =
 (* accumulated rows for --json: (bench name, ns/op), in report order *)
 let json_rows : (string * float) list ref = ref []
 
-let report_group title tests =
+let report_group ?stabilize title tests =
   Fmt.pr "@.--- %s ---@." title;
-  let results = run_tests tests in
+  let results = run_tests ?stabilize tests in
   let rows =
     Hashtbl.fold
       (fun name ols acc ->
@@ -660,7 +659,11 @@ let e12 () =
    at every redex candidate, the indexed engine jumps through
    head-symbol x first-argument-fingerprint buckets over interned terms. *)
 
-let e13_sys = Rewrite.of_spec Refinement.combined
+(* pinned to the two-level index: E13 measures hash-consing + the index
+   against the reference scan, whatever the process default engine is
+   (E18 below is the three-engine comparison) *)
+let e13_sys =
+  Rewrite.with_engine Rewrite.Index (Rewrite.of_spec Refinement.combined)
 
 let e13_queries depth =
   let ids = List.map Identifier.id [ "X"; "Y"; "Z"; "W" ] in
@@ -679,11 +682,16 @@ let e13_queries depth =
 let e13_workload normalize queries () =
   List.fold_left (fun acc q -> acc + Term.size (normalize e13_sys q)) 0 queries
 
-let e13_memo_workload memo queries () =
+(* memoized normalization dispatches on the system's pinned engine, so the
+   system is a parameter: E13 passes the index-pinned system, E18 sweeps
+   all three engines *)
+let memo_workload sys memo queries () =
   let memo = match memo with Some m -> m | None -> Rewrite.Memo.create () in
   List.fold_left
-    (fun acc q -> acc + Term.size (Rewrite.normalize_memo ~memo e13_sys q))
+    (fun acc q -> acc + Term.size (Rewrite.normalize_memo ~memo sys q))
     0 queries
+
+let e13_memo_workload memo queries = memo_workload e13_sys memo queries
 
 let e13 () =
   Fmt.pr "@.=== E13: hash-consed terms + compiled rule index ===@.";
@@ -1147,13 +1155,113 @@ let e17 () =
       (Fmt.str "e17: %d corpus specification(s) failed verification"
          (List.length specs - List.length verified))
 
+(* {1 E18 - rule matching engines: reference vs index vs automaton} *)
+
+(* Same Symboltable refinement workload as E13, quantified over all three
+   matching engines through their pinned entry points — the matrix the CI
+   artifact tracks. The direct rows isolate redex matching; the memo rows
+   show how much of the matching cost the normal-form cache can hide
+   (cold: matching still dominates; warm: the engines converge, because a
+   cache hit never reaches the matcher). *)
+
+let e18 () =
+  Fmt.pr "@.=== E18: rule matching engines (reference vs index vs automaton) ===@.";
+  Fmt.pr
+    "(identical semantics — test/test_diff.ml is the proof; reference = \
+     linear scan,@.";
+  Fmt.pr
+    " index = two-level fingerprint dispatch, automaton = compiled matching \
+     automaton)@.";
+  let q6 = e13_queries 6 in
+  (* the engine comparison must not inherit heap fragmentation from the
+     seventeen experiments before it *)
+  Gc.compact ();
+  let engines =
+    [
+      ("reference", Rewrite.with_engine Rewrite.Reference e13_sys);
+      ("index____", Rewrite.with_engine Rewrite.Index e13_sys);
+      ("automaton", Rewrite.with_engine Rewrite.Automaton e13_sys);
+    ]
+  in
+  let direct =
+    [
+      t "e18/reference/depth=6" (e13_workload Rewrite.Reference.normalize q6);
+      t "e18/index____/depth=6" (e13_workload Rewrite.Index.normalize q6);
+      t "e18/automaton/depth=6" (e13_workload Rewrite.Automaton.normalize q6);
+    ]
+  in
+  (* cold rows are measured before any warm memo exists, and with GC
+     stabilization, so no engine's run pays for another's live heap *)
+  let cold_rows =
+    List.map
+      (fun (name, sys) ->
+        t (Fmt.str "e18/%s/memo-cold" name) (memo_workload sys None q6))
+      engines
+  in
+  let warm_rows =
+    List.map
+      (fun (name, sys) ->
+        let warm = Rewrite.Memo.create () in
+        ignore (memo_workload sys (Some warm) q6 ());
+        t (Fmt.str "e18/%s/memo-warm" name) (memo_workload sys (Some warm) q6))
+      engines
+  in
+  report_group ~stabilize:true
+    "Symboltable refinement workload (depth=6), by engine"
+    (direct @ cold_rows);
+  report_group ~stabilize:true
+    "Symboltable refinement workload (depth=6), warm memo"
+    warm_rows;
+  let find name = List.assoc_opt name !json_rows in
+  (match
+     ( find "e18/reference/depth=6",
+       find "e18/index____/depth=6",
+       find "e18/automaton/depth=6" )
+   with
+  | Some r, Some i, Some a when a > 0. ->
+    Fmt.pr "  automaton speedup over index     (depth=6): %.2fx@." (i /. a);
+    Fmt.pr "  automaton speedup over reference (depth=6): %.2fx@." (r /. a)
+  | _ -> ());
+  match (find "e18/index____/memo-cold", find "e18/automaton/memo-cold") with
+  | Some i, Some a when a > 0. ->
+    Fmt.pr "  automaton speedup over index (cold memo):   %.2fx@." (i /. a)
+  | _ -> ()
+
+let write_e18 path =
+  let rows =
+    List.filter
+      (fun (name, _) -> String.equal (experiment_of name) "e18")
+      !json_rows
+  in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc "[\n";
+      List.iteri
+        (fun i (name, ns) ->
+          Printf.fprintf oc
+            "  {\"experiment\": \"e18\", \"name\": \"%s\", \"ns_per_op\": %.2f}%s\n"
+            (json_escape name)
+            (if Float.is_nan ns then -1. else ns)
+            (if i = List.length rows - 1 then "" else ","))
+        rows;
+      output_string oc "]\n");
+  Fmt.pr "wrote %d engine results to %s@." (List.length rows) path
+
 let () =
   Fmt.pr "Reproduction benches for Guttag, 'Abstract Data Types and the Development of Data Structures' (CACM 1977)@.";
   let json_path = ref None in
   let saturation_path = ref None in
   let e16_path = ref None in
+  let e18_path = ref None in
+  let only = ref None in
   let rec parse_args = function
     | [] -> ()
+    | "--only" :: name :: rest ->
+      only := Some (String.lowercase_ascii name);
+      parse_args rest
+    | "--only" :: [] -> failwith "--only requires an experiment name (e.g. e18)"
     | "--json" :: path :: rest ->
       json_path := Some path;
       parse_args rest
@@ -1166,27 +1274,40 @@ let () =
       e16_path := Some path;
       parse_args rest
     | "--e16" :: [] -> failwith "--e16 requires a file argument"
+    | "--e18" :: path :: rest ->
+      e18_path := Some path;
+      parse_args rest
+    | "--e18" :: [] -> failwith "--e18 requires a file argument"
+    | "--engine" :: name :: rest ->
+      (match Rewrite.engine_of_string name with
+      | Some e -> Rewrite.set_default_engine e
+      | None ->
+        failwith
+          (Fmt.str "--engine %s: expected reference, index, or auto" name));
+      parse_args rest
+    | "--engine" :: [] -> failwith "--engine requires an engine name"
     | arg :: _ -> failwith (Fmt.str "unknown argument %s" arg)
   in
   parse_args (List.tl (Array.to_list Sys.argv));
-  e1 ();
-  e2 ();
-  e3 ();
-  e4 ();
-  e5 ();
-  e6 ();
-  e7 ();
-  e8 ();
-  e9 ();
-  e10 ();
-  e11 ();
-  e12 ();
-  e13 ();
-  e14 ();
-  e15 ();
-  e16 ();
-  e17 ();
+  (* --only runs one experiment in an otherwise pristine process: the
+     engine matrix (E18) in particular is sensitive to the live heaps the
+     seventeen other experiments' module-level workloads leave behind *)
+  let experiments =
+    [
+      ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
+      ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11);
+      ("e12", e12); ("e13", e13); ("e14", e14); ("e15", e15); ("e16", e16);
+      ("e17", e17); ("e18", e18);
+    ]
+  in
+  (match !only with
+  | None -> List.iter (fun (_, run) -> run ()) experiments
+  | Some name -> (
+    match List.assoc_opt name experiments with
+    | Some run -> run ()
+    | None -> failwith (Fmt.str "--only %s: no such experiment" name)));
   Option.iter write_json !json_path;
   Option.iter write_saturation !saturation_path;
   Option.iter write_e16 !e16_path;
+  Option.iter write_e18 !e18_path;
   Fmt.pr "@.done.@."

@@ -528,8 +528,31 @@ let memo_flag =
     & info [ "memo" ]
         ~doc:"Normalize through a bounded LRU normal-form cache.")
 
+let engine_arg =
+  let engines =
+    Arg.enum
+      [
+        ("auto", Adt.Rewrite.Automaton);
+        ("index", Adt.Rewrite.Index);
+        ("reference", Adt.Rewrite.Reference);
+      ]
+  in
+  Arg.(
+    value
+    & opt (some engines) None
+    & info [ "engine" ] ~docv:"ENGINE"
+        ~doc:
+          "Matching engine: $(b,auto) (the compiled matching automaton, \
+           the default), $(b,index) (the two-level rule index), or \
+           $(b,reference) (the naive linear-scan oracle). All three \
+           produce identical answers; also settable through the \
+           $(b,ADTC_ENGINE) environment variable (the flag wins).")
+
+let set_engine engine = Option.iter Adt.Rewrite.set_default_engine engine
+
 let normalize_cmd =
-  let run libs file term_src trace stats memo fuel =
+  let run libs file term_src trace stats memo fuel engine =
+    set_engine engine;
     let spec = last_spec ~lib:(load_library libs) file in
     match Adt.Parser.parse_term spec term_src with
     | Error e ->
@@ -538,6 +561,9 @@ let normalize_cmd =
     | Ok term -> (
       let interp = Adt.Interp.create ?fuel ~memo spec in
       let print_stats steps =
+        Fmt.pr "engine: %s@."
+          (Adt.Rewrite.engine_name
+             (Adt.Rewrite.engine_of (Adt.Interp.system interp)));
         Fmt.pr "steps: %d@." steps;
         Fmt.pr "fuel:  %d/%d used@." steps (Adt.Interp.fuel interp);
         match Adt.Interp.memo_stats interp with
@@ -570,7 +596,7 @@ let normalize_cmd =
     (Cmd.info "normalize" ~doc)
     Term.(
       const run $ lib_arg $ file_arg $ term_arg $ trace_flag $ stats_flag
-      $ memo_flag $ fuel_opt)
+      $ memo_flag $ fuel_opt $ engine_arg)
 
 let complete_cmd =
   let run libs file =
@@ -1025,7 +1051,8 @@ let serve_cmd =
              meaningful with $(b,--socket)).")
   in
   let run libs files fuel timeout cache_capacity slowlog_ms slowlog_capacity
-      cache_dir cache_max_bytes socket max_clients domains =
+      cache_dir cache_max_bytes socket max_clients domains engine =
+    set_engine engine;
     let session =
       make_session ?slowlog_ms ?slowlog_capacity ?cache_dir ?cache_max_bytes
         libs files ~fuel ~timeout ~cache_capacity
@@ -1060,7 +1087,7 @@ let serve_cmd =
       const run $ lib_arg $ spec_files_arg $ engine_fuel_arg $ timeout_arg
       $ cache_capacity_arg $ slowlog_ms_arg $ slowlog_capacity_arg
       $ cache_dir_arg $ cache_max_bytes_arg $ socket_arg $ max_clients_arg
-      $ domains_arg)
+      $ domains_arg $ engine_arg)
 
 let batch_cmd =
   let requests_arg =
@@ -1070,7 +1097,8 @@ let batch_cmd =
           ~doc:"Request script to replay; $(b,-) (the default) is stdin.")
   in
   let run libs files fuel timeout cache_capacity slowlog_ms slowlog_capacity
-      cache_dir cache_max_bytes requests =
+      cache_dir cache_max_bytes requests engine =
+    set_engine engine;
     let session =
       make_session ?slowlog_ms ?slowlog_capacity ?cache_dir ?cache_max_bytes
         libs files ~fuel ~timeout ~cache_capacity
@@ -1090,7 +1118,7 @@ let batch_cmd =
     Term.(
       const run $ lib_arg $ spec_files_arg $ engine_fuel_arg $ timeout_arg
       $ cache_capacity_arg $ slowlog_ms_arg $ slowlog_capacity_arg
-      $ cache_dir_arg $ cache_max_bytes_arg $ requests_arg)
+      $ cache_dir_arg $ cache_max_bytes_arg $ requests_arg $ engine_arg)
 
 let replay_requests session path =
   let ic = open_in path in

@@ -16,7 +16,11 @@
     semantics. The leftmost-outermost strategy is also provided; it may
     normalize terms the innermost strategy sends to [error] (it enforces
     strictness only on arguments in normal form), and is used by the
-    completion and proof machinery where laziness is harmless. *)
+    completion and proof machinery where laziness is harmless.
+
+    Three matching engines implement the same semantics (see {!engine});
+    they are proven observably identical by the differential harness in
+    [test/test_diff.ml] and selectable per system. *)
 
 type rule = private { rule_name : string; lhs : Term.t; rhs : Term.t }
 
@@ -28,36 +32,85 @@ val rule_of_axiom : Axiom.t -> rule
 val axiom_of_rule : rule -> Axiom.t
 val pp_rule : rule Fmt.t
 
+(** {1 Engine selection}
+
+    How redexes are located (semantics never changes, only speed):
+
+    - [Reference] — the pre-index engine: linear rule scan, deep
+      structural equality, no ids or intern-table shortcuts. The
+      differential oracle.
+    - [Index] — the two-level rule index: head symbol, then
+      first-argument constructor fingerprint; surviving candidates are
+      re-matched structurally.
+    - [Automaton] — rules compiled into a {!Match_tree} matching
+      automaton: every subterm inspected once, rule firing through
+      precomputed right-hand-side templates. The default.
+
+    A system is pinned to the engine it was compiled with
+    ({!engine_of}); every system built without an explicit [?engine]
+    uses {!default_engine}, which is initialized from the [ADTC_ENGINE]
+    environment variable ([reference] | [index] | [auto], default
+    [auto]) and set by the CLI's [--engine] flag. *)
+
+type engine = Reference | Index | Automaton
+
+val engine_name : engine -> string
+(** ["reference"], ["index"], ["auto"]. *)
+
+val engine_of_string : string -> engine option
+(** Accepts (case-insensitively) ["reference"], ["index"]/["indexed"],
+    ["auto"]/["automaton"]. *)
+
+val default_engine : unit -> engine
+val set_default_engine : engine -> unit
+
 type system
 
-val of_spec : Spec.t -> system
+val of_spec : ?engine:engine -> Spec.t -> system
 (** Rules are the specification's {e executable} axioms in order; an axiom
     with free right-hand-side variables ({!Axiom.is_executable} false) is
     skipped — it is an equation the static analyzer reports (ADT011), not a
     rule the rewriter may fire. *)
 
-val of_spec_keyed : key:string -> Spec.t -> system
+val of_spec_keyed : ?engine:engine -> key:string -> Spec.t -> system
 (** {!of_spec} through a process-wide compiled-system cache: [key] must
     identify the specification's executable-axiom list and priority
     order — {!Spec_digest.spec} is (more than) fine — and equal keys
-    return the {e same} compiled system. Sound to share across threads
-    and domains: a system is immutable after construction (the
-    forked-interpreter contract, {!Interp.fork}). This is what makes
-    reloading an unchanged specification one table probe instead of a
-    from-scratch index compilation. *)
+    (compiled for the same engine) return the {e same} compiled system.
+    Sound to share across threads and domains: a system is immutable
+    after construction (the forked-interpreter contract, {!Interp.fork}).
+    This is what makes reloading an unchanged specification one table
+    probe instead of a from-scratch compilation. Cache entries are keyed
+    by (key, engine): requesting a cached spec under a different engine
+    is a miss and compiles afresh, never a stale hit. *)
 
-type compile_cache_stats = { hits : int; misses : int; entries : int }
+type compile_cache_stats = {
+  hits : int;
+  misses : int;
+  entries : int;
+  by_engine : (string * int) list;
+      (** Live cache entries per engine name, sorted by name. *)
+}
 
 val compile_cache_stats : unit -> compile_cache_stats
 val compile_cache_clear : unit -> unit
 
-val of_rules : rule list -> system
+val of_rules : ?engine:engine -> rule list -> system
+
 val add_rules : rule list -> system -> system
-(** Added rules take priority over existing ones with the same head. *)
+(** Added rules take priority over existing ones with the same head. The
+    result keeps the host system's engine, not the global default. *)
 
 val add_axioms : Axiom.t list -> system -> system
 val rules : system -> rule list
 val size : system -> int
+
+val engine_of : system -> engine
+(** The engine this system's entry points dispatch to. *)
+
+val with_engine : engine -> system -> system
+(** The same rules (all three engines' structures are always compiled),
+    re-pinned to another engine. O(1). *)
 
 type strategy = Innermost | Outermost
 
@@ -92,7 +145,9 @@ val normalize :
   system ->
   Term.t ->
   Term.t
-(** Raises {!Out_of_fuel}. *)
+(** Raises {!Out_of_fuel}. Dispatches to the system's engine
+    ({!engine_of}); so do {!normalize_opt}, {!normalize_count},
+    {!normalize_memo}, {!step}, {!trace}, and {!normalize_stats}. *)
 
 val normalize_opt :
   ?strategy:strategy ->
@@ -119,16 +174,17 @@ val joinable :
   ?strategy:strategy -> ?fuel:int -> system -> Term.t -> Term.t -> bool
 (** Both terms normalize (within fuel) to equal normal forms. *)
 
-(** {1 The reference engine}
+(** {1 The pinned engines}
 
-    The rewriting algorithm as it was before the compiled rule index and
-    hash-consed comparisons: a linear scan over every rule in priority
-    order, with a matcher that binds and compares via deep structural
-    equality and never consults term ids, precomputed hashes, or the
-    intern table. Same strategies, same strict-error and lazy-ite
-    semantics, same fuel accounting — it exists purely as the oracle for
-    the differential test harness ([test/test_diff.ml]), which asserts
-    that the indexed engine above agrees with it on every random term. *)
+    Entry points that dispatch to one fixed engine regardless of the
+    system's own pin — what the differential harness quantifies over and
+    the E18 benchmark compares. [Reference] is the oracle: the rewriting
+    algorithm as it was before the compiled rule index and hash-consed
+    comparisons — a linear scan over every rule in priority order, with
+    a matcher that binds and compares via deep structural equality and
+    never consults term ids, precomputed hashes, or the intern table.
+    Same strategies, same strict-error and lazy-ite semantics, same fuel
+    accounting on all three. *)
 
 module Reference : sig
   val normalize :
@@ -140,6 +196,66 @@ module Reference : sig
     Term.t ->
     Term.t
   (** Raises {!Out_of_fuel}. *)
+
+  val normalize_opt :
+    ?strategy:strategy ->
+    ?fuel:int ->
+    ?poll:(unit -> unit) ->
+    ?on_rule:(string -> unit) ->
+    system ->
+    Term.t ->
+    Term.t option
+
+  val normalize_count :
+    ?strategy:strategy ->
+    ?fuel:int ->
+    ?poll:(unit -> unit) ->
+    ?on_rule:(string -> unit) ->
+    system ->
+    Term.t ->
+    Term.t * int
+end
+
+(** The two-level rule index (PR 5), pinned. *)
+module Index : sig
+  val normalize :
+    ?strategy:strategy ->
+    ?fuel:int ->
+    ?poll:(unit -> unit) ->
+    ?on_rule:(string -> unit) ->
+    system ->
+    Term.t ->
+    Term.t
+
+  val normalize_opt :
+    ?strategy:strategy ->
+    ?fuel:int ->
+    ?poll:(unit -> unit) ->
+    ?on_rule:(string -> unit) ->
+    system ->
+    Term.t ->
+    Term.t option
+
+  val normalize_count :
+    ?strategy:strategy ->
+    ?fuel:int ->
+    ?poll:(unit -> unit) ->
+    ?on_rule:(string -> unit) ->
+    system ->
+    Term.t ->
+    Term.t * int
+end
+
+(** The matching automaton ({!Match_tree}), pinned. *)
+module Automaton : sig
+  val normalize :
+    ?strategy:strategy ->
+    ?fuel:int ->
+    ?poll:(unit -> unit) ->
+    ?on_rule:(string -> unit) ->
+    system ->
+    Term.t ->
+    Term.t
 
   val normalize_opt :
     ?strategy:strategy ->

@@ -63,3 +63,81 @@ let case name f = Alcotest.test_case name `Quick f
 let qcheck ?(count = 200) name gen prop =
   QCheck_alcotest.to_alcotest
     (QCheck2.Test.make ~name ~count gen prop)
+
+(* {1 Random well-sorted corpus terms}
+
+   The generator behind the differential suites ([test_diff], the
+   automaton tests): random well-sorted terms over the FULL signature of
+   a corpus specification — defined operations, constructor subterms via
+   [Enum], occasional variables, [error], and if-then-else — so they
+   exercise rule dispatch, strict error propagation, lazy conditionals,
+   and stuck terms alike. *)
+
+module Corpus_gen = struct
+  (* atoms for the corpus's parameter sorts, so [Enum] can populate them *)
+  let atoms sort =
+    match Sort.name sort with
+    | "Item" -> List.init 3 (fun i -> Adt_specs.Builtins.item (i + 1))
+    | "Identifier" -> List.map Adt_specs.Identifier.id [ "X"; "Y"; "Z" ]
+    | _ -> []
+
+  type ctx = { spec : Spec.t; universe : Enum.universe; has_bool : bool }
+
+  let ctx_of spec =
+    {
+      spec;
+      universe = Enum.universe ~atoms spec;
+      has_bool = Signature.mem_sort Sort.bool (Spec.signature spec);
+    }
+
+  let pick st l = List.nth l (Random.State.int st (List.length l))
+
+  (* a small leaf: usually a ground constructor term, sometimes a variable,
+     [error] when the sort has no generators at all *)
+  let leaf ctx sort st =
+    if Random.State.int st 10 = 0 then Term.var (pick st [ "x"; "y" ]) sort
+    else
+      match Enum.random_term ctx.universe sort ~size:5 st with
+      | Some t -> t
+      | None -> Term.err sort
+
+  (* a random well-sorted term of the given sort over the full signature;
+     [budget] bounds the recursion *)
+  let rec gen_term ctx sort ~budget st =
+    if budget <= 0 then leaf ctx sort st
+    else
+      let roll = Random.State.int st 100 in
+      if roll < 6 then leaf ctx sort st
+      else if roll < 9 then Term.err sort
+      else if roll < 22 && ctx.has_bool then
+        let sub = budget / 3 in
+        Term.ite
+          (gen_term ctx Sort.bool ~budget:sub st)
+          (gen_term ctx sort ~budget:sub st)
+          (gen_term ctx sort ~budget:sub st)
+      else
+        match Signature.ops_with_result sort (Spec.signature ctx.spec) with
+        | [] -> leaf ctx sort st
+        | ops ->
+          (* prefer non-nullary operations while budget remains, otherwise
+             the branching process dies out and terms stay trivially small *)
+          let heavy = List.filter (fun o -> Op.args o <> []) ops in
+          let op = pick st (if heavy = [] then ops else heavy) in
+          let arity = List.length (Op.args op) in
+          let sub = if arity = 0 then 0 else (budget - 1) / arity in
+          Term.app op
+            (List.map (fun s -> gen_term ctx s ~budget:sub st) (Op.args op))
+
+  let root_sorts ctx =
+    Sort.Set.elements (Signature.sorts (Spec.signature ctx.spec))
+
+  (* the generator draws one integer from QCheck2 (so QCHECK_SEED pins the
+     whole run) and derives everything else from a private PRNG state *)
+  let term_gen ctx =
+    QCheck2.Gen.map
+      (fun seed ->
+        let st = Random.State.make [| seed; 0x9e3779 |] in
+        let sort = pick st (root_sorts ctx) in
+        gen_term ctx sort ~budget:(16 + Random.State.int st 48) st)
+      QCheck2.Gen.(int_range 0 max_int)
+end

@@ -1,14 +1,20 @@
-(* Differential testing of the rewrite engine.
+(* Differential testing of the rewrite engines.
 
-   The indexed, hash-consed engine ([Rewrite.normalize] and friends) must
-   agree with [Rewrite.Reference] — the naive linear-scan, structural-
-   equality engine — on every term, under both strategies, including the
-   fuel-exhaustion boundary and error strictness. Random well-sorted terms
-   are generated over the FULL signature of each corpus specification
-   (defined operations, constructor subterms via [Enum], occasional
-   variables, [error], and if-then-else), so the tests exercise rule
+   All three matching engines must be observably identical on every term:
+
+   - [Rewrite.Reference] — naive linear rule scan, deep structural
+     equality (the pre-index oracle);
+   - [Rewrite.Index] — the two-level rule index over hash-consed terms;
+   - [Rewrite.Automaton] — rules compiled into a matching automaton
+     ([Match_tree]), the default engine.
+
+   Random well-sorted terms are generated over the FULL signature of each
+   corpus specification ([Helpers.Corpus_gen]), so the tests exercise rule
    dispatch, strict error propagation, lazy conditionals, and stuck terms
-   alike.
+   alike. Every engine must produce the same normal form (physically and —
+   independently — structurally), the same step count, the same error-ness,
+   and exhaust fuel on exactly the same terms; the memoized path must agree
+   under every engine as well.
 
    The default run checks 1,000 terms per corpus spec; set
    [TEST_DIFF_LONG=1] (the weekly CI fuzz job does) to check 5,000. *)
@@ -26,124 +32,82 @@ let count_per_spec = if long_mode then 5_000 else 1_000
 let fuel = 3_000
 let tight_fuel = 12
 
-(* atoms for the corpus's parameter sorts, so [Enum] can populate them *)
-let atoms sort =
-  match Sort.name sort with
-  | "Item" -> List.init 3 (fun i -> Builtins.item (i + 1))
-  | "Identifier" -> List.map Identifier.id [ "X"; "Y"; "Z" ]
-  | _ -> []
-
-type ctx = { spec : Spec.t; universe : Enum.universe; has_bool : bool }
-
-let ctx_of spec =
-  {
-    spec;
-    universe = Enum.universe ~atoms spec;
-    has_bool = Signature.mem_sort Sort.bool (Spec.signature spec);
-  }
-
-let pick st l = List.nth l (Random.State.int st (List.length l))
-
-(* a small leaf: usually a ground constructor term, sometimes a variable,
-   [error] when the sort has no generators at all *)
-let leaf ctx sort st =
-  if Random.State.int st 10 = 0 then
-    Term.var (pick st [ "x"; "y" ]) sort
-  else
-    match Enum.random_term ctx.universe sort ~size:5 st with
-    | Some t -> t
-    | None -> Term.err sort
-
-(* a random well-sorted term of the given sort over the full signature;
-   [budget] bounds the recursion *)
-let rec gen_term ctx sort ~budget st =
-  if budget <= 0 then leaf ctx sort st
-  else
-    let roll = Random.State.int st 100 in
-    if roll < 6 then leaf ctx sort st
-    else if roll < 9 then Term.err sort
-    else if roll < 22 && ctx.has_bool then
-      let sub = budget / 3 in
-      Term.ite
-        (gen_term ctx Sort.bool ~budget:sub st)
-        (gen_term ctx sort ~budget:sub st)
-        (gen_term ctx sort ~budget:sub st)
-    else
-      match Signature.ops_with_result sort (Spec.signature ctx.spec) with
-      | [] -> leaf ctx sort st
-      | ops ->
-        (* prefer non-nullary operations while budget remains, otherwise
-           the branching process dies out and terms stay trivially small *)
-        let heavy = List.filter (fun o -> Op.args o <> []) ops in
-        let op = pick st (if heavy = [] then ops else heavy) in
-        let arity = List.length (Op.args op) in
-        let sub = if arity = 0 then 0 else (budget - 1) / arity in
-        Term.app op
-          (List.map (fun s -> gen_term ctx s ~budget:sub st) (Op.args op))
-
-let root_sorts ctx =
-  Sort.Set.elements (Signature.sorts (Spec.signature ctx.spec))
-
-(* the generator draws one integer from QCheck2 (so QCHECK_SEED pins the
-   whole run) and derives everything else from a private PRNG state *)
-let term_gen ctx =
-  QCheck2.Gen.map
-    (fun seed ->
-      let st = Random.State.make [| seed; 0x9e3779 |] in
-      let sort = pick st (root_sorts ctx) in
-      gen_term ctx sort ~budget:(16 + Random.State.int st 48) st)
-    QCheck2.Gen.(int_range 0 max_int)
+(* the pinned entry points: each normalizes with one fixed engine no
+   matter how the system itself is pinned *)
+let engines =
+  [
+    ( "reference",
+      fun ~strategy ~fuel sys t ->
+        Rewrite.Reference.normalize_count ~strategy ~fuel sys t );
+    ( "index",
+      fun ~strategy ~fuel sys t ->
+        Rewrite.Index.normalize_count ~strategy ~fuel sys t );
+    ( "automaton",
+      fun ~strategy ~fuel sys t ->
+        Rewrite.Automaton.normalize_count ~strategy ~fuel sys t );
+  ]
 
 let catch_fuel f =
   match f () with
   | nf, steps -> Some (nf, steps)
   | exception Rewrite.Out_of_fuel _ -> None
 
-(* the agreement relation the whole PR rests on: same normal form (both
-   physically and — independently — structurally), same step count, same
-   error-ness, and fuel exhaustion on one side iff on the other *)
+(* the agreement relation the whole harness rests on: same normal form
+   (both physically and — independently — structurally), same step count,
+   same error-ness, and fuel exhaustion on one engine iff on every
+   other *)
 let agree sys strategy ~fuel t =
-  let reference =
-    catch_fuel (fun () ->
-        Rewrite.Reference.normalize_count ~strategy ~fuel sys t)
+  let outcomes =
+    List.map
+      (fun (_, normalize) ->
+        catch_fuel (fun () -> normalize ~strategy ~fuel sys t))
+      engines
   in
-  let indexed =
-    catch_fuel (fun () -> Rewrite.normalize_count ~strategy ~fuel sys t)
-  in
-  match (reference, indexed) with
-  | None, None -> true
-  | Some (nf_r, n_r), Some (nf_i, n_i) ->
-    Term.equal nf_r nf_i
-    && Term.structural_equal nf_r nf_i
-    && n_r = n_i
-    && Bool.equal (Term.is_error nf_r) (Term.is_error nf_i)
-  | _ -> false
+  match outcomes with
+  | [] -> true
+  | first :: rest ->
+    List.for_all
+      (fun outcome ->
+        match (first, outcome) with
+        | None, None -> true
+        | Some (nf0, n0), Some (nf, n) ->
+          Term.equal nf0 nf
+          && Term.structural_equal nf0 nf
+          && n0 = n
+          && Bool.equal (Term.is_error nf0) (Term.is_error nf)
+        | _ -> false)
+      rest
 
 (* the memoized path may take fewer steps (cache hits) but must reach the
-   same normal form whenever the plain path completes *)
+   same normal form whenever the plain path completes — under every
+   engine, since [normalize_memo] dispatches on the system's pin *)
 let memo_agrees sys t =
   match
     catch_fuel (fun () ->
-        Rewrite.normalize_count ~strategy:Rewrite.Innermost ~fuel sys t)
+        Rewrite.Index.normalize_count ~strategy:Rewrite.Innermost ~fuel sys t)
   with
   | None -> true
-  | Some (nf, _) -> (
-    let memo = Rewrite.Memo.create () in
-    match Rewrite.normalize_memo ~fuel ~memo sys t with
-    | nf' -> Term.equal nf nf'
-    | exception Rewrite.Out_of_fuel _ -> false)
+  | Some (nf, _) ->
+    List.for_all
+      (fun engine ->
+        let sys = Rewrite.with_engine engine sys in
+        let memo = Rewrite.Memo.create () in
+        match Rewrite.normalize_memo ~fuel ~memo sys t with
+        | nf' -> Term.equal nf nf'
+        | exception Rewrite.Out_of_fuel _ -> false)
+      [ Rewrite.Reference; Rewrite.Index; Rewrite.Automaton ]
 
 let diff_case spec =
-  let ctx = ctx_of spec in
+  let ctx = Corpus_gen.ctx_of spec in
   let sys = Rewrite.of_spec spec in
   qcheck ~count:count_per_spec
-    (Fmt.str "indexed = reference on %s" (Spec.name spec))
-    (term_gen ctx)
+    (Fmt.str "reference = index = automaton on %s" (Spec.name spec))
+    (Corpus_gen.term_gen ctx)
     (fun t ->
       agree sys Rewrite.Innermost ~fuel t
       && agree sys Rewrite.Outermost ~fuel t
-      (* a deliberately tight budget, so both engines routinely hit the
-         fuel wall and must agree on exactly WHEN they hit it *)
+      (* a deliberately tight budget, so every engine routinely hits the
+         fuel wall and all must agree on exactly WHEN they hit it *)
       && agree sys Rewrite.Innermost ~fuel:tight_fuel t
       && memo_agrees sys t)
 

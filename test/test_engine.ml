@@ -157,8 +157,14 @@ let test_quit_and_silent () =
 
 let test_bounded_session_cache () =
   let session = queue_session ~cache_capacity:4 () in
+  (* more distinct roots than the cache holds: every query's root term is
+     memoized under every engine, so six distinct queries must evict *)
   ignore (reply session "normalize Queue FRONT(REMOVE(ADD(ADD(ADD(NEW, ITEM1), ITEM2), ITEM3)))");
   ignore (reply session "normalize Queue FRONT(ADD(ADD(NEW, ITEM2), ITEM3))");
+  ignore (reply session "normalize Queue FRONT(ADD(NEW, ITEM1))");
+  ignore (reply session "normalize Queue FRONT(ADD(ADD(NEW, ITEM1), ITEM2))");
+  ignore (reply session "normalize Queue FRONT(ADD(ADD(NEW, ITEM3), ITEM1))");
+  ignore (reply session "normalize Queue FRONT(ADD(ADD(NEW, ITEM1), ITEM3))");
   let totals = Session.cache_totals session in
   Alcotest.(check bool) "entries bounded" true (totals.Session.entries <= 4);
   Alcotest.(check bool) "evictions counted" true (totals.Session.evictions > 0)

@@ -239,10 +239,10 @@ let vars_consistent t =
 let term_round_trip_cases =
   List.map
     (fun spec ->
-      let ctx = Test_diff.ctx_of spec in
+      let ctx = Helpers.Corpus_gen.ctx_of spec in
       qcheck ~count:200
         (Fmt.str "parse (pretty t) = t over %s" (Spec.name spec))
-        (Test_diff.term_gen ctx)
+        (Helpers.Corpus_gen.term_gen ctx)
         (fun t ->
           (not (vars_consistent t))
           ||

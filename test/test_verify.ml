@@ -195,7 +195,13 @@ let test_corpus_verified () =
 (* {1 ADT002 and ADT022 cannot disagree (one shared analysis)} *)
 
 let faulty_sources () =
-  let dir = Filename.concat (Filename.concat ".." "specs") "faulty" in
+  (* dune runtest runs from _build/default/test; a direct dune exec (the
+     CI index-engine pass) runs from the repo root *)
+  let base =
+    Option.value ~default:"../specs"
+      (List.find_opt Sys.file_exists [ "../specs"; "specs" ])
+  in
+  let dir = Filename.concat base "faulty" in
   Sys.readdir dir |> Array.to_list
   |> List.filter (fun f -> Filename.check_suffix f ".adt")
   |> List.sort compare
@@ -313,11 +319,11 @@ let test_matrix_agrees_with_enumeration =
    qcheck harness drives random full-signature terms through the rewrite
    engine and demands that the generous budget is never exhausted *)
 let no_loop_case spec =
-  let ctx = Test_diff.ctx_of spec in
+  let ctx = Helpers.Corpus_gen.ctx_of spec in
   let sys = Rewrite.of_spec spec in
   qcheck ~count:200
     (Fmt.str "RPO-oriented %s never exhausts fuel" (Spec.name spec))
-    (Test_diff.term_gen ctx)
+    (Helpers.Corpus_gen.term_gen ctx)
     (fun t ->
       match
         Rewrite.normalize_count ~strategy:Rewrite.Innermost ~fuel:100_000 sys t
